@@ -1,0 +1,442 @@
+// Package repro_test is the benchmark harness: one testing.B benchmark
+// per table/figure of the paper's evaluation, each regenerating the
+// artifact on the simulated machines and reporting its headline number
+// as a custom metric. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use the Quick experiment configuration (cache-scaled
+// machines, reduced sizes) so a full sweep completes in seconds; the
+// cmd/bwbench tool runs the same experiments at paper-regime sizes.
+package repro_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/hypergraph"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/transform"
+)
+
+func cell(tab *report.Table, rowKey string, col int) float64 {
+	for _, r := range tab.Rows {
+		if strings.Contains(r[0], rowKey) || (len(r) > 1 && strings.Contains(r[1], rowKey)) {
+			f := strings.TrimSuffix(strings.Fields(r[col])[0], "%")
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				panic(err)
+			}
+			return v
+		}
+	}
+	panic("row " + rowKey + " not found")
+}
+
+// BenchmarkSec21WriteVsRead regenerates the Section 2.1 table; the
+// reported metric is the write/read time ratio (paper: ~1.9x).
+func BenchmarkSec21WriteVsRead(b *testing.B) {
+	cfg := core.Quick()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.Sec21(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = cell(tab, "write", 4)
+	}
+	b.ReportMetric(ratio, "write/read")
+}
+
+// BenchmarkFig1Balance regenerates the Figure 1 balance table; the
+// metric is SP's memory balance in bytes/flop (paper: 4.9).
+func BenchmarkFig1Balance(b *testing.B) {
+	cfg := core.Quick()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.Fig1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = cell(tab, "NAS/SP", 3)
+	}
+	b.ReportMetric(v, "SP-mem-B/flop")
+}
+
+// BenchmarkFig2Ratios regenerates Figure 2; the metric is the largest
+// memory demand/supply ratio across the applications (paper: 10.5).
+func BenchmarkFig2Ratios(b *testing.B) {
+	cfg := core.Quick()
+	var maxR float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.Fig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxR = 0
+		for _, r := range tab.Rows {
+			f, _ := strconv.ParseFloat(r[3], 64)
+			if f > maxR {
+				maxR = f
+			}
+		}
+	}
+	b.ReportMetric(maxR, "max-mem-ratio")
+}
+
+// BenchmarkFig3Kernels regenerates the Figure 3 effective-bandwidth
+// series; the metric is the minimum Origin2000 utilization across the
+// stride kernels (paper: all within ~20% of saturation).
+func BenchmarkFig3Kernels(b *testing.B) {
+	cfg := core.Quick()
+	var minU float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.Fig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minU = 101
+		for _, r := range tab.Rows {
+			u, _ := strconv.ParseFloat(strings.TrimSuffix(r[2], "%"), 64)
+			if u < minU {
+				minU = u
+			}
+		}
+	}
+	b.ReportMetric(minU, "min-util-%")
+}
+
+// BenchmarkFig4Fusion regenerates the Figure 4 comparison; the metric
+// is the arrays loaded by the bandwidth-minimal plan (paper: 7, vs 8
+// edge-weighted and 20 unfused).
+func BenchmarkFig4Fusion(b *testing.B) {
+	var v float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = cell(tab, "bandwidth-minimal", 1)
+	}
+	b.ReportMetric(v, "arrays-loaded")
+}
+
+// BenchmarkFig5MinCut times the Figure 5 minimal hyper-edge cut on a
+// 64-loop random hyper-graph (the paper's algorithm is cubic in arrays,
+// linear in loops).
+func BenchmarkFig5MinCut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fig5(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6ShrinkPeel regenerates the Figure 6 storage-reduction
+// comparison; the metric is the speedup of the shrunk/peeled form over
+// the original.
+func BenchmarkFig6ShrinkPeel(b *testing.B) {
+	cfg := core.Quick()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.Fig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = cell(tab, "(c)", 4)
+	}
+	b.ReportMetric(v, "speedup-x")
+}
+
+// BenchmarkFig7StoreElimination runs the store-elimination pipeline on
+// the Figure 7 program (the transformation itself, not its effect).
+func BenchmarkFig7StoreElimination(b *testing.B) {
+	p := kernels.Fig8Workload(core.Quick().Fig8N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := transform.Optimize(p, transform.All()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8StoreElim regenerates the Figure 8 timing table; the
+// metric is the full-pipeline speedup on the Origin2000 model (paper:
+// 0.32s -> 0.16s = 2x).
+func BenchmarkFig8StoreElim(b *testing.B) {
+	cfg := core.Quick()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = cell(tab, "store elimination", 4)
+	}
+	b.ReportMetric(v, "speedup-x")
+}
+
+// BenchmarkSPUtilization regenerates the Section 2.3 per-routine
+// bandwidth-utilization table; the metric is the number of routines at
+// >= 84% utilization (paper: 5 of 7).
+func BenchmarkSPUtilization(b *testing.B) {
+	cfg := core.Quick()
+	var high float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.SPUtilization(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		high = 0
+		for _, r := range tab.Rows {
+			u, _ := strconv.ParseFloat(strings.TrimSuffix(r[2], "%"), 64)
+			if u >= 84 {
+				high++
+			}
+		}
+	}
+	b.ReportMetric(high, "routines>=84%")
+}
+
+// BenchmarkModelAblation regenerates the bandwidth-vs-latency model
+// comparison; the metric is the bandwidth model's write/read ratio
+// (the latency model predicts 1.0 and is refuted by the paper's
+// measurements).
+func BenchmarkModelAblation(b *testing.B) {
+	cfg := core.Quick()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.ModelAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = cell(tab, "bandwidth-bound", 3)
+	}
+	b.ReportMetric(v, "bw-model-ratio")
+}
+
+// BenchmarkConflictStudy regenerates the footnote-3 conflict study; the
+// metric is the direct-mapped / 8-way traffic ratio for 3w6r.
+func BenchmarkConflictStudy(b *testing.B) {
+	cfg := core.Quick()
+	var dm, sa float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.ConflictStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tab.Rows {
+			if r[0] == "3w6r" {
+				v, _ := strconv.ParseFloat(strings.Fields(r[2])[0], 64)
+				if r[1] == "direct-mapped" {
+					dm = v
+				} else {
+					sa = v
+				}
+			}
+		}
+	}
+	b.ReportMetric(dm/sa, "conflict-excess-x")
+}
+
+// BenchmarkStreamCalibration runs the STREAM probe on the Origin2000
+// model (the paper's machine-balance calibration).
+func BenchmarkStreamCalibration(b *testing.B) {
+	s := machine.Scaled(machine.Origin2000(), 16)
+	n := 4 * s.Caches[len(s.Caches)-1].Size / 8
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		bw = machine.Stream(s, n).Triad
+	}
+	b.ReportMetric(bw/1e6, "triad-MB/s")
+}
+
+// BenchmarkCacheBench runs the CacheBench-style sweep on the scaled
+// Origin2000 model.
+func BenchmarkCacheBench(b *testing.B) {
+	s := machine.Scaled(machine.Origin2000(), 16)
+	for i := 0; i < b.N; i++ {
+		machine.CacheBench(s, 4, 1024)
+	}
+}
+
+// --- microbenchmarks of the infrastructure itself -----------------------
+
+// BenchmarkSimulatorAccess measures raw simulator throughput
+// (accesses/op is 1).
+func BenchmarkSimulatorAccess(b *testing.B) {
+	h := sim.MustHierarchy(
+		sim.CacheConfig{Name: "L1", Size: 32 << 10, LineSize: 32, Assoc: 2},
+		sim.CacheConfig{Name: "L2", Size: 4 << 20, LineSize: 128, Assoc: 2},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(int64(i%1_000_000)*8, 8)
+	}
+}
+
+// BenchmarkExecutor measures interpreter throughput on a simple
+// streaming loop (elements/op reported).
+func BenchmarkExecutor(b *testing.B) {
+	p := kernels.Sec21Read(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100_000, "elems/op")
+}
+
+// BenchmarkHypergraphMinCut measures the Figure 5 algorithm on a
+// 128-node, 192-edge hyper-graph.
+func BenchmarkHypergraphMinCut(b *testing.B) {
+	build := func() *hypergraph.Hypergraph {
+		h := hypergraph.New(128)
+		for v := 0; v+1 < 128; v++ {
+			h.AddEdge(v, v+1)
+		}
+		for e := 0; e < 64; e++ {
+			h.AddEdge(1+(e*3)%126, 1+(e*5)%126, 1+(e*7)%126)
+		}
+		return h
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := build()
+		if _, err := h.MinCut(0, 127); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFusionPipeline measures the full compiler pipeline on the
+// four-stage stencil chain.
+func BenchmarkFusionPipeline(b *testing.B) {
+	p := kernels.Fig7Original(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := transform.Optimize(p, transform.All()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegroupStudy regenerates the data-regrouping extension; the
+// metric is the speedup from interleaving the 3w6r arrays on the
+// direct-mapped Exemplar.
+func BenchmarkRegroupStudy(b *testing.B) {
+	cfg := core.Quick()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.RegroupStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = cell(tab, "interleaved", 3)
+	}
+	b.ReportMetric(v, "speedup-x")
+}
+
+// BenchmarkBeladyStudy regenerates the Burger-et-al optimal-replacement
+// comparison; the metric is blocked-mm traffic relative to jki under
+// LRU (restructuring beats even the optimal policy).
+func BenchmarkBeladyStudy(b *testing.B) {
+	cfg := core.Quick()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.BeladyStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = cell(tab, "blocked", 3)
+	}
+	b.ReportMetric(v, "blocked-vs-lru")
+}
+
+// BenchmarkCompiledExecutor measures the closure-compiled engine on the
+// same streaming loop as BenchmarkExecutor, for a direct comparison of
+// the two execution engines.
+func BenchmarkCompiledExecutor(b *testing.B) {
+	p := kernels.Sec21Read(100_000)
+	cp, err := exec.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100_000, "elems/op")
+}
+
+// BenchmarkCompiledExecutorWithSim includes the cache simulator, the
+// configuration used by every experiment.
+func BenchmarkCompiledExecutorWithSim(b *testing.B) {
+	p := kernels.Sec21Read(100_000)
+	cp, err := exec.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := machine.Origin2000()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.Run(spec.NewHierarchy()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterchangeStudy regenerates the stride-fix study; the
+// metric is the interchange speedup (the cache line-size factor).
+func BenchmarkInterchangeStudy(b *testing.B) {
+	cfg := core.Quick()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.InterchangeStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = cell(tab, "interchanged", 4)
+	}
+	b.ReportMetric(v, "speedup-x")
+}
+
+// BenchmarkRegisterBalanceStudy regenerates the unroll-and-jam +
+// scalarize study; the metric is the resulting register balance in
+// bytes/flop (paper's mm -O3: 8.08).
+func BenchmarkRegisterBalanceStudy(b *testing.B) {
+	cfg := core.Quick()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.RegisterBalanceStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = cell(tab, "unroll-and-jam", 1)
+	}
+	b.ReportMetric(v, "reg-B/flop")
+}
+
+// BenchmarkFutureBalanceStudy regenerates the CPU-scaling sweep; the
+// metric is the CPU-utilization bound at 8x CPU speed.
+func BenchmarkFutureBalanceStudy(b *testing.B) {
+	cfg := core.Quick()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		tab, err := core.FutureBalanceStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = cell(tab, "8x", 2)
+	}
+	b.ReportMetric(v, "cpu-bound-%")
+}

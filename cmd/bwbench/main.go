@@ -1,0 +1,150 @@
+// Command bwbench regenerates the paper's tables and figures on the
+// simulated machines.
+//
+// Usage:
+//
+//	bwbench [-quick] [-experiment all|sec2.1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|sp-util|ablation|conflicts|stream|cachebench]
+//
+// Each experiment prints the same rows/series the paper reports,
+// with a footnote quoting the paper's measured values for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+var experiments = []string{
+	"sec2.1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"sp-util", "ablation", "conflicts", "regroup", "belady", "future", "interchange", "regbalance", "stream", "cachebench",
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "small workloads with cache-scaled machines (seconds instead of minutes)")
+	which := flag.String("experiment", "all", "which experiment to run")
+	flag.Parse()
+
+	cfg := core.Default()
+	if *quick {
+		cfg = core.Quick()
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "sec2.1":
+			return table(core.Sec21(cfg))
+		case "fig1":
+			return table(core.Fig1(cfg))
+		case "fig2":
+			return table(core.Fig2(cfg))
+		case "fig3":
+			return table(core.Fig3(cfg))
+		case "fig4":
+			return table(core.Fig4())
+		case "fig5":
+			max := 256
+			if *quick {
+				max = 64
+			}
+			return table(core.Fig5(max))
+		case "fig6":
+			return table(core.Fig6(cfg))
+		case "fig7":
+			s, err := core.Fig7(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(s)
+			return nil
+		case "fig8":
+			return table(core.Fig8(cfg))
+		case "sp-util":
+			return table(core.SPUtilization(cfg))
+		case "ablation":
+			return table(core.ModelAblation(cfg))
+		case "conflicts":
+			return table(core.ConflictStudy(cfg))
+		case "regroup":
+			return table(core.RegroupStudy(cfg))
+		case "belady":
+			return table(core.BeladyStudy(cfg))
+		case "future":
+			return table(core.FutureBalanceStudy(cfg))
+		case "interchange":
+			return table(core.InterchangeStudy(cfg))
+		case "regbalance":
+			return table(core.RegisterBalanceStudy(cfg))
+		case "stream":
+			return streamTable()
+		case "cachebench":
+			return cacheBenchTable()
+		default:
+			return fmt.Errorf("unknown experiment %q (want one of %v or all)", name, experiments)
+		}
+	}
+
+	if *which == "all" {
+		for _, name := range experiments {
+			if err := run(name); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	if err := run(*which); err != nil {
+		fatal(err)
+	}
+}
+
+// streamTable prints the STREAM calibration of both machine models —
+// the paper's source for the Origin2000's ~300 MB/s machine balance.
+func streamTable() error {
+	t := &report.Table{
+		Title:   "STREAM calibration of the machine models",
+		Headers: []string{"machine", "copy", "scale", "add", "triad", "nominal"},
+	}
+	for _, s := range []machine.Spec{machine.Origin2000(), machine.Exemplar()} {
+		n := 4 * s.Caches[len(s.Caches)-1].Size / 8
+		r := machine.Stream(s, n)
+		t.AddRow(s.Name, report.MBs(r.Copy), report.MBs(r.Scale), report.MBs(r.Add),
+			report.MBs(r.Triad), report.MBs(s.MemoryBandwidth()))
+	}
+	t.AddNote("the paper quotes ~300 MB/s STREAM bandwidth for the Origin2000")
+	fmt.Print(t)
+	return nil
+}
+
+// cacheBenchTable prints the CacheBench-style working-set sweep of the
+// Origin2000 model, exposing the register, L1-L2 and memory plateaus.
+func cacheBenchTable() error {
+	s := machine.Origin2000()
+	t := &report.Table{
+		Title:   "CacheBench calibration of the Origin2000 model",
+		Headers: []string{"working set", "read bandwidth"},
+	}
+	for _, p := range machine.CacheBench(s, 4, 32*1024) {
+		t.AddRow(report.Bytes(p.WorkingSet), report.MBs(p.Bandwidth))
+	}
+	t.AddNote("plateaus at the register, L1-L2 and memory channel bandwidths")
+	fmt.Print(t)
+	return nil
+}
+
+func table(t *report.Table, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bwbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,211 @@
+// Command bwopt applies compiler transformations to a loop-nest
+// program, printing the transformed program, the actions taken, and the
+// before/after bandwidth report.
+//
+// Usage:
+//
+//	bwopt [-fusion-only] [-machine origin|exemplar] [-scale N] \
+//	      [-passes spec[,spec...]] program.bw
+//
+// Without -passes, the paper's full strategy runs (fuse → storage
+// reduction → store elimination). With -passes, the named passes run in
+// order instead; each spec is one of:
+//
+//	pipeline                      the full strategy
+//	fuse                          bandwidth-minimal loop fusion
+//	interchange:<nest>:<var>      swap <var>'s loop with its inner loop
+//	distribute:<nest>             split the nest's loop by dependence
+//	peel-first:<nest>:<var>       peel the first iteration
+//	peel-last:<nest>:<var>        peel the last iteration
+//	simplify                      fold statically decidable guards
+//	unrolljam:<nest>:<var>:<k>    unroll-and-jam by factor k
+//	scalarize:<nest>              register-promote repeated elements
+//	regroup:<a>+<b>[+...]         interleave the named arrays
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/balance"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/transform"
+)
+
+func main() {
+	fusionOnly := flag.Bool("fusion-only", false, "run only loop fusion (no storage passes)")
+	machineName := flag.String("machine", "origin", "machine model: origin or exemplar")
+	scale := flag.Int("scale", 1, "divide cache capacities by this factor")
+	passes := flag.String("passes", "", "comma-separated pass specs (see doc comment); overrides the default pipeline")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bwopt [flags] program.bw\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := lang.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	var q *ir.Program
+	var actions []transform.Action
+	if *passes != "" {
+		q, actions, err = runPasses(p, *passes)
+	} else {
+		opt := transform.All()
+		if *fusionOnly {
+			opt = transform.FusionOnly()
+		}
+		q, actions, err = transform.Optimize(p, opt)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("--- optimized program ---")
+	fmt.Println(q)
+	fmt.Println("--- actions ---")
+	if len(actions) == 0 {
+		fmt.Println("(none applied)")
+	}
+	for _, a := range actions {
+		fmt.Println(" ", a)
+	}
+
+	var spec machine.Spec
+	switch *machineName {
+	case "origin":
+		spec = machine.Origin2000()
+	case "exemplar":
+		spec = machine.Exemplar()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machineName))
+	}
+	if *scale > 1 {
+		spec = machine.Scaled(spec, *scale)
+	}
+
+	before, err := balance.Measure(p, spec)
+	if err != nil {
+		fatal(err)
+	}
+	after, err := balance.Measure(q, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("--- bandwidth report ---")
+	t := &report.Table{Headers: []string{"", "mem traffic", "predicted time", "effective bw"}}
+	t.AddRow("before", report.Bytes(before.MemoryBytes), report.Seconds(before.Time.Total), report.MBs(before.EffectiveBW))
+	t.AddRow("after", report.Bytes(after.MemoryBytes), report.Seconds(after.Time.Total), report.MBs(after.EffectiveBW))
+	t.AddNote("predicted speedup %.2fx on %s", balance.Speedup(before, after), spec.Name)
+	fmt.Print(t)
+
+	// Sanity: outputs must match.
+	if len(before.Result.Prints) != len(after.Result.Prints) {
+		fatal(fmt.Errorf("transformed program prints %d values, original %d",
+			len(after.Result.Prints), len(before.Result.Prints)))
+	}
+	for i := range before.Result.Prints {
+		if before.Result.Prints[i] != after.Result.Prints[i] {
+			fmt.Fprintf(os.Stderr, "warning: print %d differs: %g vs %g (floating-point reassociation)\n",
+				i, before.Result.Prints[i], after.Result.Prints[i])
+		}
+	}
+}
+
+// runPasses applies a comma-separated pass list in order.
+func runPasses(p *ir.Program, specs string) (*ir.Program, []transform.Action, error) {
+	cur := p
+	var log []transform.Action
+	note := func(pass, detail string) {
+		log = append(log, transform.Action{Pass: pass, Note: detail})
+	}
+	for _, spec := range strings.Split(specs, ",") {
+		parts := strings.Split(strings.TrimSpace(spec), ":")
+		var err error
+		switch parts[0] {
+		case "pipeline":
+			var acts []transform.Action
+			cur, acts, err = transform.Optimize(cur, transform.All())
+			log = append(log, acts...)
+		case "fuse":
+			var acts []transform.Action
+			cur, acts, err = transform.Optimize(cur, transform.FusionOnly())
+			log = append(log, acts...)
+		case "interchange":
+			if len(parts) != 3 {
+				return nil, nil, fmt.Errorf("interchange:<nest>:<var>")
+			}
+			cur, err = transform.Interchange(cur, parts[1], parts[2])
+			note("interchange", spec)
+		case "distribute":
+			if len(parts) != 2 {
+				return nil, nil, fmt.Errorf("distribute:<nest>")
+			}
+			cur, err = transform.Distribute(cur, parts[1])
+			note("distribute", spec)
+		case "peel-first", "peel-last":
+			if len(parts) != 3 {
+				return nil, nil, fmt.Errorf("%s:<nest>:<var>", parts[0])
+			}
+			if parts[0] == "peel-first" {
+				cur, err = transform.PeelFirst(cur, parts[1], parts[2])
+			} else {
+				cur, err = transform.PeelLast(cur, parts[1], parts[2])
+			}
+			note(parts[0], spec)
+		case "simplify":
+			var folded int
+			cur, folded = transform.SimplifyGuards(cur)
+			note("simplify", fmt.Sprintf("%d guards folded", folded))
+		case "unrolljam":
+			if len(parts) != 4 {
+				return nil, nil, fmt.Errorf("unrolljam:<nest>:<var>:<factor>")
+			}
+			var k int
+			if k, err = strconv.Atoi(parts[3]); err == nil {
+				cur, err = transform.UnrollJam(cur, parts[1], parts[2], k)
+			}
+			note("unrolljam", spec)
+		case "scalarize":
+			if len(parts) != 2 {
+				return nil, nil, fmt.Errorf("scalarize:<nest>")
+			}
+			var n int
+			cur, n, err = transform.ScalarizeIteration(cur, parts[1])
+			note("scalarize", fmt.Sprintf("%d element groups promoted", n))
+		case "regroup":
+			if len(parts) != 2 {
+				return nil, nil, fmt.Errorf("regroup:<a>+<b>[+...]")
+			}
+			cur, err = transform.RegroupArrays(cur, strings.Split(parts[1], "+"))
+			note("regroup", spec)
+		default:
+			return nil, nil, fmt.Errorf("unknown pass %q", parts[0])
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("pass %q: %w", spec, err)
+		}
+	}
+	return cur, log, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bwopt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Integration tests: build the three command-line tools and drive them
+// end-to-end against testdata/fig7.bw.
+
+func buildTool(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestBwsimEndToEnd(t *testing.T) {
+	bin := buildTool(t, "cmd/bwsim")
+	out, err := runTool(t, bin, "testdata/fig7.bw")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"fig7 on Origin2000", "Mem-L2", "bottleneck", "print[0]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Exemplar with scaling and IR echo.
+	out, err = runTool(t, bin, "-machine", "exemplar", "-scale", "4", "-print-ir", "testdata/fig7.bw")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Exemplar/4") || !strings.Contains(out, "program fig7") {
+		t.Fatalf("flags ignored:\n%s", out)
+	}
+}
+
+func TestBwsimErrors(t *testing.T) {
+	bin := buildTool(t, "cmd/bwsim")
+	if out, err := runTool(t, bin); err == nil {
+		t.Fatalf("missing file accepted:\n%s", out)
+	}
+	if out, err := runTool(t, bin, "-machine", "cray", "testdata/fig7.bw"); err == nil {
+		t.Fatalf("unknown machine accepted:\n%s", out)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.bw")
+	if err := os.WriteFile(bad, []byte("program x\nloop L1 { ghost = 1 }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := runTool(t, bin, bad); err == nil {
+		t.Fatalf("invalid program accepted:\n%s", out)
+	}
+}
+
+func TestBwoptEndToEnd(t *testing.T) {
+	bin := buildTool(t, "cmd/bwopt")
+	out, err := runTool(t, bin, "testdata/fig7.bw")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"optimized program", "store-elim", "speedup 2.00x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Fusion-only mode must not eliminate the store.
+	out, err = runTool(t, bin, "-fusion-only", "testdata/fig7.bw")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if strings.Contains(out, "store-elim") {
+		t.Fatalf("fusion-only ran store elimination:\n%s", out)
+	}
+	if !strings.Contains(out, "fuse:") {
+		t.Fatalf("fusion missing:\n%s", out)
+	}
+}
+
+func TestBwbenchSingleExperiments(t *testing.T) {
+	bin := buildTool(t, "cmd/bwbench")
+	cases := map[string]string{
+		"fig4":     "bandwidth-minimal",
+		"sec2.1":   "write loop pays twice",
+		"stream":   "STREAM calibration",
+		"ablation": "latency-only",
+	}
+	for exp, want := range cases {
+		out, err := runTool(t, bin, "-quick", "-experiment", exp)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", exp, err, out)
+		}
+		if !strings.Contains(out, want) {
+			t.Fatalf("%s output missing %q:\n%s", exp, want, out)
+		}
+	}
+	if out, err := runTool(t, bin, "-experiment", "nonsense"); err == nil {
+		t.Fatalf("unknown experiment accepted:\n%s", out)
+	}
+}
+
+func TestBwoptPassesFlag(t *testing.T) {
+	bin := buildTool(t, "cmd/bwopt")
+	out, err := runTool(t, bin, "-passes", "fuse,scalarize:Update_Sum", "testdata/fig7.bw")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"fuse:", "scalarize:", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if out, err := runTool(t, bin, "-passes", "warp:drive", "testdata/fig7.bw"); err == nil {
+		t.Fatalf("unknown pass accepted:\n%s", out)
+	}
+	if out, err := runTool(t, bin, "-passes", "interchange:NoSuch:i", "testdata/fig7.bw"); err == nil {
+		t.Fatalf("bad pass target accepted:\n%s", out)
+	}
+}
+
+// TestExamplesRun executes every example binary end-to-end and checks
+// for its headline output, so the examples cannot rot.
+func TestExamplesRun(t *testing.T) {
+	cases := map[string][]string{
+		"examples/quickstart":   {"predicted speedup: 3.00x", "results identical: true"},
+		"examples/stencil":      {"applied transformations:", "results identical: true"},
+		"examples/balancecheck": {"balance audit on Origin2000", "saxpy", "Mem-L2"},
+		"examples/fusionlab":    {"bandwidth-minimal (this paper)", "7", "automatic fusion"},
+		"examples/advisor":      {"bandwidth tuning advisor", "loop interchange"},
+	}
+	for pkg, wants := range cases {
+		pkg, wants := pkg, wants
+		t.Run(pkg, func(t *testing.T) {
+			t.Parallel()
+			bin := buildTool(t, pkg)
+			out, err := runTool(t, bin)
+			if err != nil {
+				t.Fatalf("%v\n%s", err, out)
+			}
+			for _, want := range wants {
+				if !strings.Contains(out, want) {
+					t.Fatalf("missing %q in:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

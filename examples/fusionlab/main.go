@@ -1,0 +1,106 @@
+// Fusionlab: the paper's Figure 4 counter-example, end to end — build
+// the six-loop fusion graph, solve it with the classical edge-weighted
+// objective and with the paper's bandwidth-minimal hyper-graph min-cut,
+// and show why they disagree. Then demonstrate the same machinery on an
+// IR program, fusing it automatically.
+//
+//	go run ./examples/fusionlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fusion"
+	"repro/internal/kernels"
+	"repro/internal/lang"
+	"repro/internal/report"
+)
+
+func main() {
+	g := kernels.Figure4Graph()
+
+	fmt.Println("Figure 4 fusion graph: 6 loops, arrays A-F, fusion-preventing")
+	fmt.Println("constraint between loop5 and loop6, dependence loop5 -> loop6.")
+	fmt.Println()
+
+	t := &report.Table{Headers: []string{"strategy", "partitioning", "arrays loaded", "edge weight cut"}}
+
+	name := func(parts fusion.Partition) string {
+		s := ""
+		for i, grp := range parts {
+			if i > 0 {
+				s += " | "
+			}
+			for j, v := range grp {
+				if j > 0 {
+					s += ","
+				}
+				s += g.Labels[v][4:] // strip "loop"
+			}
+		}
+		return "{" + s + "}"
+	}
+
+	none := make(fusion.Partition, g.N)
+	for i := range none {
+		none[i] = []int{i}
+	}
+	t.AddRow("no fusion", name(none), g.Cost(none), g.EdgeWeightCost(none))
+
+	ew, ewCost, err := g.EdgeWeightedOptimal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.AddRow("edge-weighted (Gao, Kennedy-McKinley)", name(ew), g.Cost(ew), ewCost)
+
+	bw, bwCost, err := g.Optimal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.AddRow("bandwidth-minimal (this paper)", name(bw), bwCost, g.EdgeWeightCost(bw))
+
+	two, cut, err := g.TwoPartition(4, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.AddRow("hyper-graph min-cut (Figure 5)", name(two), g.Cost(two), g.EdgeWeightCost(two))
+	t.AddNote("the min-cut severs array %v only: loop5 shares just A with the rest", cut)
+	fmt.Print(t)
+
+	fmt.Println()
+	fmt.Println("The edge-weighted objective counts shared-array *pairs*, so loops")
+	fmt.Println("1-3 each contribute an edge to loop5 and pull it into the big")
+	fmt.Println("partition — but they all share the SAME array A, so the real")
+	fmt.Println("memory saved is one array, not three. Hyper-edges model this")
+	fmt.Println("aggregation exactly; the paper's plan loads 7 arrays, not 8.")
+	fmt.Println()
+
+	// Part two: automatic fusion of an IR program.
+	src := `
+program pipeline
+const N = 100000
+array a[N]
+array b[N]
+array c[N]
+scalar s
+loop P1 { for i = 0, N-1 { a[i] = i * 0.5 } }
+loop P2 { for i = 0, N-1 { b[i] = a[i] + 1 } }
+loop P3 { for i = 0, N-1 { c[i] = b[i] * b[i] } }
+loop P4 {
+  s = 0
+  for i = 0, N-1 { s = s + c[i] }
+  print s
+}
+`
+	p, err := lang.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fused, parts, err := fusion.FuseGreedily(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("automatic fusion of a 4-loop pipeline -> %d partition(s):\n\n", len(parts))
+	fmt.Println(fused)
+}

@@ -1,0 +1,133 @@
+// Package balance implements the paper's bandwidth-based performance
+// model (Section 2.2): program balance, machine balance, demand/supply
+// ratios, the CPU-utilization bound, predicted execution time and
+// effective memory bandwidth.
+//
+// Program balance is the bytes of data transfer per floating-point
+// operation at every level of the memory hierarchy, measured by running
+// the program on the machine's cache simulator (the software stand-in
+// for the paper's hardware counters). Machine balance is the bytes per
+// flop the machine can supply at peak. Their ratio bounds CPU
+// utilization: a program demanding r times the machine's memory
+// bandwidth can use at most 1/r of the CPU.
+package balance
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Report is the balance analysis of one program on one machine.
+type Report struct {
+	Program string
+	Machine string
+
+	ChannelNames []string // processor-side first
+	ChannelBytes []int64
+	Flops        int64
+
+	ProgramBalance []float64 // bytes per flop, per channel
+	MachineBalance []float64
+	Ratios         []float64 // demand / supply per channel
+
+	// MaxRatio is the largest demand/supply ratio and Bottleneck the
+	// channel it occurs on ("CPU" when no channel is oversubscribed).
+	MaxRatio   float64
+	Bottleneck string
+	// CPUUtilizationBound = min(1, 1/MaxRatio): the paper's bound on
+	// achievable CPU utilization.
+	CPUUtilizationBound float64
+
+	// Time is the predicted execution-time breakdown and EffectiveBW
+	// the memory bytes per second it implies.
+	Time        machine.Time
+	MemoryBytes int64
+	EffectiveBW float64
+
+	// Result carries the program's computed values for equivalence
+	// checking.
+	Result *exec.Result
+}
+
+// Measure runs the program on the machine model and computes its
+// balance report.
+func Measure(p *ir.Program, spec machine.Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	h := spec.NewHierarchy()
+	// The closure-compiled engine is several times faster than the tree
+	// walker and differentially tested against it (internal/exec).
+	cp, err := exec.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cp.Run(h)
+	if err != nil {
+		return nil, err
+	}
+	channels := h.ChannelBytes()
+	memLines := h.LevelStats(h.Levels() - 1).Misses()
+	t, err := spec.Predict(channels, h.Flops, memLines)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{
+		Program:        p.Name,
+		Machine:        spec.Name,
+		ChannelNames:   spec.ChannelNames(),
+		ChannelBytes:   channels,
+		Flops:          h.Flops,
+		MachineBalance: spec.Balance(),
+		Time:           t,
+		MemoryBytes:    h.MemoryBytes(),
+		EffectiveBW:    machine.EffectiveBandwidth(h.MemoryBytes(), t),
+		Result:         res,
+	}
+	r.ProgramBalance = make([]float64, len(channels))
+	r.Ratios = make([]float64, len(channels))
+	r.Bottleneck = "CPU"
+	for i, b := range channels {
+		if h.Flops > 0 {
+			r.ProgramBalance[i] = float64(b) / float64(h.Flops)
+		}
+		r.Ratios[i] = r.ProgramBalance[i] / r.MachineBalance[i]
+		if r.Ratios[i] > r.MaxRatio {
+			r.MaxRatio = r.Ratios[i]
+			r.Bottleneck = r.ChannelNames[i]
+		}
+	}
+	r.CPUUtilizationBound = 1
+	if r.MaxRatio > 1 {
+		r.CPUUtilizationBound = 1 / r.MaxRatio
+	}
+	return r, nil
+}
+
+// Speedup returns how much faster the "after" run is predicted to be.
+func Speedup(before, after *Report) float64 {
+	if after.Time.Total == 0 {
+		return 0
+	}
+	return before.Time.Total / after.Time.Total
+}
+
+// String renders the report as a small table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: %d flops\n", r.Program, r.Machine, r.Flops)
+	for i, name := range r.ChannelNames {
+		fmt.Fprintf(&b, "  %-8s %12d B  balance %6.2f B/flop  machine %5.2f  ratio %5.2f\n",
+			name, r.ChannelBytes[i], r.ProgramBalance[i], r.MachineBalance[i], r.Ratios[i])
+	}
+	fmt.Fprintf(&b, "  bottleneck %s, max ratio %.2f, CPU utilization bound %.1f%%\n",
+		r.Bottleneck, r.MaxRatio, 100*r.CPUUtilizationBound)
+	fmt.Fprintf(&b, "  predicted time %.6fs, effective bandwidth %.1f MB/s\n",
+		r.Time.Total, r.EffectiveBW/machine.MB)
+	return b.String()
+}

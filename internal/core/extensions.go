@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/transform"
+)
+
+// Extension experiments beyond the paper's own tables, each grounded in
+// its discussion sections: data regrouping (Ding's dissertation,
+// Section 4) as the fix for the footnote-3 conflict outlier, and the
+// Belady optimal-replacement bound of Burger et al. that the paper
+// contrasts with compile-time bandwidth reduction.
+
+// RegroupStudy shows inter-array data regrouping removing the 3w6r
+// conflict outlier on the direct-mapped Exemplar: with the six arrays
+// aligned to the cache size the separate streams thrash; interleaving
+// them into one array makes the conflicts structurally impossible.
+func RegroupStudy(cfg Config) (*report.Table, error) {
+	spec := cfg.streamExemplar()
+	cacheSize := int64(spec.Caches[0].Size)
+	n := cfg.StreamN
+	for (int64(n)*8+128)%cacheSize != 0 {
+		n++
+	}
+	p, err := kernels.StrideKernel("3w6r", n)
+	if err != nil {
+		return nil, err
+	}
+	q, err := transform.RegroupArrays(p, []string{"a", "b", "c", "d", "e", "g1"})
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Data regrouping vs the 3w6r conflict outlier (direct-mapped Exemplar)",
+		Headers: []string{"layout", "mem traffic", "predicted time", "speedup"},
+	}
+	before, err := Analyze(p, spec)
+	if err != nil {
+		return nil, err
+	}
+	after, err := Analyze(q, spec)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("six separate arrays", report.Bytes(before.MemoryBytes),
+		report.Seconds(before.Time.Total), "1.00")
+	t.AddRow("one interleaved group", report.Bytes(after.MemoryBytes),
+		report.Seconds(after.Time.Total), report.F(Speedup(before, after), 2))
+	t.AddNote("regrouping (Ding's dissertation, paper Section 4) turns six conflicting streams into one")
+	return t, nil
+}
+
+// BeladyStudy reproduces the methodology of Burger et al. (ISCA'96)
+// that the paper's related work discusses: the gap between LRU and
+// Belady's optimal replacement bounds what better cache management
+// could save — and the paper's point is that program restructuring
+// (here: the blocked matrix multiply) beats even the optimal policy on
+// the unrestructured program, because it changes the traffic itself.
+func BeladyStudy(cfg Config) (*report.Table, error) {
+	// Trace-based replay records every line access, so this study uses
+	// a reduced matrix with a cache sized to keep it firmly
+	// out-of-cache (array footprint = 4x capacity).
+	// A 32x32 matrix (8 KiB per array) against a 6 KiB cache: the jki
+	// order re-streams the a matrix every j iteration, while an 8x8
+	// tile (two 2 KiB strips) stays resident for the blocked order.
+	const n, bs = 32, 8
+	l2 := sim.CacheConfig{Name: "L2", Size: 6144, LineSize: 128, Assoc: 2}
+
+	replayOn := func(p *ir.Program) (lru, opt sim.Stats, err error) {
+		rec, err := sim.NewRecorder(l2)
+		if err != nil {
+			return lru, opt, err
+		}
+		if _, err := exec.Run(p, rec); err != nil {
+			return lru, opt, err
+		}
+		lru, err = sim.ReplayLRU(rec.Trace())
+		if err != nil {
+			return lru, opt, err
+		}
+		opt, err = sim.ReplayBelady(rec.Trace())
+		return lru, opt, err
+	}
+
+	t := &report.Table{
+		Title:   "Belady bound (Burger et al.) vs program restructuring, L2 traffic",
+		Headers: []string{"program", "policy", "mem traffic", "vs jki LRU"},
+	}
+	jki := kernels.MatmulJKI(n)
+	blocked, err := kernels.MatmulBlocked(n, bs)
+	if err != nil {
+		return nil, err
+	}
+	jkiLRU, jkiOPT, err := replayOn(jki)
+	if err != nil {
+		return nil, err
+	}
+	blkLRU, _, err := replayOn(blocked)
+	if err != nil {
+		return nil, err
+	}
+	base := float64(jkiLRU.Traffic())
+	t.AddRow("mm jki", "LRU", report.Bytes(jkiLRU.Traffic()), "1.00")
+	t.AddRow("mm jki", "Belady (optimal)", report.Bytes(jkiOPT.Traffic()),
+		report.F(float64(jkiOPT.Traffic())/base, 2))
+	t.AddRow("mm blocked", "LRU", report.Bytes(blkLRU.Traffic()),
+		report.F(float64(blkLRU.Traffic())/base, 2))
+	t.AddNote("optimal replacement needs future knowledge; restructuring achieves more with none")
+	return t, nil
+}
+
+// FutureBalanceStudy quantifies the paper's closing warning — "as CPU
+// speed rapidly increases, future systems will have even worse balance
+// and a more serious bottleneck" — by scaling the Origin2000's
+// processor clock while holding memory bandwidth fixed, and measuring
+// the CPU-utilization bound of the Figure 8 workload together with the
+// speedup the full compiler pipeline recovers.
+func FutureBalanceStudy(cfg Config) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Future machines: faster CPUs, same memory bandwidth",
+		Headers: []string{"CPU speed", "machine mem balance", "CPU bound (unoptimized)", "pipeline speedup"},
+	}
+	orig := kernels.Fig8Workload(cfg.Fig8N)
+	optimized, _, err := Optimize(orig)
+	if err != nil {
+		return nil, err
+	}
+	for _, mult := range []float64{1, 2, 4, 8} {
+		spec := cfg.streamOrigin()
+		spec.Name = spec.Name + "-cpu-x" + report.F(mult, 0)
+		spec.FlopRate *= mult
+		// Register and cache channels track the core clock; the memory
+		// channel does not — exactly the historical trend.
+		bw := append([]float64(nil), spec.ChannelBW...)
+		for i := 0; i < len(bw)-1; i++ {
+			bw[i] *= mult
+		}
+		spec.ChannelBW = bw
+		before, err := Analyze(orig, spec)
+		if err != nil {
+			return nil, err
+		}
+		after, err := Analyze(optimized, spec)
+		if err != nil {
+			return nil, err
+		}
+		mb := spec.Balance()
+		t.AddRow(report.F(mult, 0)+"x",
+			report.F(mb[len(mb)-1], 2)+" B/flop",
+			report.F(100*before.CPUUtilizationBound, 1)+"%",
+			report.F(Speedup(before, after), 2))
+	}
+	t.AddNote("the bandwidth gap widens with CPU speed; bandwidth reduction grows more valuable, not less")
+	return t, nil
+}
+
+// InterchangeStudy demonstrates the classical stride-fixing loop
+// interchange in the balance framework: a column-major array traversed
+// row-first streams a whole cache line per element; interchanging the
+// loops restores stride-one access and collapses memory traffic by the
+// line-size factor.
+func InterchangeStudy(cfg Config) (*report.Table, error) {
+	spec := cfg.origin()
+	// Row-first traversal re-touches a line after visiting one line per
+	// column: the reuse distance is N * lineSize bytes. Choose N so that
+	// distance is 1.5x the last-level cache — the regime where the bad
+	// stride actually costs memory traffic.
+	lastCache := spec.Caches[len(spec.Caches)-1]
+	n := 3 * lastCache.Size / lastCache.LineSize / 2
+	src := fmt.Sprintf(`
+program rowwalk
+const N = %d
+array a[N,N]
+scalar s
+loop Walk {
+  for i = 0, N-1 {
+    for j = 0, N-1 { s = s + a[i,j] }
+  }
+}
+loop Out { print s }
+`, n)
+	p, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := transform.Interchange(p, "Walk", "i")
+	if err != nil {
+		return nil, err
+	}
+	before, err := Analyze(p, spec)
+	if err != nil {
+		return nil, err
+	}
+	after, err := Analyze(q, spec)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Loop interchange: row-first vs column-first traversal (column-major array)",
+		Headers: []string{"order", "mem traffic", "mem B/flop", "predicted time", "speedup"},
+	}
+	t.AddRow("i outer (row-first)", report.Bytes(before.MemoryBytes),
+		report.F(before.ProgramBalance[len(before.ProgramBalance)-1], 2),
+		report.Seconds(before.Time.Total), "1.00")
+	t.AddRow("j outer (interchanged)", report.Bytes(after.MemoryBytes),
+		report.F(after.ProgramBalance[len(after.ProgramBalance)-1], 2),
+		report.Seconds(after.Time.Total), report.F(Speedup(before, after), 2))
+	t.AddNote("stride-one access restores one-element-per-line-byte traffic")
+	return t, nil
+}
+
+// RegisterBalanceStudy reproduces the register half of the Figure 1
+// mm(-O3) story: Carr & Kennedy's unroll-and-jam plus scalar
+// replacement cut matrix multiply's register balance from 24 to 8.08
+// B/flop on the R10K. Applying the implemented passes to the jki loop
+// shows the same mechanism: outer-loop reuse is moved into registers.
+func RegisterBalanceStudy(cfg Config) (*report.Table, error) {
+	// Register reuse matters in the cache-resident regime (Carr &
+	// Kennedy's setting), so this study uses the unscaled machine with
+	// a matrix that fits in L2: the register channel is the bottleneck
+	// and its balance decides the time.
+	spec := machine.Origin2000()
+	n := cfg.MMN
+	if n%4 != 0 {
+		n -= n % 4
+	}
+	p := kernels.MatmulJKI(n)
+	uj, err := transform.UnrollJam(p, "MM", "k", 4)
+	if err != nil {
+		return nil, err
+	}
+	sc, _, err := transform.ScalarizeIteration(uj, "MM")
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Register balance: unroll-and-jam + scalar replacement on mm (jki)",
+		Headers: []string{"variant", "L1-Reg B/flop", "predicted time", "speedup"},
+	}
+	before, err := Analyze(p, spec)
+	if err != nil {
+		return nil, err
+	}
+	after, err := Analyze(sc, spec)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("jki (as written)", report.F(before.ProgramBalance[0], 2),
+		report.Seconds(before.Time.Total), "1.00")
+	t.AddRow("unroll-and-jam x4 + scalarize", report.F(after.ProgramBalance[0], 2),
+		report.Seconds(after.Time.Total), report.F(Speedup(before, after), 2))
+	t.AddNote("paper: MIPSpro -O3 cut mm's register balance from 24 to 8.08 B/flop by the same transformations")
+	return t, nil
+}

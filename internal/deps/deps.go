@@ -1,0 +1,512 @@
+// Package deps performs data-dependence analysis between the top-level
+// nests of a program, producing exactly what the paper's fusion graph
+// needs (Section 3.1.1): directed dependence edges between loops, and
+// fusion-preventing constraints.
+//
+// The analysis is conservative: a dependence is reported whenever it
+// cannot be disproved, and a dependence is marked fusion-preventing
+// whenever legality of fusion cannot be established. Legality uses the
+// classical distance-vector criterion: fusing two conformable loops is
+// legal when every cross-nest dependence has a lexicographically
+// non-negative distance vector in the fused iteration space (the
+// earlier nest's statements are placed first in the fused body, so an
+// all-zero vector is legal).
+package deps
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Kind classifies a dependence.
+type Kind int
+
+// Dependence kinds.
+const (
+	Flow   Kind = iota // earlier nest writes, later nest reads
+	Anti               // earlier nest reads, later nest writes
+	Output             // both nests write
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	default:
+		return "output"
+	}
+}
+
+// Dep is one dependence between two nests, identified by program
+// position (From executes before To).
+type Dep struct {
+	From, To   int
+	Var        string // array or scalar name
+	IsArray    bool
+	Kind       Kind
+	Preventing bool   // fusing From and To directly would be illegal
+	Reason     string // why it prevents fusion (empty otherwise)
+}
+
+// Info is the dependence summary of a program.
+type Info struct {
+	NumNests int
+	Deps     []Dep
+}
+
+// DepsBetween returns all dependences from nest a to nest b.
+func (inf *Info) DepsBetween(a, b int) []Dep {
+	var out []Dep
+	for _, d := range inf.Deps {
+		if d.From == a && d.To == b {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HasDep reports whether any dependence runs from a to b.
+func (inf *Info) HasDep(a, b int) bool {
+	for _, d := range inf.Deps {
+		if d.From == a && d.To == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Preventing reports whether fusing nests a and b (a before b) is
+// blocked by any dependence between them.
+func (inf *Info) Preventing(a, b int) bool {
+	for _, d := range inf.Deps {
+		if d.From == a && d.To == b && d.Preventing {
+			return true
+		}
+	}
+	return false
+}
+
+// refInfo is one array reference with its enclosing loop stack
+// (outermost first).
+type refInfo struct {
+	ref   *ir.Ref
+	write bool
+	loops []*ir.For
+}
+
+// acc summarizes how a nest accesses one scalar, as a small lattice.
+type acc int
+
+const (
+	accNone  acc = iota // never accessed
+	accWrite            // every path writes, and writes before any read
+	accMaybe            // no path reads first, but some paths do not write
+	accRead             // some path may read before writing
+)
+
+// seqAcc composes two summaries executed in sequence.
+func seqAcc(a, b acc) acc {
+	switch a {
+	case accNone:
+		return b
+	case accRead, accWrite:
+		return a
+	default: // accMaybe: paths that wrote are settled; others continue into b
+		switch b {
+		case accRead:
+			return accRead
+		case accWrite:
+			return accWrite
+		default:
+			return accMaybe
+		}
+	}
+}
+
+// branchAcc joins the summaries of two alternative branches.
+func branchAcc(a, b acc) acc {
+	if a == accRead || b == accRead {
+		return accRead
+	}
+	if a == accWrite && b == accWrite {
+		return accWrite
+	}
+	if a == accNone && b == accNone {
+		return accNone
+	}
+	return accMaybe
+}
+
+// collect gathers array references and scalar usage for one nest.
+type nestSummary struct {
+	refs []refInfo
+	// Scalar usage at nest level.
+	scalarReads  map[string]bool
+	scalarWrites map[string]bool
+	// scalarAcc is the access summary per scalar over one execution of
+	// the nest body. Top-level For statements pass their body summary
+	// through unchanged: fusion only pairs conformable loops, whose
+	// trip counts are identical, so "each iteration writes first"
+	// carries the same guarantees as a straight-line write. Nested
+	// loops and branches demote definite writes to accMaybe.
+	scalarAcc map[string]acc
+}
+
+func (s *nestSummary) accOf(name string) acc { return s.scalarAcc[name] }
+
+func summarize(p *ir.Program, n *ir.Nest) *nestSummary {
+	s := &nestSummary{
+		scalarReads:  map[string]bool{},
+		scalarWrites: map[string]bool{},
+		scalarAcc:    map[string]acc{},
+	}
+	var stack []*ir.For
+
+	// visitStmts returns the per-scalar access summary of the sequence
+	// while also recording array refs and scalar read/write sets.
+	type accMap map[string]acc
+	note := func(m accMap, name string, a acc) {
+		m[name] = seqAcc(m[name], a)
+	}
+	var visitExpr func(m accMap, e ir.Expr)
+	visitExpr = func(m accMap, e ir.Expr) {
+		switch e := e.(type) {
+		case *ir.Var:
+			if p.ScalarByName(e.Name) != nil {
+				s.scalarReads[e.Name] = true
+				note(m, e.Name, accRead)
+			}
+		case *ir.Ref:
+			if e.IsScalar() {
+				if p.ScalarByName(e.Name) != nil {
+					s.scalarReads[e.Name] = true
+					note(m, e.Name, accRead)
+				}
+				return
+			}
+			cp := make([]*ir.For, len(stack))
+			copy(cp, stack)
+			s.refs = append(s.refs, refInfo{ref: e, write: false, loops: cp})
+			for _, ix := range e.Index {
+				visitExpr(m, ix)
+			}
+		case *ir.Bin:
+			visitExpr(m, e.L)
+			visitExpr(m, e.R)
+		case *ir.Neg:
+			visitExpr(m, e.X)
+		case *ir.Call:
+			for _, a := range e.Args {
+				visitExpr(m, a)
+			}
+		}
+	}
+	visitStore := func(m accMap, r *ir.Ref) {
+		if r.IsScalar() {
+			if p.ScalarByName(r.Name) != nil {
+				s.scalarWrites[r.Name] = true
+				note(m, r.Name, accWrite)
+			}
+			return
+		}
+		cp := make([]*ir.For, len(stack))
+		copy(cp, stack)
+		s.refs = append(s.refs, refInfo{ref: r, write: true, loops: cp})
+		for _, ix := range r.Index {
+			visitExpr(m, ix)
+		}
+	}
+	var visitStmts func(ss []ir.Stmt, topLevel bool) accMap
+	visitStmts = func(ss []ir.Stmt, topLevel bool) accMap {
+		m := accMap{}
+		for _, st := range ss {
+			switch st := st.(type) {
+			case *ir.For:
+				visitExpr(m, st.Lo)
+				visitExpr(m, st.Hi)
+				stack = append(stack, st)
+				body := visitStmts(st.Body, false)
+				stack = stack[:len(stack)-1]
+				for name, a := range body {
+					if !topLevel && a == accWrite {
+						// An inner loop may be zero-trip while the
+						// partner nest's iteration still runs.
+						a = accMaybe
+					}
+					note(m, name, a)
+				}
+			case *ir.Assign:
+				visitExpr(m, st.RHS) // RHS evaluated before the store
+				visitStore(m, st.LHS)
+			case *ir.If:
+				visitExpr(m, st.Cond)
+				thenAcc := visitStmts(st.Then, false)
+				elseAcc := visitStmts(st.Else, false)
+				names := map[string]bool{}
+				for k := range thenAcc {
+					names[k] = true
+				}
+				for k := range elseAcc {
+					names[k] = true
+				}
+				for name := range names {
+					note(m, name, branchAcc(thenAcc[name], elseAcc[name]))
+				}
+			case *ir.ReadInput:
+				visitStore(m, st.Target)
+			case *ir.Print:
+				visitExpr(m, st.Arg)
+			}
+		}
+		return m
+	}
+	top := visitStmts(n.Body, true)
+	for name, a := range top {
+		s.scalarAcc[name] = a
+	}
+	return s
+}
+
+// Analyze computes all cross-nest dependences of the program.
+func Analyze(p *ir.Program) (*Info, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sums := make([]*nestSummary, len(p.Nests))
+	for i, n := range p.Nests {
+		sums[i] = summarize(p, n)
+	}
+	inf := &Info{NumNests: len(p.Nests)}
+	for a := 0; a < len(p.Nests); a++ {
+		for b := a + 1; b < len(p.Nests); b++ {
+			inf.Deps = append(inf.Deps, pairDeps(p, a, b, sums[a], sums[b])...)
+		}
+	}
+	return inf, nil
+}
+
+// pairDeps computes dependences from nest a to nest b (a earlier).
+func pairDeps(p *ir.Program, a, b int, sa, sb *nestSummary) []Dep {
+	type key struct {
+		name string
+		kind Kind
+	}
+	agg := map[key]*Dep{}
+	add := func(name string, isArray bool, kind Kind, preventing bool, reason string) {
+		k := key{name, kind}
+		d := agg[k]
+		if d == nil {
+			d = &Dep{From: a, To: b, Var: name, IsArray: isArray, Kind: kind}
+			agg[k] = d
+		}
+		if preventing && !d.Preventing {
+			d.Preventing = true
+			d.Reason = reason
+		}
+	}
+
+	// Array dependences: every pair of refs to the same array with at
+	// least one write.
+	for _, ra := range sa.refs {
+		for _, rb := range sb.refs {
+			if ra.ref.Name != rb.ref.Name || (!ra.write && !rb.write) {
+				continue
+			}
+			kind := Output
+			switch {
+			case ra.write && !rb.write:
+				kind = Flow
+			case !ra.write && rb.write:
+				kind = Anti
+			}
+			exists, preventing, reason := refPair(p, ra, rb)
+			if !exists {
+				continue
+			}
+			add(ra.ref.Name, true, kind, preventing, reason)
+		}
+	}
+
+	// Scalar dependences, judged by each nest's access summary:
+	//   flow:   b may read a's value only if some path in b reads the
+	//           scalar before writing it (accRead);
+	//   output: interleaved writes change the final value unless b
+	//           definitely rewrites the scalar (accWrite);
+	//   anti:   b's writes can clobber values a still needs only if a
+	//           may read the scalar before (re)writing it (accRead).
+	for name := range sa.scalarWrites {
+		if sb.scalarReads[name] && sb.accOf(name) == accRead {
+			add(name, false, Flow, true,
+				fmt.Sprintf("scalar %q defined by earlier loop may be consumed before redefinition", name))
+		}
+		if sb.scalarWrites[name] && sb.accOf(name) != accWrite {
+			add(name, false, Output, true,
+				fmt.Sprintf("scalar %q written by both loops without a definite redefinition", name))
+		}
+	}
+	for name := range sa.scalarReads {
+		if sb.scalarWrites[name] && sa.accOf(name) == accRead {
+			add(name, false, Anti, true,
+				fmt.Sprintf("scalar %q read by earlier loop would be overwritten by later loop", name))
+		}
+	}
+
+	out := make([]Dep, 0, len(agg))
+	for _, d := range agg {
+		out = append(out, *d)
+	}
+	// Deterministic order.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Var < out[i].Var || (out[j].Var == out[i].Var && out[j].Kind < out[i].Kind) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// distance is one per-loop-variable dependence distance.
+type distance struct {
+	known bool  // false = unconstrained ("*")
+	d     int64 // valid when known
+}
+
+// refPair decides whether a dependence exists between two references
+// and whether it prevents fusion, using per-dimension affine distances.
+func refPair(p *ir.Program, ra, rb refInfo) (exists, preventing bool, reason string) {
+	// Map rb's loop variables to ra's by nesting position.
+	rename := map[string]string{}
+	for i := 0; i < len(ra.loops) && i < len(rb.loops); i++ {
+		rename[rb.loops[i].Var] = ra.loops[i].Var
+	}
+	// Per-variable distances, indexed by ra loop var.
+	dist := map[string]distance{}
+	for _, f := range ra.loops {
+		dist[f.Var] = distance{} // unconstrained until a dimension pins it
+	}
+
+	for k := range ra.ref.Index {
+		affA, okA := ir.AffineOf(ra.ref.Index[k], p.Consts)
+		affB, okB := ir.AffineOf(rb.ref.Index[k], p.Consts)
+		if !okA || !okB {
+			return true, true, fmt.Sprintf("non-affine subscript in %s or %s",
+				ir.ExprString(ra.ref), ir.ExprString(rb.ref))
+		}
+		affB = renameAffine(affB, rename)
+		delta := affA.Sub(affB)
+		varsA := affA.Vars()
+		switch {
+		case len(varsA) == 0 && delta.IsConst():
+			if delta.Const != 0 {
+				// Distinct constant elements in this dimension: the two
+				// references can never touch the same element.
+				return false, false, ""
+			}
+		case len(varsA) == 1 && delta.IsConst():
+			v := varsA[0]
+			c := affA.Coeff(v)
+			if affB.Coeff(v) != c {
+				return true, true, fmt.Sprintf("mismatched coefficients of %s in %s vs %s",
+					v, ir.ExprString(ra.ref), ir.ExprString(rb.ref))
+			}
+			if c == 0 || delta.Const%c != 0 {
+				if c != 0 {
+					return false, false, "" // distance not integral: disjoint elements
+				}
+				return true, true, "zero coefficient with varying subscript"
+			}
+			d := delta.Const / c
+			if prev, ok := dist[v]; ok && prev.known && prev.d != d {
+				// Two dimensions demand different distances: no common
+				// solution, so no dependence from this pair.
+				return false, false, ""
+			}
+			if _, ok := dist[v]; !ok {
+				// Variable not a loop of ra (e.g. unmapped extra loop):
+				// conservative.
+				return true, true, fmt.Sprintf("subscript variable %s outside the common loop nest", v)
+			}
+			dist[v] = distance{known: true, d: d}
+		default:
+			return true, true, fmt.Sprintf("unanalyzable subscript pair %s vs %s",
+				ir.ExprString(ra.ref), ir.ExprString(rb.ref))
+		}
+	}
+
+	// Fusion merges only the outermost loops of the two nests, so
+	// legality is decided by the outer-loop distance alone: with
+	// distance d, the earlier nest's body at fused iteration j runs
+	// before the later nest's body at iteration j+d. d >= 0 keeps every
+	// source before its sink (d == 0 is legal because the earlier
+	// nest's statements are placed first in the fused body); d < 0
+	// reverses the dependence; an unconstrained distance ("*", the
+	// outer variable absent from the subscripts) spans negative values
+	// and is conservatively illegal.
+	if len(ra.loops) == 0 {
+		return true, false, "" // straight-line reference: ordering preserved
+	}
+	outer := ra.loops[0].Var
+	dv := dist[outer]
+	switch {
+	case !dv.known:
+		return true, true, fmt.Sprintf("dependence distance for outer loop %s unconstrained", outer)
+	case dv.d < 0:
+		return true, true, fmt.Sprintf("backward dependence distance %d on outer loop %s", dv.d, outer)
+	default:
+		return true, false, ""
+	}
+}
+
+func renameAffine(a *ir.Affine, rename map[string]string) *ir.Affine {
+	out := ir.NewAffine(a.Const)
+	for v, c := range a.Coeffs {
+		if nv, ok := rename[v]; ok {
+			out.Coeffs[nv] += c
+		} else {
+			out.Coeffs[v] += c
+		}
+	}
+	return out
+}
+
+// FusibleLoop returns the nest's unique top-level for-loop, allowing
+// straight-line prefix/suffix statements around it (like Figure 7's
+// "sum = 0" before the loop and "print sum" after), or nil if the nest
+// has zero or several top-level loops.
+func FusibleLoop(n *ir.Nest) *ir.For {
+	var loop *ir.For
+	for _, s := range n.Body {
+		if f, ok := s.(*ir.For); ok {
+			if loop != nil {
+				return nil
+			}
+			loop = f
+		}
+	}
+	return loop
+}
+
+// Conformable reports whether two nests have outer loops with equal
+// bounds and step, making them direct fusion candidates.
+func Conformable(p *ir.Program, a, b *ir.Nest) bool {
+	fa, fb := FusibleLoop(a), FusibleLoop(b)
+	if fa == nil || fb == nil {
+		return false
+	}
+	if fa.StepOr1() != fb.StepOr1() {
+		return false
+	}
+	loA, okA := ir.AffineOf(fa.Lo, p.Consts)
+	loB, okB := ir.AffineOf(fb.Lo, p.Consts)
+	hiA, okC := ir.AffineOf(fa.Hi, p.Consts)
+	hiB, okD := ir.AffineOf(fb.Hi, p.Consts)
+	if !okA || !okB || !okC || !okD {
+		return false
+	}
+	return loA.Equal(loB) && hiA.Equal(hiB)
+}

@@ -1,0 +1,448 @@
+package deps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func analyze(t *testing.T, src string) *Info {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inf
+}
+
+func TestFlowDependenceSameIndex(t *testing.T) {
+	// L1 writes a[i], L2 reads a[i]: flow dep, distance 0, fusable.
+	inf := analyze(t, `
+program t
+const N = 16
+array a[N]
+array b[N]
+loop L1 { for i = 0, N-1 { a[i] = i } }
+loop L2 { for i = 0, N-1 { b[i] = a[i] } }
+`)
+	ds := inf.DepsBetween(0, 1)
+	if len(ds) != 1 || ds[0].Kind != Flow || ds[0].Var != "a" {
+		t.Fatalf("deps = %+v", ds)
+	}
+	if ds[0].Preventing {
+		t.Fatalf("distance-0 flow dep must be fusable: %s", ds[0].Reason)
+	}
+}
+
+func TestForwardDistanceFusable(t *testing.T) {
+	// L2 reads a[i-1]: consumer looks backward; distance +1, legal.
+	inf := analyze(t, `
+program t
+const N = 16
+array a[N]
+array b[N]
+loop L1 { for i = 0, N-1 { a[i] = i } }
+loop L2 { for i = 1, N-1 { b[i] = a[i-1] } }
+`)
+	ds := inf.DepsBetween(0, 1)
+	if len(ds) != 1 || ds[0].Preventing {
+		t.Fatalf("deps = %+v", ds)
+	}
+}
+
+func TestBackwardDistancePrevents(t *testing.T) {
+	// L2 reads a[i+1]: at fused iteration i it would need a value the
+	// first loop has not produced yet — fusion-preventing.
+	inf := analyze(t, `
+program t
+const N = 16
+array a[N]
+array b[N]
+loop L1 { for i = 0, N-1 { a[i] = i } }
+loop L2 { for i = 0, N-2 { b[i] = a[i+1] } }
+`)
+	ds := inf.DepsBetween(0, 1)
+	if len(ds) != 1 || !ds[0].Preventing {
+		t.Fatalf("deps = %+v", ds)
+	}
+	if !strings.Contains(ds[0].Reason, "backward") {
+		t.Fatalf("reason = %q", ds[0].Reason)
+	}
+}
+
+func TestAntiDependence(t *testing.T) {
+	// L1 reads a[i+1], L2 overwrites a[i]: anti with distance +1, legal.
+	inf := analyze(t, `
+program t
+const N = 16
+array a[N]
+array b[N]
+loop L1 { for i = 0, N-2 { b[i] = a[i+1] } }
+loop L2 { for i = 0, N-1 { a[i] = 0 } }
+`)
+	ds := inf.DepsBetween(0, 1)
+	if len(ds) != 1 || ds[0].Kind != Anti {
+		t.Fatalf("deps = %+v", ds)
+	}
+	if ds[0].Preventing {
+		t.Fatal("forward anti dependence should be fusable")
+	}
+}
+
+func TestAntiBackwardPrevents(t *testing.T) {
+	// L1 reads a[i], L2 writes a[i+1]: element a[e] read at e, written
+	// at e-1 — fused, the write at iteration e-1 precedes the read at e.
+	inf := analyze(t, `
+program t
+const N = 16
+array a[N]
+array b[N]
+loop L1 { for i = 0, N-1 { b[i] = a[i] } }
+loop L2 { for i = 0, N-2 { a[i+1] = 7 } }
+`)
+	ds := inf.DepsBetween(0, 1)
+	if len(ds) != 1 || ds[0].Kind != Anti || !ds[0].Preventing {
+		t.Fatalf("deps = %+v", ds)
+	}
+}
+
+func TestOutputDependence(t *testing.T) {
+	inf := analyze(t, `
+program t
+const N = 16
+array a[N]
+loop L1 { for i = 0, N-1 { a[i] = 1 } }
+loop L2 { for i = 0, N-1 { a[i] = 2 } }
+`)
+	ds := inf.DepsBetween(0, 1)
+	if len(ds) != 1 || ds[0].Kind != Output || ds[0].Preventing {
+		t.Fatalf("deps = %+v", ds)
+	}
+}
+
+func TestDisjointConstantElements(t *testing.T) {
+	// a[0] vs a[1]: never the same element — no dependence.
+	inf := analyze(t, `
+program t
+array a[4]
+scalar s
+loop L1 { a[0] = 1 }
+loop L2 { s = a[1] }
+`)
+	if len(inf.DepsBetween(0, 1)) != 0 {
+		t.Fatalf("deps = %+v", inf.DepsBetween(0, 1))
+	}
+}
+
+func TestNoSharedArrays(t *testing.T) {
+	inf := analyze(t, `
+program t
+const N = 8
+array a[N]
+array b[N]
+loop L1 { for i = 0, N-1 { a[i] = 1 } }
+loop L2 { for i = 0, N-1 { b[i] = 1 } }
+`)
+	if inf.HasDep(0, 1) {
+		t.Fatal("independent loops must have no dependence")
+	}
+}
+
+func TestReadReadNoDependence(t *testing.T) {
+	inf := analyze(t, `
+program t
+const N = 8
+array a[N]
+array b[N]
+array c[N]
+loop L1 { for i = 0, N-1 { b[i] = a[i] } }
+loop L2 { for i = 0, N-1 { c[i] = a[i] } }
+`)
+	for _, d := range inf.DepsBetween(0, 1) {
+		if d.Var == "a" {
+			t.Fatal("read-read is not a dependence")
+		}
+	}
+}
+
+func TestInnerVarOnlySubscriptPrevents(t *testing.T) {
+	// a[i] written under loops (j,i): outer distance unconstrained.
+	inf := analyze(t, `
+program t
+const N = 8
+array a[N]
+array b[N,N]
+loop L1 {
+  for j = 0, N-1 {
+    for i = 0, N-1 { a[i] = a[i] + b[i,j] }
+  }
+}
+loop L2 {
+  for j = 0, N-1 {
+    for i = 0, N-1 { b[i,j] = a[i] }
+  }
+}
+`)
+	found := false
+	for _, d := range inf.DepsBetween(0, 1) {
+		if d.Var == "a" && d.Preventing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unconstrained outer distance must prevent fusion: %+v", inf.DepsBetween(0, 1))
+	}
+}
+
+func TestTwoDimDistanceLegal(t *testing.T) {
+	// b[i,j] written and read at identical subscripts under (j,i).
+	inf := analyze(t, `
+program t
+const N = 8
+array b[N,N]
+array c[N,N]
+loop L1 {
+  for j = 0, N-1 {
+    for i = 0, N-1 { b[i,j] = 1 }
+  }
+}
+loop L2 {
+  for j = 0, N-1 {
+    for i = 0, N-1 { c[i,j] = b[i,j] }
+  }
+}
+`)
+	ds := inf.DepsBetween(0, 1)
+	if len(ds) != 1 || ds[0].Preventing {
+		t.Fatalf("deps = %+v", ds)
+	}
+}
+
+func TestTwoDimBackwardOuterPrevents(t *testing.T) {
+	// Reader needs column j+1: backward outer distance.
+	inf := analyze(t, `
+program t
+const N = 8
+array b[N,N]
+array c[N,N]
+loop L1 {
+  for j = 0, N-1 {
+    for i = 0, N-1 { b[i,j] = 1 }
+  }
+}
+loop L2 {
+  for j = 0, N-2 {
+    for i = 0, N-1 { c[i,j] = b[i,j+1] }
+  }
+}
+`)
+	ds := inf.DepsBetween(0, 1)
+	if len(ds) != 1 || !ds[0].Preventing {
+		t.Fatalf("deps = %+v", ds)
+	}
+}
+
+func TestInnerBackwardDistanceStillFusable(t *testing.T) {
+	// Outer distance 0, inner distance -1: legal for outer-loop fusion
+	// because within one fused outer iteration the first nest's inner
+	// loop completes before the second nest's.
+	inf := analyze(t, `
+program t
+const N = 8
+array b[N,N]
+array c[N,N]
+loop L1 {
+  for j = 0, N-1 {
+    for i = 0, N-2 { b[i,j] = 1 }
+  }
+}
+loop L2 {
+  for j = 0, N-1 {
+    for i = 0, N-2 { c[i,j] = b[i+1,j] }
+  }
+}
+`)
+	ds := inf.DepsBetween(0, 1)
+	if len(ds) != 1 {
+		t.Fatalf("deps = %+v", ds)
+	}
+	if ds[0].Preventing {
+		t.Fatalf("inner-only backward distance should not prevent outer fusion: %s", ds[0].Reason)
+	}
+}
+
+func TestScalarFlowPrevents(t *testing.T) {
+	// Figure 4's loop5 -> loop6 pattern: sum produced by one loop,
+	// consumed by the next.
+	inf := analyze(t, `
+program t
+const N = 8
+array a[N]
+array b[N]
+scalar sum
+loop L5 { for i = 0, N-1 { sum = sum + a[i] } }
+loop L6 { for i = 0, N-1 { b[i] = b[i] + sum } }
+`)
+	ds := inf.DepsBetween(0, 1)
+	if len(ds) == 0 {
+		t.Fatal("scalar flow dependence missed")
+	}
+	prevented := false
+	for _, d := range ds {
+		if d.Var == "sum" && d.Kind == Flow && d.Preventing {
+			prevented = true
+		}
+	}
+	if !prevented {
+		t.Fatalf("scalar flow must prevent fusion: %+v", ds)
+	}
+}
+
+func TestPrivateScalarDoesNotPrevent(t *testing.T) {
+	// Both loops use t as an iteration-private temporary, redefined
+	// before use: no dependence.
+	inf := analyze(t, `
+program x
+const N = 8
+array a[N]
+array b[N]
+scalar t
+loop L1 { for i = 0, N-1 { t = a[i] * 2
+  a[i] = t } }
+loop L2 { for i = 0, N-1 { t = b[i] * 3
+  b[i] = t } }
+`)
+	for _, d := range inf.DepsBetween(0, 1) {
+		if d.Var == "t" && d.Preventing {
+			t.Fatalf("private scalar should not prevent fusion: %+v", d)
+		}
+	}
+}
+
+func TestScalarInitPrefixMakesPrivate(t *testing.T) {
+	// Figure 7 shape: the second nest re-initializes sum before its
+	// loop, so the scalar does not link the nests.
+	inf := analyze(t, `
+program t
+const N = 8
+array res[N]
+array data[N]
+scalar sum
+loop L1 { for i = 0, N-1 { res[i] = res[i] + data[i] } }
+loop L2 {
+  sum = 0
+  for i = 0, N-1 { sum = sum + res[i] }
+  print sum
+}
+`)
+	for _, d := range inf.DepsBetween(0, 1) {
+		if d.Var == "sum" {
+			t.Fatalf("re-initialized scalar created dependence: %+v", d)
+		}
+	}
+	// The res flow dependence must exist and be fusable.
+	var resDep *Dep
+	for i, d := range inf.DepsBetween(0, 1) {
+		if d.Var == "res" {
+			resDep = &inf.DepsBetween(0, 1)[i]
+		}
+	}
+	if resDep == nil || resDep.Preventing {
+		t.Fatalf("res dependence wrong: %+v", inf.DepsBetween(0, 1))
+	}
+}
+
+func TestConditionalWriteNotDominating(t *testing.T) {
+	// The second nest writes s only under a condition, then reads it:
+	// not def-before-use, so the earlier definition flows in.
+	inf := analyze(t, `
+program t
+const N = 8
+array a[N]
+scalar s
+loop L1 { for i = 0, N-1 { s = s + a[i] } }
+loop L2 {
+  for i = 0, N-1 {
+    if a[i] > 0 { s = 0 }
+    a[i] = s
+  }
+}
+`)
+	prevented := false
+	for _, d := range inf.DepsBetween(0, 1) {
+		if d.Var == "s" && d.Preventing {
+			prevented = true
+		}
+	}
+	if !prevented {
+		t.Fatal("conditionally-defined scalar must stay a dependence")
+	}
+}
+
+func TestNonAffineSubscriptPrevents(t *testing.T) {
+	inf := analyze(t, `
+program t
+const N = 8
+array a[N,N]
+array b[N]
+loop L1 { for i = 0, N-1 { a[i, mod(i,2)] = 1 } }
+loop L2 { for i = 0, N-1 { b[i] = a[i,0] } }
+`)
+	ds := inf.DepsBetween(0, 1)
+	if len(ds) != 1 || !ds[0].Preventing {
+		t.Fatalf("non-affine subscript must conservatively prevent: %+v", ds)
+	}
+}
+
+func TestConformable(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+array b[N]
+loop L1 { for i = 0, N-1 { a[i] = 1 } }
+loop L2 { for j = 0, N-1 { b[j] = 1 } }
+loop L3 { for i = 1, N-1 { a[i] = 1 } }
+loop L4 { for i = 0, N-1 step 2 { a[i] = 1 } }
+loop L5 { a[0] = 1 }
+`)
+	if !Conformable(p, p.Nests[0], p.Nests[1]) {
+		t.Fatal("same bounds, different var names: conformable")
+	}
+	if Conformable(p, p.Nests[0], p.Nests[2]) {
+		t.Fatal("different lower bound: not conformable")
+	}
+	if Conformable(p, p.Nests[0], p.Nests[3]) {
+		t.Fatal("different step: not conformable")
+	}
+	if Conformable(p, p.Nests[0], p.Nests[4]) {
+		t.Fatal("no outer loop: not conformable")
+	}
+}
+
+func TestTransitiveThreeNests(t *testing.T) {
+	inf := analyze(t, `
+program t
+const N = 8
+array a[N]
+array b[N]
+array c[N]
+loop L1 { for i = 0, N-1 { a[i] = 1 } }
+loop L2 { for i = 0, N-1 { b[i] = a[i] } }
+loop L3 { for i = 0, N-1 { c[i] = b[i] } }
+`)
+	if !inf.HasDep(0, 1) || !inf.HasDep(1, 2) {
+		t.Fatal("chain dependences missing")
+	}
+	if inf.HasDep(0, 2) {
+		t.Fatal("no direct dependence between L1 and L3")
+	}
+	if inf.NumNests != 3 {
+		t.Fatal("NumNests wrong")
+	}
+}

@@ -1,0 +1,307 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim"
+)
+
+// Differential tests: the closure compiler and the tree-walking
+// interpreter must agree exactly — on results, on flop counts, and on
+// every simulator counter.
+
+func runBoth(t *testing.T, src string) (*Result, *Result, *sim.Hierarchy, *sim.Hierarchy) {
+	t.Helper()
+	p := lang.MustParse(src)
+	h1, h2 := tinyHierarchy(), tinyHierarchy()
+	r1, err := Run(p, h1)
+	if err != nil {
+		t.Fatalf("interpreter: %v", err)
+	}
+	cp, err := Compile(p)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	r2, err := cp.Run(h2)
+	if err != nil {
+		t.Fatalf("compiled run: %v", err)
+	}
+	return r1, r2, h1, h2
+}
+
+// sameFloats compares slices treating NaN as equal to NaN (results may
+// legitimately contain NaN; bit-identical behaviour is what we verify).
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func assertSame(t *testing.T, r1, r2 *Result, h1, h2 *sim.Hierarchy) {
+	t.Helper()
+	if !sameFloats(r1.Prints, r2.Prints) {
+		t.Fatalf("prints differ: %v vs %v", r1.Prints, r2.Prints)
+	}
+	for k, v := range r1.Scalars {
+		w, ok := r2.Scalars[k]
+		if !ok || (v != w && !(math.IsNaN(v) && math.IsNaN(w))) {
+			t.Fatalf("scalar %s differs: %v vs %v", k, v, w)
+		}
+	}
+	if r1.Flops != r2.Flops {
+		t.Fatalf("flops differ: %d vs %d", r1.Flops, r2.Flops)
+	}
+	if h1 != nil {
+		if !reflect.DeepEqual(h1.ChannelBytes(), h2.ChannelBytes()) {
+			t.Fatalf("traffic differs: %v vs %v", h1.ChannelBytes(), h2.ChannelBytes())
+		}
+		for lvl := 0; lvl < h1.Levels(); lvl++ {
+			if h1.LevelStats(lvl) != h2.LevelStats(lvl) {
+				t.Fatalf("level %d stats differ: %+v vs %+v", lvl, h1.LevelStats(lvl), h2.LevelStats(lvl))
+			}
+		}
+	}
+}
+
+func TestCompiledMatchesInterpreterBasic(t *testing.T) {
+	r1, r2, h1, h2 := runBoth(t, `
+program t
+const N = 64
+array a[N]
+array b[N]
+scalar s
+loop L1 {
+  for i = 0, N-1 { read a[i] }
+}
+loop L2 {
+  for i = 0, N-1 {
+    if i >= 1 {
+      b[i] = a[i] + a[i-1]
+    } else {
+      b[i] = a[i]
+    }
+  }
+}
+loop L3 {
+  s = 0
+  for i = 0, N-1 { s = s + b[i] * 0.5 }
+  print s
+  print f(s, 2) + g(1, s) + sqrt(s) + abs(s) + min(s,1) + max(s,1) + mod(s,3) + sin(s) + cos(s)
+}
+`)
+	assertSame(t, r1, r2, h1, h2)
+}
+
+func TestCompiledMatchesInterpreterScalarIndices(t *testing.T) {
+	r1, r2, h1, h2 := runBoth(t, `
+program t
+array a[16]
+scalar r
+scalar tmp
+loop L1 {
+  for i = 0, 15 { a[i] = i * i }
+}
+loop L2 {
+  r = 15
+  for i = 0, 7 {
+    tmp = a[i]
+    a[i] = a[r]
+    a[r] = tmp
+    r = r - 1
+  }
+}
+loop L3 { print a[0] + a[15] }
+`)
+	assertSame(t, r1, r2, h1, h2)
+}
+
+func TestCompiledErrorsMatchInterpreter(t *testing.T) {
+	cases := []string{
+		"program t\narray a[4]\nloop L1 { a[9] = 1 }",
+		"program t\narray a[4]\nscalar z\nloop L1 { z = 0\n a[1/z] = 1 }",
+		"program t\nscalar s\nloop L1 { s = zap(1) }",
+		"program t\nscalar s\nloop L1 { s = f(1) }",
+	}
+	for _, src := range cases {
+		p := lang.MustParse(src)
+		_, err1 := Run(p, nil)
+		cp, cerr := Compile(p)
+		var err2 error
+		if cerr == nil {
+			_, err2 = cp.Run(nil)
+		} else {
+			err2 = cerr
+		}
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error divergence on %q: interp=%v compiled=%v", src, err1, err2)
+		}
+		if err1 == nil {
+			t.Fatalf("case should fail: %q", src)
+		}
+	}
+}
+
+func TestCompileRejectsInvalidPrograms(t *testing.T) {
+	p := ir.NewProgram("bad")
+	p.AddNest("L1", ir.Let(ir.S("ghost"), ir.N(1)))
+	if _, err := Compile(p); err == nil {
+		t.Fatal("invalid program compiled")
+	}
+}
+
+func TestCompiledReusable(t *testing.T) {
+	// One Compiled can run many times with fresh state each time.
+	p := lang.MustParse(`
+program t
+array a[8]
+scalar s
+loop L1 {
+  for i = 0, 7 { a[i] = a[i] + 1
+    s = s + a[i] }
+  print s
+}
+`)
+	cp, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := cp.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cp.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Prints[0] != r2.Prints[0] {
+		t.Fatalf("state leaked between runs: %v vs %v", r1.Prints[0], r2.Prints[0])
+	}
+}
+
+// Property: random programs agree between engines, including on the
+// cache simulator.
+func TestCompiledDifferentialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomExecProgram(rng)
+		h1, h2 := tinyHierarchy(), tinyHierarchy()
+		r1, err1 := Run(p, h1)
+		cp, cerr := Compile(p)
+		if cerr != nil {
+			return err1 != nil
+		}
+		r2, err2 := cp.Run(h2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("error divergence: %v vs %v\n%s", err1, err2, p)
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if !sameFloats(r1.Prints, r2.Prints) || r1.Flops != r2.Flops {
+			t.Logf("result divergence\n%s", p)
+			return false
+		}
+		return reflect.DeepEqual(h1.ChannelBytes(), h2.ChannelBytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomExecProgram builds a random program exercising most node kinds.
+func randomExecProgram(rng *rand.Rand) *ir.Program {
+	n := 8 + rng.Intn(24)
+	p := ir.NewProgram("rnd")
+	p.DeclareConst("N", int64(n))
+	p.DeclareArray("a", n)
+	p.DeclareArray("b", n)
+	p.DeclareScalar("s")
+	hi := ir.SubE(ir.V("N"), ir.N(1))
+	var gen func(d int) ir.Expr
+	gen = func(d int) ir.Expr {
+		if d <= 0 || rng.Intn(3) == 0 {
+			switch rng.Intn(4) {
+			case 0:
+				return ir.N(float64(rng.Intn(7)) / 2)
+			case 1:
+				return ir.V("i")
+			case 2:
+				return ir.V("s")
+			default:
+				return ir.At("a", ir.V("i"))
+			}
+		}
+		ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Lt, ir.Le, ir.Gt, ir.Ge, ir.Eq, ir.Ne, ir.And, ir.Or}
+		switch rng.Intn(6) {
+		case 0:
+			return &ir.Neg{X: gen(d - 1)}
+		case 1:
+			return ir.CallE([]string{"abs", "sqrt", "sin", "cos"}[rng.Intn(4)], gen(d-1))
+		case 2:
+			return ir.CallE([]string{"f", "g", "min", "max"}[rng.Intn(4)], gen(d-1), gen(d-1))
+		default:
+			op := ops[rng.Intn(len(ops))]
+			return &ir.Bin{Op: op, L: gen(d - 1), R: gen(d - 1)}
+		}
+	}
+	p.AddNest("Init", ir.Loop("i", ir.N(0), hi, ir.Input(ir.At("a", ir.V("i")))))
+	var body []ir.Stmt
+	body = append(body, ir.Let(ir.At("b", ir.V("i")), gen(3)))
+	if rng.Intn(2) == 0 {
+		body = append(body, ir.When(gen(2), ir.Let(ir.S("s"), gen(2))))
+	}
+	body = append(body, ir.Acc(ir.S("s"), ir.At("b", ir.V("i"))))
+	p.AddNest("Work", ir.Loop("i", ir.N(0), hi, body...), ir.Show(ir.V("s")))
+	return p
+}
+
+func TestCompiledFaster(t *testing.T) {
+	// Not a strict benchmark, just a sanity check that compilation
+	// produces a working large-run engine (speed measured in
+	// BenchmarkCompiledExecutor at the repo root).
+	p := lang.MustParse(`
+program t
+const N = 50000
+array a[N]
+scalar s
+loop L1 { for i = 0, N-1 { s = s + a[i] } }
+`)
+	cp, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompiledNaNHandling(t *testing.T) {
+	// NaN comparisons must behave identically in both engines.
+	src := `
+program t
+scalar s
+scalar nanv
+loop L1 {
+  nanv = (0.0 / 0.0)
+  if nanv == nanv { s = 1 } else { s = 2 }
+  print s
+}
+`
+	r1, r2, _, _ := runBoth(t, src)
+	if math.IsNaN(r1.Prints[0]) || r1.Prints[0] != r2.Prints[0] {
+		t.Fatalf("NaN divergence: %v vs %v", r1.Prints, r2.Prints)
+	}
+}

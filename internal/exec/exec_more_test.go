@@ -1,0 +1,277 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim"
+)
+
+// Additional executor tests: integer-context evaluation, scalar-driven
+// indexing (the FFT pattern), error paths, and logical operators.
+
+func TestScalarDrivenIndexing(t *testing.T) {
+	// Swap via scalar index, as the FFT bit-reversal does.
+	r, _ := run(t, `
+program t
+array a[8]
+scalar ridx
+scalar tmp
+loop L1 {
+  for i = 0, 7 { a[i] = i }
+}
+loop L2 {
+  ridx = 7
+  for i = 0, 3 {
+    tmp = a[i]
+    a[i] = a[ridx]
+    a[ridx] = tmp
+    ridx = ridx - 1
+  }
+}
+loop L3 { print a[0] + a[7] * 10 }
+`)
+	if r.Prints[0] != 7 { // a[0]=7, a[7]=0 after reversal
+		t.Fatalf("got %v, want 7", r.Prints[0])
+	}
+}
+
+func TestScalarBoundsLoop(t *testing.T) {
+	// Loop bounds from scalar values (FFT's stage loop).
+	r, _ := run(t, `
+program t
+scalar len
+scalar s
+loop L1 {
+  len = 2
+  for stage = 1, 3 {
+    for g = 0, 8 / len - 1 { s = s + 1 }
+    len = len * 2
+  }
+  print s
+}
+`)
+	// stages: len=2 -> 4 iters, len=4 -> 2, len=8 -> 1: total 7.
+	if r.Prints[0] != 7 {
+		t.Fatalf("got %v, want 7", r.Prints[0])
+	}
+}
+
+func TestNonIntegerScalarIndexError(t *testing.T) {
+	p := lang.MustParse(`
+program t
+array a[4]
+scalar x
+loop L1 {
+  x = 0.5
+  a[x] = 1
+}
+`)
+	if _, err := Run(p, nil); err == nil || !strings.Contains(err.Error(), "non-integer") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNonIntegerLiteralIndexError(t *testing.T) {
+	p := ir.NewProgram("t")
+	p.DeclareArray("a", 4)
+	p.AddNest("L1", ir.Let(ir.At("a", ir.N(1.5)), ir.N(1)))
+	if _, err := Run(p, nil); err == nil {
+		t.Fatal("fractional literal index accepted")
+	}
+}
+
+func TestIntegerDivisionByZero(t *testing.T) {
+	p := lang.MustParse(`
+program t
+array a[4]
+scalar z
+loop L1 {
+  z = 0
+  a[4 / z] = 1
+}
+`)
+	if _, err := Run(p, nil); err == nil || !strings.Contains(err.Error(), "zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestModInIntegerContext(t *testing.T) {
+	r, _ := run(t, `
+program t
+array a[4]
+scalar s
+loop L1 {
+  for i = 0, 7 { a[mod(i, 4)] = i }
+}
+loop L2 { print a[0] + a[3] }
+`)
+	if r.Prints[0] != 11 { // a[0]=4, a[3]=7
+		t.Fatalf("got %v", r.Prints[0])
+	}
+}
+
+func TestModByZeroInIndex(t *testing.T) {
+	p := lang.MustParse(`
+program t
+array a[4]
+scalar z
+loop L1 {
+  z = 0
+  a[mod(3, z)] = 1
+}
+`)
+	if _, err := Run(p, nil); err == nil {
+		t.Fatal("mod-by-zero index accepted")
+	}
+}
+
+func TestComparisonResults(t *testing.T) {
+	r, _ := run(t, `
+program t
+scalar s
+loop L1 {
+  s = (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (1 == 1) + (1 != 1)
+  print s
+}
+`)
+	if r.Prints[0] != 4 {
+		t.Fatalf("got %v, want 4", r.Prints[0])
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	r, _ := run(t, `
+program t
+scalar s
+loop L1 {
+  if 1 > 0 && 2 > 1 { s = s + 1 }
+  if 1 > 0 || 0 > 1 { s = s + 10 }
+  if 0 > 1 && 1 > 0 { s = s + 100 }
+  if 0 > 1 || 0 > 2 { s = s + 1000 }
+  print s
+}
+`)
+	if r.Prints[0] != 11 {
+		t.Fatalf("got %v, want 11", r.Prints[0])
+	}
+}
+
+func TestNegationAndUnaryChains(t *testing.T) {
+	r, _ := run(t, `
+program t
+scalar s
+loop L1 {
+  s = -3 + - - 2
+  print s
+}
+`)
+	if r.Prints[0] != -1 {
+		t.Fatalf("got %v, want -1", r.Prints[0])
+	}
+}
+
+func TestLoopVarAsFloatValue(t *testing.T) {
+	r, _ := run(t, `
+program t
+scalar s
+loop L1 {
+  for i = 0, 3 { s = s + i * 0.5 }
+  print s
+}
+`)
+	if r.Prints[0] != 3 {
+		t.Fatalf("got %v, want 3", r.Prints[0])
+	}
+}
+
+func TestConstInFloatContext(t *testing.T) {
+	r, _ := run(t, `
+program t
+const K = 7
+scalar s
+loop L1 {
+  s = K * 2
+  print s
+}
+`)
+	if r.Prints[0] != 14 {
+		t.Fatalf("got %v", r.Prints[0])
+	}
+}
+
+func TestSinCosIntrinsics(t *testing.T) {
+	r, _ := run(t, `
+program t
+loop L1 {
+  print sin(0)
+  print cos(0)
+}
+`)
+	if r.Prints[0] != 0 || r.Prints[1] != 1 {
+		t.Fatalf("got %v", r.Prints)
+	}
+}
+
+func TestCallNotAllowedInIndex(t *testing.T) {
+	p := lang.MustParse(`
+program t
+array a[4]
+loop L1 { a[sqrt(4)] = 1 }
+`)
+	if _, err := Run(p, nil); err == nil {
+		t.Fatal("non-mod call in index accepted")
+	}
+}
+
+func TestNestErrorIsLabelled(t *testing.T) {
+	p := lang.MustParse(`
+program t
+array a[4]
+loop Boom { a[9] = 1 }
+`)
+	_, err := Run(p, nil)
+	if err == nil || !strings.Contains(err.Error(), "Boom") {
+		t.Fatalf("err %v should name the nest", err)
+	}
+}
+
+func TestValidationErrorSurfacesFromRun(t *testing.T) {
+	p := ir.NewProgram("bad")
+	p.AddNest("L1", ir.Let(ir.S("ghost"), ir.N(1)))
+	if _, err := Run(p, nil); err == nil {
+		t.Fatal("invalid program executed")
+	}
+}
+
+func TestWriteThroughEndToEnd(t *testing.T) {
+	// A program on a write-through hierarchy: every store goes to
+	// memory immediately; flush adds nothing.
+	p := lang.MustParse(`
+program t
+const N = 64
+array a[N]
+loop L1 {
+  for i = 0, N-1 { a[i] = i }
+}
+`)
+	h := mustWT()
+	if _, err := Run(p, h); err != nil {
+		t.Fatal(err)
+	}
+	if h.MemWrites == 0 {
+		t.Fatal("write-through produced no memory writes")
+	}
+	if h.LevelStats(0).Writebacks != 0 {
+		t.Fatal("write-through cache should have no writebacks")
+	}
+}
+
+func mustWT() *sim.Hierarchy {
+	return sim.MustHierarchy(
+		sim.CacheConfig{Name: "L1", Size: 1024, LineSize: 32, Assoc: 2, Policy: sim.WriteThrough},
+		sim.CacheConfig{Name: "L2", Size: 8192, LineSize: 64, Assoc: 2, Policy: sim.WriteThrough},
+	)
+}

@@ -1,0 +1,415 @@
+package fusion
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/lang"
+)
+
+// figure4 builds the paper's Figure 4 fusion graph: six loops, arrays
+// A,B,C,D,E,F (sum is scalar and therefore not a hyper-edge), a
+// fusion-preventing constraint between loops 5 and 6, and the
+// dependence 5 -> 6.
+func figure4() *Graph {
+	g := NewAbstract(6, "L1", "L2", "L3", "L4", "L5", "L6")
+	l := func(i int) int { return i - 1 }
+	g.AddArray("A", l(1), l(2), l(3), l(5))
+	g.AddArray("D", l(1), l(2), l(3), l(4))
+	g.AddArray("E", l(1), l(2), l(3), l(4))
+	g.AddArray("F", l(1), l(2), l(3), l(4))
+	g.AddArray("B", l(4), l(6))
+	g.AddArray("C", l(4), l(6))
+	g.AddPreventing(l(5), l(6))
+	g.AddDep(l(5), l(6))
+	return g
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := figure4()
+	if g.N != 6 || len(g.ArrayNames) != 6 {
+		t.Fatalf("N=%d arrays=%v", g.N, g.ArrayNames)
+	}
+	if !g.Prevented(4, 5) || !g.Prevented(5, 4) {
+		t.Fatal("preventing pair missing")
+	}
+	if !g.HasDep(4, 5) || g.HasDep(5, 4) {
+		t.Fatal("dep wrong")
+	}
+	if nodes := g.NodesOf("A"); !reflect.DeepEqual(nodes, []int{0, 1, 2, 4}) {
+		t.Fatalf("A nodes = %v", nodes)
+	}
+	if g.EdgeWeight(0, 1) != 4 { // loops 1,2 share A,D,E,F
+		t.Fatalf("edge weight = %d", g.EdgeWeight(0, 1))
+	}
+}
+
+func TestNoFusionCostFigure4(t *testing.T) {
+	// The paper: without fusion, the six loops access 20 arrays total.
+	if c := figure4().NoFusionCost(); c != 20 {
+		t.Fatalf("no-fusion cost = %d, want 20", c)
+	}
+}
+
+func TestFigure4BandwidthMinimal(t *testing.T) {
+	// The optimal fusion leaves loop 5 alone and fuses the rest: total
+	// memory transfer = 1 + 6 = 7 arrays.
+	g := figure4()
+	parts, cost, err := g.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 7 {
+		t.Fatalf("optimal cost = %d, want 7 (partition %v)", cost, parts)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("want 2 partitions, got %v", parts)
+	}
+	// One partition must be exactly {loop5}.
+	alone := -1
+	for _, grp := range parts {
+		if len(grp) == 1 && grp[0] == 4 {
+			alone = grp[0]
+		}
+	}
+	if alone != 4 {
+		t.Fatalf("loop 5 should be alone: %v", parts)
+	}
+}
+
+func TestFigure4EdgeWeightedIsWorse(t *testing.T) {
+	// The classical edge-weighted objective prefers fusing loops 1-5
+	// and leaving loop 6 alone (cross weight 2, between loop 4 and 6),
+	// but that plan loads 8 arrays — one more than bandwidth-minimal.
+	g := figure4()
+	ewParts, ewCost, err := g.EdgeWeightedOptimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ewCost != 2 {
+		t.Fatalf("edge-weighted optimum cross weight = %d, want 2 (%v)", ewCost, ewParts)
+	}
+	if got := g.Cost(ewParts); got != 8 {
+		t.Fatalf("edge-weighted plan loads %d arrays, want 8 (%v)", got, ewParts)
+	}
+	// And conversely, the bandwidth-minimal plan has a *higher*
+	// edge-weight (3), proving the two objectives genuinely diverge.
+	bwParts, _, err := g.Optimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ew := g.EdgeWeightCost(bwParts); ew != 3 {
+		t.Fatalf("bandwidth-minimal plan edge weight = %d, want 3", ew)
+	}
+}
+
+func TestFigure4TwoPartitionMatchesOptimal(t *testing.T) {
+	g := figure4()
+	parts, cut, err := g.TwoPartition(4, 5) // s=loop5, t=loop6
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cost(parts) != 7 {
+		t.Fatalf("two-partition cost = %d (%v)", g.Cost(parts), parts)
+	}
+	if len(cut) != 1 || cut[0] != "A" {
+		t.Fatalf("cut = %v, want [A]", cut)
+	}
+}
+
+func TestFigure4Heuristic(t *testing.T) {
+	g := figure4()
+	parts, err := g.Heuristic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cost(parts) != 7 {
+		t.Fatalf("heuristic cost = %d, want 7 (%v)", g.Cost(parts), parts)
+	}
+}
+
+func TestTwoPartitionRespectsDependence(t *testing.T) {
+	// s depends on x which depends on t is impossible; simpler: t -> s
+	// means s cannot be in the first partition: infeasible.
+	g := NewAbstract(2)
+	g.AddArray("A", 0, 1)
+	g.AddDep(1, 0)
+	if _, _, err := g.TwoPartition(0, 1); err == nil {
+		t.Fatal("dependence t->s must make s-first infeasible")
+	}
+	// The reverse orientation works.
+	if _, _, err := g.TwoPartition(1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPartitionDragsDependentNodes(t *testing.T) {
+	// 0 -> 1 -> 2, terminals 0 and 2: node 1 may go either side; array
+	// sharing decides. Arrays: X{0,1}, Y{1,2}: either side costs 1 cut.
+	g := NewAbstract(3)
+	g.AddArray("X", 0, 1)
+	g.AddArray("Y", 1, 2)
+	g.AddDep(0, 1)
+	g.AddDep(1, 2)
+	parts, cut, err := g.TwoPartition(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut) != 1 {
+		t.Fatalf("cut = %v", cut)
+	}
+	if err := g.Validate(parts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadPartitions(t *testing.T) {
+	g := figure4()
+	// Preventing pair together.
+	if err := g.Validate(Partition{{0, 1, 2, 3, 4, 5}}); err == nil {
+		t.Fatal("preventing pair fused")
+	}
+	// Node missing.
+	if err := g.Validate(Partition{{0, 1, 2, 3, 4}}); err == nil {
+		t.Fatal("missing node accepted")
+	}
+	// Node duplicated.
+	if err := g.Validate(Partition{{0, 0, 1, 2, 3}, {4, 5}}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	// Dependence reversed: 5 before... dep 4->5 so partition with 5
+	// (index 5) before 4 (index 4) is invalid.
+	if err := g.Validate(Partition{{5}, {0, 1, 2, 3, 4}}); err == nil {
+		t.Fatal("reversed dependence accepted")
+	}
+}
+
+func TestHeuristicChain(t *testing.T) {
+	// Three loops, middle one prevented from fusing with both ends.
+	g := NewAbstract(3)
+	g.AddArray("A", 0, 1)
+	g.AddArray("B", 1, 2)
+	g.AddPreventing(0, 1)
+	g.AddPreventing(1, 2)
+	parts, err := g.Heuristic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %v", parts)
+	}
+}
+
+func TestOptimalTooLarge(t *testing.T) {
+	g := NewAbstract(11)
+	if _, _, err := g.Optimal(); err == nil {
+		t.Fatal("brute force must refuse large graphs")
+	}
+}
+
+// --- IR-level fusion -------------------------------------------------------
+
+const fig7Src = `
+program fig7
+const N = 64
+array res[N]
+array data[N]
+scalar sum
+
+loop L1 {
+  for i = 0, N - 1 {
+    res[i] = res[i] + data[i]
+  }
+}
+
+loop L2 {
+  sum = 0
+  for i = 0, N - 1 {
+    sum = sum + res[i]
+  }
+  print sum
+}
+`
+
+func TestBuildFromProgram(t *testing.T) {
+	p := lang.MustParse(fig7Src)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 2 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if !g.HasDep(0, 1) {
+		t.Fatal("res dependence missing")
+	}
+	if g.Prevented(0, 1) {
+		t.Fatal("figure 7 loops are fusable")
+	}
+	if !reflect.DeepEqual(g.NodesOf("res"), []int{0, 1}) {
+		t.Fatalf("res nodes = %v", g.NodesOf("res"))
+	}
+}
+
+func TestApplyFusesFigure7(t *testing.T) {
+	p := lang.MustParse(fig7Src)
+	fused, parts, err := FuseGreedily(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || len(fused.Nests) != 1 {
+		t.Fatalf("parts = %v, nests = %d", parts, len(fused.Nests))
+	}
+	// Semantics must be preserved.
+	r1, err := exec.Run(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := exec.Run(fused, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Checksum() != r2.Checksum() {
+		t.Fatalf("fusion changed results: %v vs %v", r1.Prints, r2.Prints)
+	}
+	// The sum=0 prefix must appear before the fused loop and the print
+	// after it.
+	text := fused.String()
+	sumInit := strings.Index(text, "sum = 0")
+	loopStart := strings.Index(text, "for ")
+	printPos := strings.Index(text, "print sum")
+	if sumInit == -1 || loopStart == -1 || printPos == -1 ||
+		!(sumInit < loopStart && loopStart < printPos) {
+		t.Fatalf("prefix/suffix misplaced:\n%s", text)
+	}
+}
+
+func TestApplyRenamesLoopVariables(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 16
+array a[N]
+array b[N]
+loop L1 { for i = 0, N-1 { a[i] = i } }
+loop L2 { for j = 0, N-1 { b[j] = a[j] * 2 } }
+`)
+	fused, _, err := FuseGreedily(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused.Nests) != 1 {
+		t.Fatalf("expected full fusion, got %d nests", len(fused.Nests))
+	}
+	r1, _ := exec.Run(p, nil)
+	r2, _ := exec.Run(fused, nil)
+	if !reflect.DeepEqual(r1.Array("b"), r2.Array("b")) {
+		t.Fatal("renamed fusion changed results")
+	}
+}
+
+func TestApplyKeepsPreventedApart(t *testing.T) {
+	// Backward dependence prevents fusion; greedy must leave two nests.
+	p := lang.MustParse(`
+program t
+const N = 16
+array a[N]
+array b[N]
+loop L1 { for i = 0, N-1 { a[i] = i } }
+loop L2 { for i = 0, N-2 { b[i] = a[i+1] } }
+`)
+	fused, parts, err := FuseGreedily(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 || len(fused.Nests) != 2 {
+		t.Fatalf("prevented nests were fused: %v", parts)
+	}
+}
+
+func TestApplyRejectsIllegalPartition(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 16
+array a[N]
+array b[N]
+loop L1 { for i = 0, N-1 { a[i] = i } }
+loop L2 { for i = 0, N-2 { b[i] = a[i+1] } }
+`)
+	if _, err := Apply(p, Partition{{0, 1}}); err == nil {
+		t.Fatal("illegal fusion accepted")
+	}
+}
+
+func TestApplyNonConformableRejected(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 16
+array a[N]
+array b[N]
+loop L1 { for i = 0, N-1 { a[i] = i } }
+loop L2 { for i = 1, N-1 { b[i] = b[i] + 1 } }
+`)
+	if _, err := Apply(p, Partition{{0, 1}}); err == nil {
+		t.Fatal("non-conformable fusion accepted")
+	}
+	// And the graph must mark them preventing so the heuristic splits.
+	fused, parts, err := FuseGreedily(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 || len(fused.Nests) != 2 {
+		t.Fatalf("parts = %v", parts)
+	}
+}
+
+func TestFuseThreeLoopChain(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 32
+array a[N]
+array b[N]
+array c[N]
+scalar s
+loop L1 { for i = 0, N-1 { a[i] = i * 2 } }
+loop L2 { for i = 0, N-1 { b[i] = a[i] + 1 } }
+loop L3 {
+  s = 0
+  for i = 0, N-1 { s = s + b[i] }
+  print s
+}
+`)
+	fused, parts, err := FuseGreedily(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 {
+		t.Fatalf("chain should fully fuse: %v", parts)
+	}
+	r1, _ := exec.Run(p, nil)
+	r2, _ := exec.Run(fused, nil)
+	if r1.Prints[0] != r2.Prints[0] {
+		t.Fatalf("results differ: %v vs %v", r1.Prints, r2.Prints)
+	}
+}
+
+func TestSec21NotFusedLostOpportunityIsFused(t *testing.T) {
+	// Section 2.1's two loops share array A with distance-0 flow: they
+	// fuse, halving memory traffic.
+	p := lang.MustParse(`
+program sec21
+const N = 64
+array a[N]
+scalar sum
+loop L1 { for i = 0, N-1 { a[i] = a[i] + 0.4 } }
+loop L2 { for i = 0, N-1 { sum = sum + a[i] } }
+`)
+	_, parts, err := FuseGreedily(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 {
+		t.Fatalf("section 2.1 loops should fuse: %v", parts)
+	}
+}

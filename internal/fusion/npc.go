@@ -1,0 +1,105 @@
+package fusion
+
+import "fmt"
+
+// This file implements the paper's Section 3.1.3 NP-completeness
+// construction: a reduction from k-way cut to bandwidth-minimal
+// multi-partition fusion. Given a weighted graph and k terminals, the
+// reduction builds a fusion graph with the same nodes, a
+// fusion-preventing edge between every pair of terminals, and one
+// hyper-edge (array) per original edge connecting its two endpoints.
+// A minimum k-way cut of the original graph then corresponds exactly
+// to an optimal fusion of the constructed instance, and vice versa:
+// every uncut edge lies within one partition (its array is loaded
+// once), every cut edge spans partitions (loaded twice), so
+//
+//	fusion cost = |E| + weight(k-way cut).
+//
+// The test suite verifies this equivalence against brute force on
+// random graphs, which is the checkable core of the NP-hardness proof.
+
+// KWayCutInstance is a unit-weight k-way cut problem.
+type KWayCutInstance struct {
+	N         int
+	Edges     [][2]int
+	Terminals []int
+}
+
+// ReduceKWayCut builds the fusion instance of the paper's reduction.
+func ReduceKWayCut(inst KWayCutInstance) (*Graph, error) {
+	if len(inst.Terminals) < 2 {
+		return nil, fmt.Errorf("fusion: k-way cut needs at least two terminals")
+	}
+	seen := map[int]bool{}
+	for _, t := range inst.Terminals {
+		if t < 0 || t >= inst.N {
+			return nil, fmt.Errorf("fusion: terminal %d out of range", t)
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("fusion: duplicate terminal %d", t)
+		}
+		seen[t] = true
+	}
+	g := NewAbstract(inst.N)
+	for i, e := range inst.Edges {
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("fusion: self edge %v", e)
+		}
+		g.AddArray(fmt.Sprintf("e%d", i), e[0], e[1])
+	}
+	for i := 0; i < len(inst.Terminals); i++ {
+		for j := i + 1; j < len(inst.Terminals); j++ {
+			g.AddPreventing(inst.Terminals[i], inst.Terminals[j])
+		}
+	}
+	return g, nil
+}
+
+// KWayCutWeight recovers the k-way cut weight from a fusion cost:
+// cost = |E| + cut, so cut = cost − |E|.
+func KWayCutWeight(inst KWayCutInstance, fusionCost int) int {
+	return fusionCost - len(inst.Edges)
+}
+
+// BruteForceKWayCut computes the minimum k-way cut weight by
+// enumerating all assignments of non-terminal nodes to terminal groups
+// (exact for small instances; used to validate the reduction).
+func BruteForceKWayCut(inst KWayCutInstance) int {
+	k := len(inst.Terminals)
+	group := make([]int, inst.N)
+	for i := range group {
+		group[i] = -1
+	}
+	for gi, t := range inst.Terminals {
+		group[t] = gi
+	}
+	var free []int
+	for v := 0; v < inst.N; v++ {
+		if group[v] == -1 {
+			free = append(free, v)
+		}
+	}
+	best := len(inst.Edges) + 1
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(free) {
+			cut := 0
+			for _, e := range inst.Edges {
+				if group[e[0]] != group[e[1]] {
+					cut++
+				}
+			}
+			if cut < best {
+				best = cut
+			}
+			return
+		}
+		for gi := 0; gi < k; gi++ {
+			group[free[i]] = gi
+			rec(i + 1)
+		}
+		group[free[i]] = -1
+	}
+	rec(0)
+	return best
+}

@@ -1,0 +1,364 @@
+package fusion
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/maxflow"
+)
+
+// TwoPartition solves bandwidth-minimal two-partitioning exactly
+// (paper Section 3.1.2): given two nodes s and t that must end up in
+// different partitions (s in the first), it finds the partition pair
+// minimizing the total number of distinct arrays, by a minimum
+// hyper-edge cut with dependence constraints enforced in the flow
+// network (an infinite-capacity arc per dependence, which is the
+// directed-graph realization of the paper's replicated-edge scheme).
+//
+// The construction: every loop node and every array hyper-edge becomes
+// a split vertex (in→out). Loop vertices have infinite internal
+// capacity (loops are never "cut"), array vertices capacity 1 (cutting
+// one means loading that array in both partitions). Incidence arcs
+// loop↔array are infinite in both directions, so s-t connectivity runs
+// through arrays exactly as hyper-edge paths do. A dependence x→y adds
+// an infinite arc from y to x, forbidding any cut with y in the first
+// partition and x in the second. The minimum s-t cut then consists
+// solely of array vertices and equals the set of arrays that must be
+// loaded twice.
+func (g *Graph) TwoPartition(s, t int) (Partition, []string, error) {
+	g.checkNode(s)
+	g.checkNode(t)
+	if s == t {
+		return nil, nil, fmt.Errorf("fusion: s == t")
+	}
+	nArr := len(g.ArrayNames)
+	// Vertex numbering: loop v -> v; array k -> g.N + k.
+	// Split: in(x) = 2x, out(x) = 2x+1.
+	in := func(x int) int { return 2 * x }
+	out := func(x int) int { return 2*x + 1 }
+	net := maxflow.NewNetwork(2 * (g.N + nArr))
+	arrayInternal := make([]maxflow.EdgeID, nArr)
+	for v := 0; v < g.N; v++ {
+		net.AddEdge(in(v), out(v), maxflow.Inf)
+	}
+	for k, name := range g.ArrayNames {
+		arrayInternal[k] = net.AddEdge(in(g.N+k), out(g.N+k), 1)
+		for _, v := range g.arrayNodes[name] {
+			net.AddEdge(out(v), in(g.N+k), maxflow.Inf)
+			net.AddEdge(out(g.N+k), in(v), maxflow.Inf)
+		}
+	}
+	for e := range g.depEdges {
+		// x = e[0] must precede y = e[1]: forbid y in the first
+		// partition with x in the second.
+		net.AddEdge(out(e[1]), in(e[0]), maxflow.Inf)
+	}
+	flow := net.MaxFlow(out(s), in(t))
+	if flow >= maxflow.Inf {
+		return nil, nil, fmt.Errorf("fusion: no feasible two-partitioning with %s first and %s second (dependences force them together or in the other order)",
+			g.Labels[s], g.Labels[t])
+	}
+	reach := net.ResidualReachable(out(s))
+	var v1, v2 []int
+	for v := 0; v < g.N; v++ {
+		if reach[in(v)] || reach[out(v)] {
+			v1 = append(v1, v)
+		} else {
+			v2 = append(v2, v)
+		}
+	}
+	var cut []string
+	for k := range g.ArrayNames {
+		if net.Saturated(arrayInternal[k]) && reach[in(g.N+k)] && !reach[out(g.N+k)] {
+			cut = append(cut, g.ArrayNames[k])
+		}
+	}
+	parts := Partition{v1, v2}
+	parts.normalize()
+	// The cut guarantees dependence ordering (V1 before V2) and s/t
+	// separation; preventing pairs *within* a side are expected — the
+	// recursive-bisection caller splits them further. Check only the
+	// ordering invariant here.
+	for e := range g.depEdges {
+		fromV2 := contains(v2, e[0])
+		toV1 := contains(v1, e[1])
+		if fromV2 && toV1 {
+			return nil, nil, fmt.Errorf("fusion: internal error, cut reversed dependence %s->%s",
+				g.Labels[e[0]], g.Labels[e[1]])
+		}
+	}
+	return parts, cut, nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// induced builds the fusion subgraph over the given node set, returning
+// it and the mapping from new to old indices.
+func (g *Graph) induced(set []int) (*Graph, []int) {
+	sorted := append([]int(nil), set...)
+	sort.Ints(sorted)
+	newIdx := map[int]int{}
+	labels := make([]string, len(sorted))
+	for i, v := range sorted {
+		newIdx[v] = i
+		labels[i] = g.Labels[v]
+	}
+	sub := NewAbstract(len(sorted), labels...)
+	for _, name := range g.ArrayNames {
+		var nodes []int
+		for _, v := range g.arrayNodes[name] {
+			if i, ok := newIdx[v]; ok {
+				nodes = append(nodes, i)
+			}
+		}
+		if len(nodes) > 0 {
+			sub.AddArray(name, nodes...)
+		}
+	}
+	for e := range g.depEdges {
+		if a, ok := newIdx[e[0]]; ok {
+			if b, ok2 := newIdx[e[1]]; ok2 {
+				sub.AddDep(a, b)
+			}
+		}
+	}
+	for e := range g.preventing {
+		if a, ok := newIdx[e[0]]; ok {
+			if b, ok2 := newIdx[e[1]]; ok2 {
+				sub.AddPreventing(a, b)
+			}
+		}
+	}
+	return sub, sorted
+}
+
+// depReachable reports whether b is reachable from a via dependence
+// edges.
+func (g *Graph) depReachable(a, b int) bool {
+	seen := make([]bool, g.N)
+	stack := []int{a}
+	seen[a] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == b {
+			return true
+		}
+		for e := range g.depEdges {
+			if e[0] == u && !seen[e[1]] {
+				seen[e[1]] = true
+				stack = append(stack, e[1])
+			}
+		}
+	}
+	return false
+}
+
+// Heuristic computes a multi-partitioning by recursive bisection — the
+// heuristic of Gao et al. and Kennedy–McKinley with the bisection step
+// replaced by the paper's bandwidth-minimal hyper-graph min-cut. Exact
+// for the two-partition case; a heuristic beyond it (the general
+// problem is NP-complete, Section 3.1.3).
+func (g *Graph) Heuristic() (Partition, error) {
+	all := make([]int, g.N)
+	for i := range all {
+		all[i] = i
+	}
+	parts, err := g.bisect(all)
+	if err != nil {
+		return nil, err
+	}
+	parts.normalize()
+	if err := g.Validate(parts); err != nil {
+		return nil, fmt.Errorf("fusion: heuristic produced invalid partition: %w", err)
+	}
+	return parts, nil
+}
+
+func (g *Graph) bisect(set []int) (Partition, error) {
+	if len(set) == 0 {
+		return nil, nil
+	}
+	sub, back := g.induced(set)
+	pairs := sub.PreventingPairs()
+	if len(pairs) == 0 {
+		// Everything here can fuse into one loop.
+		return Partition{append([]int(nil), back...)}, nil
+	}
+	s, t := pairs[0][0], pairs[0][1]
+	// Orient the terminals by dependence: if t must precede s, swap.
+	if sub.depReachable(t, s) {
+		if sub.depReachable(s, t) {
+			return nil, fmt.Errorf("fusion: cyclic dependence between %s and %s", sub.Labels[s], sub.Labels[t])
+		}
+		s, t = t, s
+	}
+	two, _, err := sub.TwoPartition(s, t)
+	if err != nil {
+		return nil, err
+	}
+	mapBack := func(group []int) []int {
+		out := make([]int, len(group))
+		for i, v := range group {
+			out[i] = back[v]
+		}
+		return out
+	}
+	left, err := g.bisect(mapBack(two[0]))
+	if err != nil {
+		return nil, err
+	}
+	right, err := g.bisect(mapBack(two[1]))
+	if err != nil {
+		return nil, err
+	}
+	return append(left, right...), nil
+}
+
+// maxBruteForceNodes bounds the exhaustive searches below.
+const maxBruteForceNodes = 10
+
+// Optimal finds a minimum-cost valid partitioning by exhaustive search
+// over restricted-growth assignments. It is exponential and restricted
+// to small graphs; it exists to validate the heuristic and to
+// reproduce the paper's Figure 4 numbers exactly.
+func (g *Graph) Optimal() (Partition, int, error) {
+	return g.searchBest(func(parts Partition) int { return g.Cost(parts) })
+}
+
+// EdgeWeightedOptimal finds the partitioning minimizing the classical
+// edge-weighted objective (total weight of cross-partition edges) —
+// the baseline the paper's Figure 4 counter-example is aimed at. Among
+// partitionings with equal edge-weight cost it prefers fewer
+// partitions (maximal fusion), matching the published heuristics'
+// preference for fusing whenever reuse exists.
+func (g *Graph) EdgeWeightedOptimal() (Partition, int, error) {
+	parts, _, err := g.searchBest(func(parts Partition) int {
+		return g.EdgeWeightCost(parts)*(g.N+1) + len(parts)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return parts, g.EdgeWeightCost(parts), nil
+}
+
+func (g *Graph) searchBest(cost func(Partition) int) (Partition, int, error) {
+	if g.N > maxBruteForceNodes {
+		return nil, 0, fmt.Errorf("fusion: exhaustive search limited to %d nodes, got %d", maxBruteForceNodes, g.N)
+	}
+	if g.N == 0 {
+		return Partition{}, 0, nil
+	}
+	assign := make([]int, g.N)
+	var best Partition
+	bestCost := int(^uint(0) >> 1)
+	var rec func(i, maxUsed int)
+	rec = func(i, maxUsed int) {
+		if i == g.N {
+			parts := make(Partition, maxUsed+1)
+			for v, p := range assign {
+				parts[p] = append(parts[p], v)
+			}
+			// The enumeration fixes block identity, not execution
+			// order; find a dependence-respecting order if one exists.
+			ordered, err := g.orderBlocks(parts)
+			if err != nil {
+				return
+			}
+			if g.Validate(ordered) != nil {
+				return
+			}
+			if c := cost(ordered); c < bestCost {
+				bestCost = c
+				best = make(Partition, len(ordered))
+				for k := range ordered {
+					best[k] = append([]int(nil), ordered[k]...)
+				}
+			}
+			return
+		}
+		for p := 0; p <= maxUsed+1 && p < g.N; p++ {
+			assign[i] = p
+			nm := maxUsed
+			if p > maxUsed {
+				nm = p
+			}
+			rec(i+1, nm)
+		}
+	}
+	assign[0] = 0
+	rec(1, 0)
+	if best == nil {
+		return nil, 0, fmt.Errorf("fusion: no valid partitioning exists")
+	}
+	return best, bestCost, nil
+}
+
+// orderBlocks topologically orders the blocks of a set partition by the
+// contracted dependence graph (ties broken by smallest member), or
+// fails if block-level dependences are cyclic.
+func (g *Graph) orderBlocks(parts Partition) (Partition, error) {
+	blockOf := make([]int, g.N)
+	for bi, group := range parts {
+		for _, v := range group {
+			blockOf[v] = bi
+		}
+	}
+	nb := len(parts)
+	succ := make([]map[int]bool, nb)
+	indeg := make([]int, nb)
+	for i := range succ {
+		succ[i] = map[int]bool{}
+	}
+	for e := range g.depEdges {
+		a, b := blockOf[e[0]], blockOf[e[1]]
+		if a != b && !succ[a][b] {
+			succ[a][b] = true
+			indeg[b]++
+		}
+	}
+	minElem := make([]int, nb)
+	for bi, group := range parts {
+		m := g.N
+		for _, v := range group {
+			if v < m {
+				m = v
+			}
+		}
+		minElem[bi] = m
+	}
+	var ready []int
+	for b := 0; b < nb; b++ {
+		if indeg[b] == 0 {
+			ready = append(ready, b)
+		}
+	}
+	var order []int
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return minElem[ready[i]] < minElem[ready[j]] })
+		b := ready[0]
+		ready = ready[1:]
+		order = append(order, b)
+		for nb2 := range succ[b] {
+			indeg[nb2]--
+			if indeg[nb2] == 0 {
+				ready = append(ready, nb2)
+			}
+		}
+	}
+	if len(order) != nb {
+		return nil, fmt.Errorf("fusion: cyclic block dependences")
+	}
+	out := make(Partition, nb)
+	for i, b := range order {
+		out[i] = parts[b]
+	}
+	return out, nil
+}

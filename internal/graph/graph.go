@@ -1,0 +1,255 @@
+// Package graph provides small, allocation-conscious directed and
+// undirected graph utilities used throughout the fusion and min-cut
+// machinery: adjacency storage, breadth-first and depth-first search,
+// reachability, topological ordering and cycle detection.
+//
+// Vertices are dense integers in [0, N). All algorithms are
+// deterministic: neighbors are visited in insertion order.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is a directed graph over vertices 0..N-1 with adjacency lists.
+// The zero value is an empty graph with no vertices; use New to create a
+// graph with a fixed vertex count.
+type Digraph struct {
+	adj [][]int
+	m   int // edge count
+}
+
+// New returns a directed graph with n vertices and no edges.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Digraph{adj: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Digraph) M() int { return g.m }
+
+// AddVertex appends a new vertex and returns its index.
+func (g *Digraph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts the directed edge u->v. Parallel edges are permitted.
+func (g *Digraph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	g.adj[u] = append(g.adj[u], v)
+	g.m++
+}
+
+// HasEdge reports whether at least one edge u->v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of u. The returned slice is owned
+// by the graph and must not be modified.
+func (g *Digraph) Neighbors(u int) []int {
+	g.check(u)
+	return g.adj[u]
+}
+
+func (g *Digraph) check(u int) {
+	if u < 0 || u >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, len(g.adj)))
+	}
+}
+
+// Reverse returns a new graph with every edge direction flipped.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.N())
+	for u, vs := range g.adj {
+		for _, v := range vs {
+			r.AddEdge(v, u)
+		}
+	}
+	return r
+}
+
+// BFS performs a breadth-first traversal from src and returns the
+// predecessor array: prev[v] is the vertex from which v was first
+// reached, prev[src] == src, and prev[v] == -1 for unreached vertices.
+func (g *Digraph) BFS(src int) []int {
+	g.check(src)
+	prev := make([]int, g.N())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if prev[v] == -1 {
+				prev[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return prev
+}
+
+// Reachable returns the set of vertices reachable from src (including
+// src itself) as a boolean slice.
+func (g *Digraph) Reachable(src int) []bool {
+	prev := g.BFS(src)
+	out := make([]bool, len(prev))
+	for i, p := range prev {
+		out[i] = p != -1
+	}
+	return out
+}
+
+// Path reconstructs a shortest path (in edges) from src to dst using BFS,
+// or returns nil if dst is unreachable.
+func (g *Digraph) Path(src, dst int) []int {
+	g.check(dst)
+	prev := g.BFS(src)
+	if prev[dst] == -1 {
+		return nil
+	}
+	var rev []int
+	for v := dst; ; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// TopoSort returns a topological ordering of the vertices, or an error
+// if the graph contains a cycle. Ordering is deterministic: among ready
+// vertices the smallest index is emitted first.
+func (g *Digraph) TopoSort() ([]int, error) {
+	n := g.N()
+	indeg := make([]int, n)
+	for _, vs := range g.adj {
+		for _, v := range vs {
+			indeg[v]++
+		}
+	}
+	// Min-heap by vertex index for determinism; n is small in practice,
+	// so a sorted slice is sufficient.
+	var ready []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		for _, v := range g.adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d vertices ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// HasCycle reports whether the graph contains a directed cycle.
+func (g *Digraph) HasCycle() bool {
+	_, err := g.TopoSort()
+	return err != nil
+}
+
+// TransitiveClosure returns reach[u][v] == true iff v is reachable from u.
+// Intended for the small graphs (tens of nodes) used in fusion analysis.
+func (g *Digraph) TransitiveClosure() [][]bool {
+	n := g.N()
+	reach := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		reach[u] = g.Reachable(u)
+	}
+	return reach
+}
+
+// Ungraph is an undirected graph over vertices 0..N-1.
+type Ungraph struct {
+	d *Digraph
+}
+
+// NewUn returns an undirected graph with n vertices.
+func NewUn(n int) *Ungraph { return &Ungraph{d: New(n)} }
+
+// N returns the number of vertices.
+func (g *Ungraph) N() int { return g.d.N() }
+
+// AddEdge inserts the undirected edge {u,v}.
+func (g *Ungraph) AddEdge(u, v int) {
+	g.d.AddEdge(u, v)
+	if u != v {
+		g.d.AddEdge(v, u)
+	}
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Ungraph) HasEdge(u, v int) bool { return g.d.HasEdge(u, v) }
+
+// Neighbors returns the neighbors of u (owned by the graph).
+func (g *Ungraph) Neighbors(u int) []int { return g.d.Neighbors(u) }
+
+// Components returns the connected-component id of each vertex, numbered
+// from 0 in order of first appearance, plus the component count.
+func (g *Ungraph) Components() (comp []int, count int) {
+	n := g.N()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		comp[v] = count
+		queue := []int{v}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.d.adj[u] {
+				if comp[w] == -1 {
+					comp[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// Connected reports whether u and v are in the same component.
+func (g *Ungraph) Connected(u, v int) bool {
+	return g.d.Reachable(u)[v]
+}

@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph reports N=%d M=%d", g.N(), g.M())
+	}
+	if order, err := g.TopoSort(); err != nil || len(order) != 0 {
+		t.Fatalf("empty topo sort: %v %v", order, err)
+	}
+}
+
+func TestAddEdgeAndHasEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("inserted edges missing")
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("direction ignored")
+	}
+	if g.M() != 2 {
+		t.Fatalf("M=%d want 2", g.M())
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(1)
+	v := g.AddVertex()
+	if v != 1 || g.N() != 2 {
+		t.Fatalf("AddVertex returned %d, N=%d", v, g.N())
+	}
+	g.AddEdge(0, v)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("edge to added vertex missing")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddEdge(0, 2)
+}
+
+func TestBFSPath(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3, plus shortcut 0 -> 2
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 2)
+	p := g.Path(0, 3)
+	want := []int{0, 2, 3}
+	if len(p) != len(want) {
+		t.Fatalf("path %v, want %v", p, want)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("path %v, want %v", p, want)
+		}
+	}
+	if g.Path(3, 0) != nil {
+		t.Fatal("reverse path should be nil")
+	}
+	if g.Path(0, 4) != nil {
+		t.Fatal("unreachable vertex should yield nil path")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	r := g.Reachable(0)
+	if !r[0] || !r[1] || r[2] || r[3] {
+		t.Fatalf("reachable(0) = %v", r)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(2, 1) || r.HasEdge(0, 1) {
+		t.Fatal("reverse incorrect")
+	}
+	if r.M() != g.M() {
+		t.Fatalf("edge count changed: %d vs %d", r.M(), g.M())
+	}
+}
+
+func TestTopoSortDAG(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(3, 0)
+	g.AddEdge(2, 0)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, 4)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for u := 0; u < 4; u++ {
+		for _, v := range g.Neighbors(u) {
+			if pos[u] >= pos[v] {
+				t.Fatalf("order %v violates edge %d->%d", order, u, v)
+			}
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if !g.HasCycle() {
+		t.Fatal("HasCycle false on cyclic graph")
+	}
+}
+
+func TestHasCycleSelfLoop(t *testing.T) {
+	g := New(1)
+	g.AddEdge(0, 0)
+	if !g.HasCycle() {
+		t.Fatal("self-loop is a cycle")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	tc := g.TransitiveClosure()
+	if !tc[0][2] {
+		t.Fatal("0 should reach 2 transitively")
+	}
+	if tc[2][0] {
+		t.Fatal("2 should not reach 0")
+	}
+}
+
+func TestUngraphComponents(t *testing.T) {
+	g := NewUn(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	comp, n := g.Components()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] || comp[5] == comp[0] {
+		t.Fatalf("component assignment %v", comp)
+	}
+	if !g.Connected(0, 2) || g.Connected(0, 5) {
+		t.Fatal("Connected incorrect")
+	}
+}
+
+func TestUngraphSelfLoop(t *testing.T) {
+	g := NewUn(2)
+	g.AddEdge(0, 0)
+	if !g.HasEdge(0, 0) {
+		t.Fatal("self loop missing")
+	}
+	if _, n := g.Components(); n != 2 {
+		t.Fatal("self loop should not merge components")
+	}
+}
+
+// Property: topological sort of a random DAG (edges only low->high index)
+// always succeeds and respects all edges.
+func TestTopoSortPropertyRandomDAG(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				if pos[u] >= pos[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS path, when present, starts at src, ends at dst, and each
+// hop is an edge.
+func TestPathPropertyValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		g := New(n)
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		src, dst := rng.Intn(n), rng.Intn(n)
+		p := g.Path(src, dst)
+		if p == nil {
+			return !g.Reachable(src)[dst]
+		}
+		if p[0] != src || p[len(p)-1] != dst {
+			return false
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !g.HasEdge(p[i], p[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

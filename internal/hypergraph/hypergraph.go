@@ -1,0 +1,266 @@
+// Package hypergraph provides hyper-graphs and the paper's Figure 5
+// minimal-cut algorithm.
+//
+// In the bandwidth-minimal fusion model (Ding & Kennedy, IPPS 2000,
+// Section 3.1.2) each loop is a node and each array is a hyper-edge
+// connecting every loop that accesses the array. A cut — a set of
+// hyper-edges whose removal disconnects two designated end nodes —
+// corresponds to the set of arrays that must be loaded twice when the
+// loops are fused into two partitions, so a minimum cut yields a
+// bandwidth-minimal two-partitioning.
+//
+// The Figure 5 algorithm solves the minimum hyper-edge cut in three
+// steps: (1) transform the hyper-graph into a normal graph with one
+// vertex per hyper-edge, connecting overlapping hyper-edges, plus two
+// new end vertices; (2) find a minimum vertex cut of the normal graph by
+// node splitting and Ford–Fulkerson; (3) map the vertex cut back to
+// hyper-edges and read off the two node partitions.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/maxflow"
+)
+
+// Hypergraph is a hyper-graph over nodes 0..N-1. Each hyper-edge is a
+// set of nodes with a non-negative integer weight.
+type Hypergraph struct {
+	n      int
+	edges  [][]int // sorted, deduplicated node lists
+	weight []int64
+	labels []string // optional hyper-edge labels (e.g. array names)
+}
+
+// New returns a hyper-graph with n nodes and no hyper-edges.
+func New(n int) *Hypergraph {
+	if n < 0 {
+		panic("hypergraph: negative node count")
+	}
+	return &Hypergraph{n: n}
+}
+
+// N returns the node count.
+func (h *Hypergraph) N() int { return h.n }
+
+// E returns the hyper-edge count.
+func (h *Hypergraph) E() int { return len(h.edges) }
+
+// AddEdge inserts a hyper-edge with unit weight connecting the given
+// nodes and returns its index. Duplicate nodes within the edge are
+// deduplicated. Empty edges are allowed (they connect nothing and can
+// never appear in a cut).
+func (h *Hypergraph) AddEdge(nodes ...int) int {
+	return h.AddWeightedEdge(1, "", nodes...)
+}
+
+// AddWeightedEdge inserts a hyper-edge with the given weight and label.
+func (h *Hypergraph) AddWeightedEdge(w int64, label string, nodes ...int) int {
+	if w < 0 {
+		panic("hypergraph: negative weight")
+	}
+	set := map[int]bool{}
+	for _, v := range nodes {
+		if v < 0 || v >= h.n {
+			panic(fmt.Sprintf("hypergraph: node %d out of range [0,%d)", v, h.n))
+		}
+		set[v] = true
+	}
+	uniq := make([]int, 0, len(set))
+	for v := range set {
+		uniq = append(uniq, v)
+	}
+	sort.Ints(uniq)
+	h.edges = append(h.edges, uniq)
+	h.weight = append(h.weight, w)
+	h.labels = append(h.labels, label)
+	return len(h.edges) - 1
+}
+
+// Edge returns the node set of hyper-edge e (owned by the graph).
+func (h *Hypergraph) Edge(e int) []int { return h.edges[e] }
+
+// Weight returns the weight of hyper-edge e.
+func (h *Hypergraph) Weight(e int) int64 { return h.weight[e] }
+
+// Label returns the label of hyper-edge e.
+func (h *Hypergraph) Label(e int) string { return h.labels[e] }
+
+// EdgesOf returns the indices of hyper-edges incident to node v.
+func (h *Hypergraph) EdgesOf(v int) []int {
+	var out []int
+	for e, nodes := range h.edges {
+		for _, u := range nodes {
+			if u == v {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Connected reports whether nodes s and t are connected by a path of
+// hyper-edges (consecutive edges sharing at least one node).
+func (h *Hypergraph) Connected(s, t int) bool {
+	if s == t {
+		return true
+	}
+	return h.connectedAvoiding(s, t, nil)
+}
+
+// connectedAvoiding reports s-t connectivity ignoring the hyper-edges in
+// removed.
+func (h *Hypergraph) connectedAvoiding(s, t int, removed map[int]bool) bool {
+	seenNode := make([]bool, h.n)
+	seenEdge := make([]bool, len(h.edges))
+	seenNode[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == t {
+			return true
+		}
+		for _, e := range h.EdgesOf(u) {
+			if seenEdge[e] || removed[e] {
+				continue
+			}
+			seenEdge[e] = true
+			for _, v := range h.edges[e] {
+				if !seenNode[v] {
+					seenNode[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return seenNode[t]
+}
+
+// IsCut reports whether removing the given hyper-edges disconnects s
+// from t.
+func (h *Hypergraph) IsCut(cut []int, s, t int) bool {
+	removed := make(map[int]bool, len(cut))
+	for _, e := range cut {
+		removed[e] = true
+	}
+	return !h.connectedAvoiding(s, t, removed)
+}
+
+// CutResult is the output of MinCut: the cut hyper-edges and the two
+// node partitions, with s in V1 and t in V2.
+type CutResult struct {
+	Cut    []int // hyper-edge indices
+	Weight int64 // total weight of the cut
+	V1, V2 []int // node partitions: V1 contains s, V2 = V \ V1
+}
+
+// MinCut computes a minimum-weight set of hyper-edges separating s from
+// t, implementing the paper's Figure 5 algorithm. It returns an error if
+// no finite cut exists, which happens exactly when some single
+// hyper-edge contains both s and t (the analogue of adjacent terminals).
+func (h *Hypergraph) MinCut(s, t int) (*CutResult, error) {
+	if s == t {
+		return nil, fmt.Errorf("hypergraph: s == t")
+	}
+	if s < 0 || s >= h.n || t < 0 || t >= h.n {
+		return nil, fmt.Errorf("hypergraph: terminal out of range")
+	}
+
+	// Step 1: convert to a normal graph G' with one vertex per
+	// hyper-edge; vertices are adjacent iff their hyper-edges overlap.
+	// Two extra end vertices s' and t' attach to every hyper-edge
+	// containing s or t respectively.
+	ne := len(h.edges)
+	sPrime, tPrime := ne, ne+1
+	var edges [][2]int
+	contains := func(e, v int) bool {
+		nodes := h.edges[e]
+		i := sort.SearchInts(nodes, v)
+		return i < len(nodes) && nodes[i] == v
+	}
+	overlap := func(a, b int) bool {
+		x, y := h.edges[a], h.edges[b]
+		i, j := 0, 0
+		for i < len(x) && j < len(y) {
+			switch {
+			case x[i] == y[j]:
+				return true
+			case x[i] < y[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		return false
+	}
+	for a := 0; a < ne; a++ {
+		for b := a + 1; b < ne; b++ {
+			if overlap(a, b) {
+				edges = append(edges, [2]int{a, b})
+				edges = append(edges, [2]int{b, a})
+			}
+		}
+	}
+	for e := 0; e < ne; e++ {
+		if contains(e, s) {
+			edges = append(edges, [2]int{sPrime, e})
+		}
+		if contains(e, t) {
+			edges = append(edges, [2]int{e, tPrime})
+		}
+		if contains(e, s) && contains(e, t) {
+			return nil, fmt.Errorf("hypergraph: hyper-edge %d contains both terminals; no cut exists", e)
+		}
+	}
+
+	// Step 2: minimum vertex cut on G' between s' and t'. Vertex v < ne
+	// costs Weight(v); the end vertices are terminals.
+	w := make([]int64, ne+2)
+	copy(w, h.weight)
+	w[sPrime], w[tPrime] = 0, 0 // terminals are never cut by construction
+	cut, total, err := maxflow.VertexCut(ne+2, edges, w, sPrime, tPrime)
+	if err != nil {
+		return nil, fmt.Errorf("hypergraph: %w", err)
+	}
+
+	// Step 3: map back and build partitions: V1 = nodes connected to s
+	// after deleting the cut hyper-edges; V2 = rest.
+	removed := make(map[int]bool, len(cut))
+	for _, e := range cut {
+		removed[e] = true
+	}
+	res := &CutResult{Cut: cut, Weight: total}
+	for v := 0; v < h.n; v++ {
+		if v == s || h.connectedAvoiding(s, v, removed) {
+			res.V1 = append(res.V1, v)
+		} else {
+			res.V2 = append(res.V2, v)
+		}
+	}
+	return res, nil
+}
+
+// TotalWeight returns the sum of all hyper-edge weights.
+func (h *Hypergraph) TotalWeight() int64 {
+	var s int64
+	for _, w := range h.weight {
+		s += w
+	}
+	return s
+}
+
+// Clone returns a deep copy of the hyper-graph.
+func (h *Hypergraph) Clone() *Hypergraph {
+	c := New(h.n)
+	for e := range h.edges {
+		nodes := make([]int, len(h.edges[e]))
+		copy(nodes, h.edges[e])
+		c.edges = append(c.edges, nodes)
+		c.weight = append(c.weight, h.weight[e])
+		c.labels = append(c.labels, h.labels[e])
+	}
+	return c
+}

@@ -1,0 +1,380 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicAccessors(t *testing.T) {
+	h := New(4)
+	e := h.AddWeightedEdge(3, "A", 0, 1, 1, 2)
+	if h.N() != 4 || h.E() != 1 {
+		t.Fatalf("N=%d E=%d", h.N(), h.E())
+	}
+	if got := h.Edge(e); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("edge dedup/sort failed: %v", got)
+	}
+	if h.Weight(e) != 3 || h.Label(e) != "A" {
+		t.Fatal("weight/label wrong")
+	}
+	if h.TotalWeight() != 3 {
+		t.Fatal("total weight wrong")
+	}
+}
+
+func TestEdgesOf(t *testing.T) {
+	h := New(3)
+	h.AddEdge(0, 1)
+	h.AddEdge(1, 2)
+	h.AddEdge(0, 2)
+	if got := h.EdgesOf(1); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("EdgesOf(1) = %v", got)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	h := New(5)
+	h.AddEdge(0, 1)
+	h.AddEdge(1, 2)
+	h.AddEdge(3, 4)
+	if !h.Connected(0, 2) {
+		t.Fatal("0 and 2 should be connected via overlapping edges")
+	}
+	if h.Connected(0, 3) {
+		t.Fatal("0 and 3 should not be connected")
+	}
+	if !h.Connected(2, 2) {
+		t.Fatal("node connected to itself")
+	}
+}
+
+func TestIsCut(t *testing.T) {
+	h := New(3)
+	a := h.AddEdge(0, 1)
+	b := h.AddEdge(1, 2)
+	if !h.IsCut([]int{a}, 0, 2) {
+		t.Fatal("removing edge a disconnects 0 from 2")
+	}
+	if !h.IsCut([]int{b}, 0, 2) {
+		t.Fatal("removing edge b disconnects 0 from 2")
+	}
+	if h.IsCut(nil, 0, 2) {
+		t.Fatal("empty set is not a cut here")
+	}
+}
+
+func TestMinCutChain(t *testing.T) {
+	// 0 -A- 1 -B- 2: one edge suffices.
+	h := New(3)
+	h.AddEdge(0, 1)
+	h.AddEdge(1, 2)
+	res, err := h.MinCut(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 1 || len(res.Cut) != 1 {
+		t.Fatalf("cut=%v weight=%d", res.Cut, res.Weight)
+	}
+	if !h.IsCut(res.Cut, 0, 2) {
+		t.Fatal("reported cut does not disconnect")
+	}
+}
+
+func TestMinCutSharedEdge(t *testing.T) {
+	// One big hyper-edge {0,1,2} plus chain edges; the big edge alone
+	// connects 0 and 3 via 2 only if 2 reaches 3.
+	h := New(4)
+	h.AddEdge(0, 1, 2) // A
+	h.AddEdge(2, 3)    // B
+	res, err := h.MinCut(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 1 {
+		t.Fatalf("weight=%d want 1", res.Weight)
+	}
+}
+
+func TestMinCutParallelEdges(t *testing.T) {
+	// Two disjoint hyper-edge paths between 0 and 3 -> cut weight 2.
+	h := New(4)
+	h.AddEdge(0, 1)
+	h.AddEdge(1, 3)
+	h.AddEdge(0, 2)
+	h.AddEdge(2, 3)
+	res, err := h.MinCut(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 2 {
+		t.Fatalf("weight=%d want 2", res.Weight)
+	}
+	if !h.IsCut(res.Cut, 0, 3) {
+		t.Fatal("cut does not disconnect")
+	}
+}
+
+func TestMinCutWeighted(t *testing.T) {
+	// Path through heavy edge (w=5) vs two light edges (w=1 each):
+	// cutting both light edges (2) beats the heavy edge only if heavy
+	// edge not needed... construct: s=0, t=3.
+	// Heavy edge {0,3}? not allowed (contains both). Use chain:
+	// {0,1} w5, {1,3} w1, {0,2} w1, {2,3} w5. Min cut = {1,3}+{0,2} = 2.
+	h := New(4)
+	h.AddWeightedEdge(5, "h1", 0, 1)
+	h.AddWeightedEdge(1, "l1", 1, 3)
+	h.AddWeightedEdge(1, "l2", 0, 2)
+	h.AddWeightedEdge(5, "h2", 2, 3)
+	res, err := h.MinCut(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 2 {
+		t.Fatalf("weight=%d want 2 (cut=%v)", res.Weight, res.Cut)
+	}
+}
+
+func TestMinCutNoFiniteCut(t *testing.T) {
+	h := New(2)
+	h.AddEdge(0, 1) // single edge contains both terminals
+	if _, err := h.MinCut(0, 1); err == nil {
+		t.Fatal("expected error: a hyper-edge contains both terminals")
+	}
+}
+
+func TestMinCutDisconnectedTerminals(t *testing.T) {
+	h := New(3)
+	h.AddEdge(0, 1)
+	res, err := h.MinCut(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 0 || len(res.Cut) != 0 {
+		t.Fatalf("already disconnected: cut=%v w=%d", res.Cut, res.Weight)
+	}
+}
+
+func TestMinCutPartitions(t *testing.T) {
+	h := New(4)
+	h.AddEdge(0, 1)
+	h.AddEdge(1, 2)
+	h.AddEdge(2, 3)
+	res, err := h.MinCut(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s must be in V1, t in V2, partitions disjoint and covering.
+	inV1 := map[int]bool{}
+	for _, v := range res.V1 {
+		inV1[v] = true
+	}
+	if !inV1[0] {
+		t.Fatal("s not in V1")
+	}
+	for _, v := range res.V2 {
+		if inV1[v] {
+			t.Fatalf("vertex %d in both partitions", v)
+		}
+		if v == 0 {
+			t.Fatal("s leaked into V2")
+		}
+	}
+	if len(res.V1)+len(res.V2) != h.N() {
+		t.Fatal("partitions do not cover all nodes")
+	}
+	found := false
+	for _, v := range res.V2 {
+		if v == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("t not in V2")
+	}
+}
+
+// Paper Figure 4 as a pure hyper-graph cut: six loops; array hyper-edges
+// A{1,2,3,5}, D{1,2,3,4}, E{1,2,3,4}, F{1,2,3,4}, B{4,6}, C{4,6}.
+// (sum is scalar data, carried in registers, so it is not a hyper-edge.)
+// Terminals are loops 5 and 6 (the fusion-preventing pair). The paper's
+// optimal fusion leaves loop 5 alone and fuses 1,2,3,4,6; only array A is
+// accessed on both sides, so the minimum cut is {A} with weight 1 and the
+// total memory transfer is 6 arrays + 1 reload = 7.
+func TestMinCutPaperFigure4(t *testing.T) {
+	h := New(6)
+	l := func(i int) int { return i - 1 }
+	h.AddWeightedEdge(1, "A", l(1), l(2), l(3), l(5))
+	h.AddWeightedEdge(1, "D", l(1), l(2), l(3), l(4))
+	h.AddWeightedEdge(1, "E", l(1), l(2), l(3), l(4))
+	h.AddWeightedEdge(1, "F", l(1), l(2), l(3), l(4))
+	h.AddWeightedEdge(1, "B", l(4), l(6))
+	h.AddWeightedEdge(1, "C", l(4), l(6))
+	res, err := h.MinCut(l(5), l(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 1 {
+		t.Fatalf("Figure 4 min cut weight = %d, want 1 (array A)", res.Weight)
+	}
+	if h.Label(res.Cut[0]) != "A" {
+		t.Fatalf("cut = %q, want A", h.Label(res.Cut[0]))
+	}
+	// Loop 5 should be alone on its side (the paper's optimal fusion),
+	// so the total transfer is 6 + cut = 7 arrays.
+	if len(res.V1) != 1 || res.V1[0] != l(5) {
+		t.Fatalf("V1 = %v, want just loop 5", res.V1)
+	}
+	if total := int64(h.E()) + res.Weight; total != 7 {
+		t.Fatalf("total transfer = %d arrays, want 7", total)
+	}
+}
+
+func TestClone(t *testing.T) {
+	h := New(3)
+	h.AddWeightedEdge(2, "x", 0, 1)
+	c := h.Clone()
+	c.AddEdge(1, 2)
+	if h.E() != 1 || c.E() != 2 {
+		t.Fatal("clone not independent")
+	}
+	if c.Label(0) != "x" || c.Weight(0) != 2 {
+		t.Fatal("clone lost metadata")
+	}
+}
+
+// bruteMinCut enumerates all subsets of hyper-edges.
+func bruteMinCut(h *Hypergraph, s, t int) int64 {
+	ne := h.E()
+	best := int64(1) << 40
+	for mask := 0; mask < 1<<ne; mask++ {
+		var cut []int
+		var w int64
+		for e := 0; e < ne; e++ {
+			if mask&(1<<e) != 0 {
+				cut = append(cut, e)
+				w += h.Weight(e)
+			}
+		}
+		if w >= best {
+			continue
+		}
+		if h.IsCut(cut, s, t) {
+			best = w
+		}
+	}
+	return best
+}
+
+// Property: MinCut matches brute-force enumeration on random small
+// hyper-graphs, and the reported cut always disconnects the terminals.
+func TestMinCutPropertyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		ne := 1 + rng.Intn(7)
+		h := New(n)
+		s, tt := 0, n-1
+		for e := 0; e < ne; e++ {
+			size := 2 + rng.Intn(3)
+			var nodes []int
+			for len(nodes) < size {
+				v := rng.Intn(n)
+				nodes = append(nodes, v)
+			}
+			// Skip edges containing both terminals (no finite cut).
+			hasS, hasT := false, false
+			for _, v := range nodes {
+				if v == s {
+					hasS = true
+				}
+				if v == tt {
+					hasT = true
+				}
+			}
+			if hasS && hasT {
+				continue
+			}
+			h.AddWeightedEdge(int64(1+rng.Intn(3)), "", nodes...)
+		}
+		res, err := h.MinCut(s, tt)
+		if err != nil {
+			return false
+		}
+		if !h.IsCut(res.Cut, s, tt) {
+			return false
+		}
+		var w int64
+		for _, e := range res.Cut {
+			w += h.Weight(e)
+		}
+		if w != res.Weight {
+			return false
+		}
+		return res.Weight == bruteMinCut(h, s, tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: V1 and V2 always partition the node set with s in V1, t in
+// V2, and no hyper-edge outside the cut spans both partitions.
+func TestMinCutPropertyPartitionsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		h := New(n)
+		s, tt := 0, n-1
+		for e := 0; e < 2+rng.Intn(6); e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if (a == s && b == tt) || (a == tt && b == s) || a == b {
+				continue
+			}
+			h.AddEdge(a, b)
+		}
+		res, err := h.MinCut(s, tt)
+		if err != nil {
+			return false
+		}
+		all := append(append([]int{}, res.V1...), res.V2...)
+		sort.Ints(all)
+		for i, v := range all {
+			if v != i {
+				return false // not a partition of 0..n-1
+			}
+		}
+		inCut := map[int]bool{}
+		for _, e := range res.Cut {
+			inCut[e] = true
+		}
+		side := make(map[int]int)
+		for _, v := range res.V1 {
+			side[v] = 1
+		}
+		for _, v := range res.V2 {
+			side[v] = 2
+		}
+		for e := 0; e < h.E(); e++ {
+			if inCut[e] {
+				continue
+			}
+			s1, s2 := false, false
+			for _, v := range h.Edge(e) {
+				if side[v] == 1 {
+					s1 = true
+				} else {
+					s2 = true
+				}
+			}
+			if s1 && s2 {
+				return false // uncut edge spans the partition
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Affine is an integer affine form c0 + Σ ci·vi over loop variables,
+// used by dependence analysis and live-range classification. Named
+// program constants are folded into the constant term when a binding is
+// supplied.
+type Affine struct {
+	Coeffs map[string]int64 // variable -> coefficient; absent means 0
+	Const  int64
+}
+
+// NewAffine returns the affine form equal to the constant c.
+func NewAffine(c int64) *Affine {
+	return &Affine{Coeffs: map[string]int64{}, Const: c}
+}
+
+// Coeff returns the coefficient of variable v.
+func (a *Affine) Coeff(v string) int64 { return a.Coeffs[v] }
+
+// IsConst reports whether the form has no variable terms.
+func (a *Affine) IsConst() bool {
+	for _, c := range a.Coeffs {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the variables with non-zero coefficients, sorted.
+func (a *Affine) Vars() []string {
+	var out []string
+	for v, c := range a.Coeffs {
+		if c != 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports whether two affine forms are identical.
+func (a *Affine) Equal(b *Affine) bool {
+	if a.Const != b.Const {
+		return false
+	}
+	for v, c := range a.Coeffs {
+		if b.Coeffs[v] != c {
+			return false
+		}
+	}
+	for v, c := range b.Coeffs {
+		if a.Coeffs[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Sub returns a - b.
+func (a *Affine) Sub(b *Affine) *Affine {
+	out := NewAffine(a.Const - b.Const)
+	for v, c := range a.Coeffs {
+		out.Coeffs[v] += c
+	}
+	for v, c := range b.Coeffs {
+		out.Coeffs[v] -= c
+	}
+	return out
+}
+
+// add returns a + b.
+func (a *Affine) add(b *Affine) *Affine {
+	out := NewAffine(a.Const + b.Const)
+	for v, c := range a.Coeffs {
+		out.Coeffs[v] += c
+	}
+	for v, c := range b.Coeffs {
+		out.Coeffs[v] += c
+	}
+	return out
+}
+
+// scale returns k·a.
+func (a *Affine) scale(k int64) *Affine {
+	out := NewAffine(a.Const * k)
+	for v, c := range a.Coeffs {
+		out.Coeffs[v] = c * k
+	}
+	return out
+}
+
+// String renders the form, e.g. "i + 2j - 1".
+func (a *Affine) String() string {
+	var parts []string
+	for _, v := range a.Vars() {
+		c := a.Coeffs[v]
+		switch c {
+		case 1:
+			parts = append(parts, v)
+		case -1:
+			parts = append(parts, "-"+v)
+		default:
+			parts = append(parts, fmt.Sprintf("%d%s", c, v))
+		}
+	}
+	if a.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprint(a.Const))
+	}
+	s := strings.Join(parts, " + ")
+	return strings.ReplaceAll(s, "+ -", "- ")
+}
+
+// AffineOf attempts to express e as an integer affine form over loop
+// variables, folding named constants through the binding consts (which
+// may be nil). It returns ok=false for non-affine expressions (products
+// of variables, divisions, calls, array loads, non-integer literals) or
+// references to scalars.
+func AffineOf(e Expr, consts map[string]int64) (*Affine, bool) {
+	switch e := e.(type) {
+	case *Num:
+		i := int64(e.Val)
+		if float64(i) != e.Val || math.IsInf(e.Val, 0) || math.IsNaN(e.Val) {
+			return nil, false
+		}
+		return NewAffine(i), true
+	case *Var:
+		if v, ok := consts[e.Name]; ok {
+			return NewAffine(v), true
+		}
+		a := NewAffine(0)
+		a.Coeffs[e.Name] = 1
+		return a, true
+	case *Neg:
+		x, ok := AffineOf(e.X, consts)
+		if !ok {
+			return nil, false
+		}
+		return x.scale(-1), true
+	case *Bin:
+		l, lok := AffineOf(e.L, consts)
+		r, rok := AffineOf(e.R, consts)
+		if !lok || !rok {
+			return nil, false
+		}
+		switch e.Op {
+		case Add:
+			return l.add(r), true
+		case Sub:
+			return l.Sub(r), true
+		case Mul:
+			if l.IsConst() {
+				return r.scale(l.Const), true
+			}
+			if r.IsConst() {
+				return l.scale(r.Const), true
+			}
+			return nil, false
+		case Div:
+			if r.IsConst() && r.Const != 0 && l.IsConst() && l.Const%r.Const == 0 {
+				return NewAffine(l.Const / r.Const), true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+}
+
+// EvalAffine evaluates the form under a variable binding; it returns an
+// error if a variable is unbound.
+func (a *Affine) Eval(bind map[string]int64) (int64, error) {
+	out := a.Const
+	for v, c := range a.Coeffs {
+		if c == 0 {
+			continue
+		}
+		val, ok := bind[v]
+		if !ok {
+			return 0, fmt.Errorf("ir: unbound variable %q in affine form", v)
+		}
+		out += c * val
+	}
+	return out, nil
+}

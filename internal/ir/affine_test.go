@@ -1,0 +1,189 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAffine(t *testing.T, e Expr, consts map[string]int64) *Affine {
+	t.Helper()
+	a, ok := AffineOf(e, consts)
+	if !ok {
+		t.Fatalf("expression %s should be affine", ExprString(e))
+	}
+	return a
+}
+
+func TestAffineConst(t *testing.T) {
+	a := mustAffine(t, N(7), nil)
+	if !a.IsConst() || a.Const != 7 {
+		t.Fatalf("got %v", a)
+	}
+}
+
+func TestAffineNonIntegerLiteral(t *testing.T) {
+	if _, ok := AffineOf(N(0.5), nil); ok {
+		t.Fatal("0.5 must not be affine-integer")
+	}
+}
+
+func TestAffineVarAndConstFold(t *testing.T) {
+	consts := map[string]int64{"N": 10}
+	a := mustAffine(t, AddE(V("i"), V("N")), consts)
+	if a.Coeff("i") != 1 || a.Const != 10 {
+		t.Fatalf("got %v", a)
+	}
+}
+
+func TestAffineLinearCombo(t *testing.T) {
+	// 2*i - 3*j + 5
+	e := AddE(SubE(MulE(N(2), V("i")), MulE(N(3), V("j"))), N(5))
+	a := mustAffine(t, e, nil)
+	if a.Coeff("i") != 2 || a.Coeff("j") != -3 || a.Const != 5 {
+		t.Fatalf("got %v", a)
+	}
+}
+
+func TestAffineNeg(t *testing.T) {
+	a := mustAffine(t, &Neg{X: V("i")}, nil)
+	if a.Coeff("i") != -1 {
+		t.Fatalf("got %v", a)
+	}
+}
+
+func TestAffineRejectsProducts(t *testing.T) {
+	if _, ok := AffineOf(MulE(V("i"), V("j")), nil); ok {
+		t.Fatal("i*j is not affine")
+	}
+}
+
+func TestAffineRejectsCallsAndRefs(t *testing.T) {
+	if _, ok := AffineOf(CallE("f", V("i")), nil); ok {
+		t.Fatal("call is not affine")
+	}
+	if _, ok := AffineOf(At("a", V("i")), nil); ok {
+		t.Fatal("array load is not affine")
+	}
+}
+
+func TestAffineConstDivision(t *testing.T) {
+	a := mustAffine(t, DivE(N(10), N(2)), nil)
+	if a.Const != 5 {
+		t.Fatalf("got %v", a)
+	}
+	if _, ok := AffineOf(DivE(V("i"), N(2)), nil); ok {
+		t.Fatal("i/2 is not integer-affine")
+	}
+	if _, ok := AffineOf(DivE(N(7), N(2)), nil); ok {
+		t.Fatal("7/2 is not an integer")
+	}
+}
+
+func TestAffineSubEqual(t *testing.T) {
+	a := mustAffine(t, AddE(V("i"), N(1)), nil)
+	b := mustAffine(t, V("i"), nil)
+	d := a.Sub(b)
+	if !d.IsConst() || d.Const != 1 {
+		t.Fatalf("difference %v", d)
+	}
+	if !a.Equal(mustAffine(t, AddE(N(1), V("i")), nil)) {
+		t.Fatal("i+1 == 1+i")
+	}
+	if a.Equal(b) {
+		t.Fatal("i+1 != i")
+	}
+}
+
+func TestAffineEqualZeroCoeffs(t *testing.T) {
+	a := NewAffine(3)
+	b := NewAffine(3)
+	b.Coeffs["i"] = 0
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("explicit zero coefficient should not break equality")
+	}
+}
+
+func TestAffineEval(t *testing.T) {
+	a := mustAffine(t, AddE(MulE(N(2), V("i")), V("j")), nil)
+	v, err := a.Eval(map[string]int64{"i": 3, "j": 4})
+	if err != nil || v != 10 {
+		t.Fatalf("eval = %d, %v", v, err)
+	}
+	if _, err := a.Eval(map[string]int64{"i": 3}); err == nil {
+		t.Fatal("unbound variable should error")
+	}
+}
+
+func TestAffineString(t *testing.T) {
+	a := NewAffine(-1)
+	a.Coeffs["i"] = 1
+	a.Coeffs["j"] = 2
+	if got := a.String(); got != "i + 2j - 1" {
+		t.Fatalf("got %q", got)
+	}
+	if got := NewAffine(0).String(); got != "0" {
+		t.Fatalf("zero renders as %q", got)
+	}
+}
+
+// Property: AffineOf agrees with direct evaluation on random affine
+// expression trees.
+func TestAffinePropertyEvalAgrees(t *testing.T) {
+	vars := []string{"i", "j", "k"}
+	bind := map[string]int64{"i": 5, "j": -3, "k": 11}
+	var gen func(rng *rand.Rand, depth int) Expr
+	gen = func(rng *rand.Rand, depth int) Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return N(float64(rng.Intn(21) - 10))
+			}
+			return V(vars[rng.Intn(len(vars))])
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return AddE(gen(rng, depth-1), gen(rng, depth-1))
+		case 1:
+			return SubE(gen(rng, depth-1), gen(rng, depth-1))
+		case 2:
+			return MulE(N(float64(rng.Intn(7)-3)), gen(rng, depth-1))
+		default:
+			return &Neg{X: gen(rng, depth-1)}
+		}
+	}
+	var evalDirect func(e Expr) int64
+	evalDirect = func(e Expr) int64 {
+		switch e := e.(type) {
+		case *Num:
+			return int64(e.Val)
+		case *Var:
+			return bind[e.Name]
+		case *Neg:
+			return -evalDirect(e.X)
+		case *Bin:
+			l, r := evalDirect(e.L), evalDirect(e.R)
+			switch e.Op {
+			case Add:
+				return l + r
+			case Sub:
+				return l - r
+			case Mul:
+				return l * r
+			}
+		}
+		panic("unreachable")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := gen(rng, 4)
+		a, ok := AffineOf(e, nil)
+		if !ok {
+			return false
+		}
+		got, err := a.Eval(bind)
+		return err == nil && got == evalDirect(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package ir
+
+// Convenience constructors for building IR programmatically. These keep
+// kernel definitions in internal/kernels readable: each helper returns
+// the node so construction composes as an expression tree.
+
+// NewProgram returns an empty named program.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, Consts: map[string]int64{}}
+}
+
+// DeclareConst adds a named integer constant and returns the program for
+// chaining.
+func (p *Program) DeclareConst(name string, v int64) *Program {
+	p.Consts[name] = v
+	return p
+}
+
+// DeclareArray adds an array declaration and returns it.
+func (p *Program) DeclareArray(name string, dims ...int) *Array {
+	a := &Array{Name: name, Dims: dims}
+	p.Arrays = append(p.Arrays, a)
+	return a
+}
+
+// DeclareScalar adds a scalar declaration and returns it.
+func (p *Program) DeclareScalar(name string) *Scalar {
+	s := &Scalar{Name: name}
+	p.Scalars = append(p.Scalars, s)
+	return s
+}
+
+// DeclareScalarInit adds a scalar with an initial value.
+func (p *Program) DeclareScalarInit(name string, init float64) *Scalar {
+	s := &Scalar{Name: name, Init: init}
+	p.Scalars = append(p.Scalars, s)
+	return s
+}
+
+// AddNest appends a labeled nest with the given body.
+func (p *Program) AddNest(label string, body ...Stmt) *Nest {
+	n := &Nest{Label: label, Body: body}
+	p.Nests = append(p.Nests, n)
+	return n
+}
+
+// N is a numeric literal.
+func N(v float64) *Num { return &Num{Val: v} }
+
+// V references a scalar, constant, or loop variable.
+func V(name string) *Var { return &Var{Name: name} }
+
+// At references an array element.
+func At(name string, index ...Expr) *Ref { return &Ref{Name: name, Index: index} }
+
+// S references a scalar as an assignable Ref.
+func S(name string) *Ref { return &Ref{Name: name} }
+
+// BinOp builders.
+
+// AddE returns l + r.
+func AddE(l, r Expr) *Bin { return &Bin{Op: Add, L: l, R: r} }
+
+// SubE returns l - r.
+func SubE(l, r Expr) *Bin { return &Bin{Op: Sub, L: l, R: r} }
+
+// MulE returns l * r.
+func MulE(l, r Expr) *Bin { return &Bin{Op: Mul, L: l, R: r} }
+
+// DivE returns l / r.
+func DivE(l, r Expr) *Bin { return &Bin{Op: Div, L: l, R: r} }
+
+// CmpE returns the comparison l op r.
+func CmpE(op Op, l, r Expr) *Bin { return &Bin{Op: op, L: l, R: r} }
+
+// CallE returns the intrinsic call fn(args...).
+func CallE(fn string, args ...Expr) *Call { return &Call{Fn: fn, Args: args} }
+
+// Let returns the assignment lhs = rhs.
+func Let(lhs *Ref, rhs Expr) *Assign { return &Assign{LHS: lhs, RHS: rhs} }
+
+// Acc returns the accumulation lhs = lhs + rhs.
+func Acc(lhs *Ref, rhs Expr) *Assign {
+	// The LHS Ref is reused as a load on the right-hand side; clone it
+	// so later rewrites of one occurrence do not alias the other.
+	load := &Ref{Name: lhs.Name, Index: append([]Expr(nil), lhs.Index...)}
+	return &Assign{LHS: lhs, RHS: AddE(load, rhs)}
+}
+
+// Loop returns for v = lo, hi { body } with unit step.
+func Loop(v string, lo, hi Expr, body ...Stmt) *For {
+	return &For{Var: v, Lo: lo, Hi: hi, Body: body}
+}
+
+// LoopStep returns for v = lo, hi step s { body }.
+func LoopStep(v string, lo, hi Expr, step int, body ...Stmt) *For {
+	return &For{Var: v, Lo: lo, Hi: hi, Step: step, Body: body}
+}
+
+// When returns if cond { then... }.
+func When(cond Expr, then ...Stmt) *If { return &If{Cond: cond, Then: then} }
+
+// WhenElse returns if cond { then } else { els }.
+func WhenElse(cond Expr, then, els []Stmt) *If { return &If{Cond: cond, Then: then, Else: els} }
+
+// Input returns read(target).
+func Input(target *Ref) *ReadInput { return &ReadInput{Target: target} }
+
+// Show returns print(arg).
+func Show(arg Expr) *Print { return &Print{Arg: arg} }

@@ -1,0 +1,96 @@
+package ir
+
+// Deep-copy support. Transformations clone programs before rewriting so
+// that the original IR survives for before/after comparisons.
+
+// Clone returns a deep copy of the program. The copy shares nothing
+// with the original.
+func (p *Program) Clone() *Program {
+	q := &Program{Name: p.Name, Consts: map[string]int64{}}
+	for k, v := range p.Consts {
+		q.Consts[k] = v
+	}
+	for _, a := range p.Arrays {
+		q.Arrays = append(q.Arrays, &Array{Name: a.Name, Dims: append([]int(nil), a.Dims...)})
+	}
+	for _, s := range p.Scalars {
+		q.Scalars = append(q.Scalars, &Scalar{Name: s.Name, Init: s.Init})
+	}
+	for _, n := range p.Nests {
+		q.Nests = append(q.Nests, n.Clone())
+	}
+	return q
+}
+
+// Clone returns a deep copy of the nest.
+func (n *Nest) Clone() *Nest {
+	return &Nest{Label: n.Label, Body: CloneStmts(n.Body)}
+}
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(ss []Stmt) []Stmt {
+	if ss == nil {
+		return nil
+	}
+	out := make([]Stmt, len(ss))
+	for i, s := range ss {
+		out[i] = CloneStmt(s)
+	}
+	return out
+}
+
+// CloneStmt deep-copies one statement.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *For:
+		return &For{Var: s.Var, Lo: CloneExpr(s.Lo), Hi: CloneExpr(s.Hi), Step: s.Step, Body: CloneStmts(s.Body)}
+	case *Assign:
+		return &Assign{LHS: CloneRef(s.LHS), RHS: CloneExpr(s.RHS)}
+	case *If:
+		return &If{Cond: CloneExpr(s.Cond), Then: CloneStmts(s.Then), Else: CloneStmts(s.Else)}
+	case *ReadInput:
+		return &ReadInput{Target: CloneRef(s.Target)}
+	case *Print:
+		return &Print{Arg: CloneExpr(s.Arg)}
+	default:
+		panic("ir: CloneStmt: unknown statement type")
+	}
+}
+
+// CloneRef deep-copies a reference.
+func CloneRef(r *Ref) *Ref {
+	if r == nil {
+		return nil
+	}
+	out := &Ref{Name: r.Name}
+	for _, ix := range r.Index {
+		out.Index = append(out.Index, CloneExpr(ix))
+	}
+	return out
+}
+
+// CloneExpr deep-copies an expression.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *Num:
+		return &Num{Val: e.Val}
+	case *Var:
+		return &Var{Name: e.Name}
+	case *Ref:
+		return CloneRef(e)
+	case *Bin:
+		return &Bin{Op: e.Op, L: CloneExpr(e.L), R: CloneExpr(e.R)}
+	case *Neg:
+		return &Neg{X: CloneExpr(e.X)}
+	case *Call:
+		out := &Call{Fn: e.Fn}
+		for _, a := range e.Args {
+			out.Args = append(out.Args, CloneExpr(a))
+		}
+		return out
+	default:
+		panic("ir: CloneExpr: unknown expression type")
+	}
+}

@@ -1,0 +1,243 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTwoLoop builds the Section 2.1 example: write loop + reduce loop.
+func buildTwoLoop() *Program {
+	p := NewProgram("sec21")
+	p.DeclareConst("N", 100)
+	p.DeclareArray("a", 100)
+	p.DeclareScalar("sum")
+	p.AddNest("L1",
+		Loop("i", N(0), SubE(V("N"), N(1)),
+			Let(At("a", V("i")), AddE(At("a", V("i")), N(0.4)))))
+	p.AddNest("L2",
+		Loop("i", N(0), SubE(V("N"), N(1)),
+			Acc(S("sum"), At("a", V("i")))))
+	return p
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := buildTwoLoop().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDuplicateNames(t *testing.T) {
+	p := NewProgram("dup")
+	p.DeclareArray("x", 10)
+	p.DeclareScalar("x")
+	if err := p.Validate(); err == nil {
+		t.Fatal("duplicate declaration not caught")
+	}
+}
+
+func TestValidateUndeclaredArray(t *testing.T) {
+	p := NewProgram("bad")
+	p.AddNest("L1", Loop("i", N(0), N(9), Let(At("ghost", V("i")), N(1))))
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("undeclared array not caught: %v", err)
+	}
+}
+
+func TestValidateRankMismatch(t *testing.T) {
+	p := NewProgram("bad")
+	p.DeclareArray("a", 10, 10)
+	p.AddNest("L1", Loop("i", N(0), N(9), Let(At("a", V("i")), N(1))))
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "rank") {
+		t.Fatalf("rank mismatch not caught: %v", err)
+	}
+}
+
+func TestValidateLoopVarShadow(t *testing.T) {
+	p := NewProgram("bad")
+	p.DeclareScalar("i")
+	p.AddNest("L1", Loop("i", N(0), N(9), Let(S("i"), N(1))))
+	if err := p.Validate(); err == nil {
+		t.Fatal("loop var shadowing scalar not caught")
+	}
+}
+
+func TestValidateNestedShadow(t *testing.T) {
+	p := NewProgram("bad")
+	p.DeclareArray("a", 10)
+	p.AddNest("L1", Loop("i", N(0), N(9),
+		Loop("i", N(0), N(9), Let(At("a", V("i")), N(1)))))
+	if err := p.Validate(); err == nil {
+		t.Fatal("nested loop var shadow not caught")
+	}
+}
+
+func TestValidateAssignToLoopVar(t *testing.T) {
+	p := NewProgram("bad")
+	p.AddNest("L1", Loop("i", N(0), N(9), Let(S("i"), N(1))))
+	if err := p.Validate(); err == nil {
+		t.Fatal("assignment to loop variable not caught")
+	}
+}
+
+func TestValidateDuplicateLabels(t *testing.T) {
+	p := NewProgram("bad")
+	p.AddNest("L1", Show(N(1)))
+	p.AddNest("L1", Show(N(2)))
+	if err := p.Validate(); err == nil {
+		t.Fatal("duplicate labels not caught")
+	}
+}
+
+func TestValidateBadExtent(t *testing.T) {
+	p := NewProgram("bad")
+	p.DeclareArray("a", 0)
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero extent not caught")
+	}
+}
+
+func TestArrayGeometry(t *testing.T) {
+	a := &Array{Name: "a", Dims: []int{3, 4}}
+	if a.Size() != 12 || a.Bytes() != 96 {
+		t.Fatalf("Size=%d Bytes=%d", a.Size(), a.Bytes())
+	}
+}
+
+func TestArraysAccessed(t *testing.T) {
+	p := buildTwoLoop()
+	got := p.Nests[0].ArraysAccessed(p)
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("arrays = %v", got)
+	}
+}
+
+func TestReadsWritesArray(t *testing.T) {
+	p := buildTwoLoop()
+	if !p.Nests[0].ReadsArray(p, "a") || !p.Nests[0].WritesArray(p, "a") {
+		t.Fatal("L1 both reads and writes a")
+	}
+	if !p.Nests[1].ReadsArray(p, "a") || p.Nests[1].WritesArray(p, "a") {
+		t.Fatal("L2 reads but does not write a")
+	}
+}
+
+func TestWalkRefsCountsAndFlags(t *testing.T) {
+	p := buildTwoLoop()
+	var reads, writes int
+	WalkRefs(p.Nests[0].Body, p, func(r *Ref, w bool) {
+		if w {
+			writes++
+		} else {
+			reads++
+		}
+	})
+	if reads != 1 || writes != 1 {
+		t.Fatalf("reads=%d writes=%d, want 1/1", reads, writes)
+	}
+}
+
+func TestWalkRefsIgnoresScalars(t *testing.T) {
+	p := buildTwoLoop()
+	WalkRefs(p.Nests[1].Body, p, func(r *Ref, w bool) {
+		if r.Name == "sum" {
+			t.Fatal("scalar surfaced in WalkRefs")
+		}
+	})
+}
+
+func TestNestLookup(t *testing.T) {
+	p := buildTwoLoop()
+	if p.NestByLabel("L2") != p.Nests[1] {
+		t.Fatal("NestByLabel failed")
+	}
+	if p.NestByLabel("nope") != nil {
+		t.Fatal("missing label should be nil")
+	}
+	if p.NestIndex(p.Nests[1]) != 1 {
+		t.Fatal("NestIndex failed")
+	}
+}
+
+func TestOuterLoop(t *testing.T) {
+	p := buildTwoLoop()
+	if p.Nests[0].OuterLoop() == nil {
+		t.Fatal("single For body should expose outer loop")
+	}
+	n := &Nest{Label: "X", Body: []Stmt{Show(N(1)), Show(N(2))}}
+	if n.OuterLoop() != nil {
+		t.Fatal("multi-stmt nest has no single outer loop")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := buildTwoLoop()
+	q := p.Clone()
+	// Mutate the clone thoroughly; the original must be untouched.
+	q.Name = "other"
+	q.Consts["N"] = 5
+	q.Arrays[0].Dims[0] = 1
+	q.Nests[0].Label = "Z1"
+	f := q.Nests[0].Body[0].(*For)
+	f.Var = "k"
+	if p.Name != "sec21" || p.Consts["N"] != 100 || p.Arrays[0].Dims[0] != 100 {
+		t.Fatal("clone shares state with original")
+	}
+	if p.Nests[0].Label != "L1" || p.Nests[0].Body[0].(*For).Var != "i" {
+		t.Fatal("clone shares nests with original")
+	}
+}
+
+func TestCloneValidates(t *testing.T) {
+	q := buildTwoLoop().Clone()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintContainsStructure(t *testing.T) {
+	s := buildTwoLoop().String()
+	for _, want := range []string{"program sec21", "const N = 100", "array a[100]",
+		"scalar sum", "loop L1 {", "for i = 0, N - 1 {", "a[i] = a[i] + 0.4", "sum = sum + a[i]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("printed program missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExprStringPrecedence(t *testing.T) {
+	// (a+b)*c needs parens; a+b*c does not.
+	e1 := MulE(AddE(V("a"), V("b")), V("c"))
+	if got := ExprString(e1); got != "(a + b) * c" {
+		t.Fatalf("got %q", got)
+	}
+	e2 := AddE(V("a"), MulE(V("b"), V("c")))
+	if got := ExprString(e2); got != "a + b * c" {
+		t.Fatalf("got %q", got)
+	}
+	// Subtraction right-associativity: a - (b - c) keeps parens.
+	e3 := SubE(V("a"), SubE(V("b"), V("c")))
+	if got := ExprString(e3); got != "a - (b - c)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Add.String() != "+" || Le.String() != "<=" || Or.String() != "||" {
+		t.Fatal("operator rendering wrong")
+	}
+	if !Mul.IsArith() || Lt.IsArith() {
+		t.Fatal("IsArith wrong")
+	}
+}
+
+func TestAccBuildsIndependentLoad(t *testing.T) {
+	lhs := At("a", V("i"))
+	a := Acc(lhs, N(1))
+	load := a.RHS.(*Bin).L.(*Ref)
+	if load == lhs {
+		t.Fatal("Acc must clone the LHS for its load")
+	}
+	if load.Name != "a" {
+		t.Fatal("load names wrong array")
+	}
+}

@@ -1,0 +1,162 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pretty printer. The output is the concrete syntax accepted by
+// internal/lang, so Print and lang.Parse round-trip.
+
+// String renders the whole program in source form.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	consts := make([]string, 0, len(p.Consts))
+	for k := range p.Consts {
+		consts = append(consts, k)
+	}
+	sort.Strings(consts)
+	for _, k := range consts {
+		fmt.Fprintf(&b, "const %s = %d\n", k, p.Consts[k])
+	}
+	for _, a := range p.Arrays {
+		dims := make([]string, len(a.Dims))
+		for i, d := range a.Dims {
+			dims[i] = fmt.Sprint(d)
+		}
+		fmt.Fprintf(&b, "array %s[%s]\n", a.Name, strings.Join(dims, ","))
+	}
+	for _, s := range p.Scalars {
+		if s.Init != 0 {
+			fmt.Fprintf(&b, "scalar %s = %s\n", s.Name, fmtFloat(s.Init))
+		} else {
+			fmt.Fprintf(&b, "scalar %s\n", s.Name)
+		}
+	}
+	for _, n := range p.Nests {
+		b.WriteString("\n")
+		b.WriteString(n.String())
+	}
+	return b.String()
+}
+
+// String renders one nest.
+func (n *Nest) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop %s {\n", n.Label)
+	writeStmts(&b, n.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func writeStmts(b *strings.Builder, ss []Stmt, depth int) {
+	for _, s := range ss {
+		writeStmt(b, s, depth)
+	}
+}
+
+func writeStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch s := s.(type) {
+	case *For:
+		if s.StepOr1() == 1 {
+			fmt.Fprintf(b, "for %s = %s, %s {\n", s.Var, ExprString(s.Lo), ExprString(s.Hi))
+		} else {
+			fmt.Fprintf(b, "for %s = %s, %s step %d {\n", s.Var, ExprString(s.Lo), ExprString(s.Hi), s.StepOr1())
+		}
+		writeStmts(b, s.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *Assign:
+		fmt.Fprintf(b, "%s = %s\n", refString(s.LHS), ExprString(s.RHS))
+	case *If:
+		fmt.Fprintf(b, "if %s {\n", ExprString(s.Cond))
+		writeStmts(b, s.Then, depth+1)
+		indent(b, depth)
+		if len(s.Else) > 0 {
+			b.WriteString("} else {\n")
+			writeStmts(b, s.Else, depth+1)
+			indent(b, depth)
+		}
+		b.WriteString("}\n")
+	case *ReadInput:
+		fmt.Fprintf(b, "read %s\n", refString(s.Target))
+	case *Print:
+		fmt.Fprintf(b, "print %s\n", ExprString(s.Arg))
+	}
+}
+
+func refString(r *Ref) string {
+	if r.IsScalar() {
+		return r.Name
+	}
+	parts := make([]string, len(r.Index))
+	for i, ix := range r.Index {
+		parts[i] = ExprString(ix)
+	}
+	return r.Name + "[" + strings.Join(parts, ",") + "]"
+}
+
+func fmtFloat(v float64) string {
+	// %g renders integers without a decimal point ("0", "100") and
+	// fractions compactly ("0.4", "1e+06"); the lang lexer accepts both.
+	return fmt.Sprintf("%g", v)
+}
+
+// precedence for parenthesization, higher binds tighter.
+func prec(op Op) int {
+	switch op {
+	case Or:
+		return 1
+	case And:
+		return 2
+	case Lt, Le, Gt, Ge, Eq, Ne:
+		return 3
+	case Add, Sub:
+		return 4
+	default: // Mul, Div
+		return 5
+	}
+}
+
+// ExprString renders an expression in concrete syntax.
+func ExprString(e Expr) string {
+	return exprString(e, 0)
+}
+
+func exprString(e Expr, parent int) string {
+	switch e := e.(type) {
+	case *Num:
+		return fmtFloat(e.Val)
+	case *Var:
+		return e.Name
+	case *Ref:
+		return refString(e)
+	case *Neg:
+		return "-" + exprString(e.X, 6)
+	case *Call:
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			parts[i] = exprString(a, 0)
+		}
+		return e.Fn + "(" + strings.Join(parts, ",") + ")"
+	case *Bin:
+		p := prec(e.Op)
+		// Left-associative: right child needs parens at equal precedence.
+		s := exprString(e.L, p) + " " + e.Op.String() + " " + exprString(e.R, p+1)
+		if p < parent {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}

@@ -1,0 +1,139 @@
+package ir
+
+// SubstVar replaces every occurrence of the variable old (as a *Var and
+// as a loop induction variable) with the expression repl, mutating the
+// statement list in place. When repl is itself a *Var, loop headers
+// using old are renamed; otherwise loops over old are left untouched
+// (their bodies shadow the name) and only free occurrences change.
+func SubstVar(stmts []Stmt, old string, repl Expr) {
+	substStmts(stmts, old, repl)
+}
+
+func substStmts(ss []Stmt, old string, repl Expr) {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *For:
+			s.Lo = substExpr(s.Lo, old, repl)
+			s.Hi = substExpr(s.Hi, old, repl)
+			if s.Var == old {
+				if v, ok := repl.(*Var); ok {
+					s.Var = v.Name
+					substStmts(s.Body, old, repl)
+				}
+				// Non-variable replacement: the loop rebinds the name,
+				// so inner occurrences refer to the loop variable.
+				continue
+			}
+			substStmts(s.Body, old, repl)
+		case *Assign:
+			substRef(s.LHS, old, repl)
+			s.RHS = substExpr(s.RHS, old, repl)
+		case *If:
+			s.Cond = substExpr(s.Cond, old, repl)
+			substStmts(s.Then, old, repl)
+			substStmts(s.Else, old, repl)
+		case *ReadInput:
+			substRef(s.Target, old, repl)
+		case *Print:
+			s.Arg = substExpr(s.Arg, old, repl)
+		}
+	}
+}
+
+func substRef(r *Ref, old string, repl Expr) {
+	for i, ix := range r.Index {
+		r.Index[i] = substExpr(ix, old, repl)
+	}
+}
+
+func substExpr(e Expr, old string, repl Expr) Expr {
+	switch e := e.(type) {
+	case *Var:
+		if e.Name == old {
+			return CloneExpr(repl)
+		}
+		return e
+	case *Ref:
+		substRef(e, old, repl)
+		return e
+	case *Bin:
+		e.L = substExpr(e.L, old, repl)
+		e.R = substExpr(e.R, old, repl)
+		return e
+	case *Neg:
+		e.X = substExpr(e.X, old, repl)
+		return e
+	case *Call:
+		for i, a := range e.Args {
+			e.Args[i] = substExpr(a, old, repl)
+		}
+		return e
+	default:
+		return e
+	}
+}
+
+// UsesVar reports whether the statement list references the named
+// variable (as a *Var, loop bound, or loop variable).
+func UsesVar(stmts []Stmt, name string) bool {
+	found := false
+	var visitExpr func(Expr)
+	visitExpr = func(e Expr) {
+		switch e := e.(type) {
+		case *Var:
+			if e.Name == name {
+				found = true
+			}
+		case *Ref:
+			for _, ix := range e.Index {
+				visitExpr(ix)
+			}
+		case *Bin:
+			visitExpr(e.L)
+			visitExpr(e.R)
+		case *Neg:
+			visitExpr(e.X)
+		case *Call:
+			for _, a := range e.Args {
+				visitExpr(a)
+			}
+		}
+	}
+	var visit func([]Stmt)
+	visit = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *For:
+				if s.Var == name {
+					found = true
+				}
+				visitExpr(s.Lo)
+				visitExpr(s.Hi)
+				visit(s.Body)
+			case *Assign:
+				if s.LHS.IsScalar() && s.LHS.Name == name {
+					found = true
+				}
+				for _, ix := range s.LHS.Index {
+					visitExpr(ix)
+				}
+				visitExpr(s.RHS)
+			case *If:
+				visitExpr(s.Cond)
+				visit(s.Then)
+				visit(s.Else)
+			case *ReadInput:
+				if s.Target.IsScalar() && s.Target.Name == name {
+					found = true
+				}
+				for _, ix := range s.Target.Index {
+					visitExpr(ix)
+				}
+			case *Print:
+				visitExpr(s.Arg)
+			}
+		}
+	}
+	visit(stmts)
+	return found
+}

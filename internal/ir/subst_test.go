@@ -1,0 +1,146 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSubstVarSimple(t *testing.T) {
+	// b[j] = a[j] + j  with j -> i
+	ss := []Stmt{Let(At("b", V("j")), AddE(At("a", V("j")), V("j")))}
+	SubstVar(ss, "j", V("i"))
+	got := strings.TrimSpace(renderStmts(ss))
+	if got != "b[i] = a[i] + i" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSubstVarWithExpression(t *testing.T) {
+	// a[j] = j  with j -> N (a constant expression)
+	ss := []Stmt{Let(At("a", V("j")), V("j"))}
+	SubstVar(ss, "j", N(5))
+	got := strings.TrimSpace(renderStmts(ss))
+	if got != "a[5] = 5" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSubstVarLoopRename(t *testing.T) {
+	// Renaming a loop variable rewrites the header and body.
+	f := Loop("j", N(0), V("N"), Let(At("a", V("j")), N(1)))
+	SubstVar([]Stmt{f}, "j", V("i"))
+	if f.Var != "i" {
+		t.Fatalf("loop var = %q", f.Var)
+	}
+	if !UsesVar(f.Body, "i") || UsesVar(f.Body, "j") {
+		t.Fatal("body not renamed")
+	}
+}
+
+func TestSubstVarShadowing(t *testing.T) {
+	// A loop over the substituted name rebinds it: the inner body must
+	// not change when the replacement is not a variable.
+	inner := Loop("j", N(0), N(3), Let(At("a", V("j")), N(1)))
+	ss := []Stmt{Let(At("a", V("j")), N(0)), inner}
+	SubstVar(ss, "j", N(9))
+	// The first statement's j was free: substituted.
+	if got := ExprString(ss[0].(*Assign).LHS.Index[0]); got != "9" {
+		t.Fatalf("free occurrence not substituted: %q", got)
+	}
+	// The loop's own variable and its body occurrences stay.
+	if inner.Var != "j" || !UsesVar(inner.Body, "j") {
+		t.Fatal("shadowed occurrences were substituted")
+	}
+}
+
+func TestSubstVarBoundsSubstitutedBeforeShadow(t *testing.T) {
+	// Loop bounds are evaluated in the enclosing scope: for j = k, k+2
+	// with k substituted must rewrite the bounds.
+	f := Loop("j", V("k"), AddE(V("k"), N(2)), Show(V("j")))
+	SubstVar([]Stmt{f}, "k", N(4))
+	if ExprString(f.Lo) != "4" || ExprString(f.Hi) != "4 + 2" {
+		t.Fatalf("bounds = %s, %s", ExprString(f.Lo), ExprString(f.Hi))
+	}
+}
+
+func TestSubstVarInIfReadPrint(t *testing.T) {
+	ss := []Stmt{
+		When(CmpE(Ge, V("j"), N(1)), Show(V("j"))),
+		Input(At("a", V("j"))),
+	}
+	SubstVar(ss, "j", V("m"))
+	text := renderStmts(ss)
+	if strings.Contains(text, "j") {
+		t.Fatalf("j survived:\n%s", text)
+	}
+}
+
+func TestUsesVar(t *testing.T) {
+	ss := []Stmt{
+		Loop("i", N(0), V("N"),
+			When(CmpE(Lt, V("i"), V("half")),
+				Let(S("s"), CallE("f", V("i"), &Neg{X: V("w")})))),
+	}
+	for _, name := range []string{"i", "N", "half", "s", "w"} {
+		if !UsesVar(ss, name) {
+			t.Fatalf("UsesVar(%q) = false", name)
+		}
+	}
+	if UsesVar(ss, "zz") {
+		t.Fatal("phantom variable reported")
+	}
+	// Loop variable as a binding also counts.
+	if !UsesVar([]Stmt{Loop("k", N(0), N(1))}, "k") {
+		t.Fatal("loop binding not reported")
+	}
+	// ReadInput target.
+	if !UsesVar([]Stmt{Input(S("t"))}, "t") {
+		t.Fatal("read target not reported")
+	}
+}
+
+// renderStmts prints statements via a scratch nest.
+func renderStmts(ss []Stmt) string {
+	n := &Nest{Label: "X", Body: ss}
+	s := n.String()
+	s = strings.TrimPrefix(s, "loop X {\n")
+	s = strings.TrimSuffix(s, "}\n")
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		out = append(out, strings.TrimSpace(line))
+	}
+	return strings.TrimSpace(strings.Join(out, "\n"))
+}
+
+func TestPrintIfElseAndStep(t *testing.T) {
+	ss := []Stmt{
+		LoopStep("i", N(0), N(9), 3,
+			WhenElse(CmpE(Eq, V("i"), N(0)),
+				[]Stmt{Let(S("s"), N(1))},
+				[]Stmt{Let(S("s"), N(2))}),
+			Input(At("a", V("i"))),
+			Show(V("s"))),
+	}
+	text := renderStmts(ss)
+	for _, want := range []string{"step 3", "} else {", "read a[i]", "print s"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestPrintNegAndCall(t *testing.T) {
+	e := MulE(&Neg{X: V("x")}, CallE("max", V("a"), N(2)))
+	if got := ExprString(e); got != "-x * max(a,2)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPrintComparisonsAndLogic(t *testing.T) {
+	e := &Bin{Op: And,
+		L: CmpE(Le, V("i"), N(5)),
+		R: &Bin{Op: Or, L: CmpE(Ne, V("j"), N(0)), R: CmpE(Gt, V("k"), N(1))}}
+	if got := ExprString(e); got != "i <= 5 && (j != 0 || k > 1)" {
+		t.Fatalf("got %q", got)
+	}
+}

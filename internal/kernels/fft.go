@@ -1,0 +1,109 @@
+package kernels
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/ir"
+)
+
+// FFT is an iterative radix-2 Cooley–Tukey transform over split
+// real/imaginary arrays: bit-reversal permutation followed by log2(n)
+// butterfly passes. n must be a power of two. Each pass streams both
+// arrays, giving the moderate memory balance Figure 1 reports (~2.7
+// B/flop) once n exceeds the cache.
+//
+// The kernel leans on the IR's integer scalar arithmetic: bit reversal
+// and butterfly indexing are computed with mod/div on scalars, and
+// twiddle factors with the sin/cos intrinsics.
+func FFT(n int) (*ir.Program, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("kernels: FFT size %d is not a power of two", n)
+	}
+	logn := bits.Len(uint(n)) - 1
+	src := fmt.Sprintf(`
+program fft
+const N = %d
+const LOGN = %d
+array re[N]
+array im[N]
+scalar t
+scalar r
+scalar tmp
+scalar len
+scalar half
+scalar ang
+scalar wr
+scalar wi
+scalar ur
+scalar ui
+scalar vr
+scalar vi
+scalar sum
+
+loop Input {
+  for i = 0, N - 1 {
+    read re[i]
+    im[i] = 0
+  }
+}
+
+loop BitReverse {
+  for i = 0, N - 1 {
+    t = i
+    r = 0
+    for bit = 1, LOGN {
+      r = r * 2 + mod(t, 2)
+      t = (t - mod(t, 2)) / 2
+    }
+    if r > i {
+      tmp = re[i]
+      re[i] = re[r]
+      re[r] = tmp
+      tmp = im[i]
+      im[i] = im[r]
+      im[r] = tmp
+    }
+  }
+}
+
+loop Butterflies {
+  len = 2
+  for s = 1, LOGN {
+    half = len / 2
+    for grp = 0, N / len - 1 {
+      for o = 0, half - 1 {
+        ang = 0 - 6.283185307179586 * o / len
+        wr = cos(ang)
+        wi = sin(ang)
+        ur = re[grp * len + o]
+        ui = im[grp * len + o]
+        vr = wr * re[grp * len + o + half] - wi * im[grp * len + o + half]
+        vi = wr * im[grp * len + o + half] + wi * re[grp * len + o + half]
+        re[grp * len + o] = ur + vr
+        im[grp * len + o] = ui + vi
+        re[grp * len + o + half] = ur - vr
+        im[grp * len + o + half] = ui - vi
+      }
+    }
+    len = len * 2
+  }
+}
+
+loop Check {
+  sum = 0
+  for i = 0, N - 1 { sum = sum + re[i] + im[i] }
+  print sum
+}
+`, n, logn)
+	return mustParse(src), nil
+}
+
+// MustFFT panics on a bad size.
+func MustFFT(n int) *ir.Program {
+	p, err := FFT(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

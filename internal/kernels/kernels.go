@@ -1,0 +1,298 @@
+// Package kernels provides every program of the paper's evaluation,
+// expressed in the loop-nest IR: the Section 2.1 write-vs-read pair,
+// the Figure 1 application set (convolution, dmxpy, matrix multiply in
+// -O2 and -O3 flavours, FFT, an SP-like ADI solver, a Sweep3D-like
+// wavefront sweep), the Figure 3 stride-one kernels, and the Figure 6
+// and Figure 7 example programs in their original and hand-transformed
+// forms.
+//
+// Kernels are built from concrete syntax via the lang parser; sizes are
+// parameters so tests run small and the benchmark harness runs at
+// paper scale.
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+)
+
+func mustParse(src string) *ir.Program { return lang.MustParse(src) }
+
+// Sec21Write is the first loop of Section 2.1: a read-modify-write
+// sweep ("A[i] = A[i] + 0.4") whose writebacks double its memory
+// traffic.
+func Sec21Write(n int) *ir.Program {
+	return mustParse(fmt.Sprintf(`
+program sec21_write
+const N = %d
+array a[N]
+loop L1 {
+  for i = 0, N - 1 { a[i] = a[i] + 0.4 }
+}
+`, n))
+}
+
+// Sec21Read is the second loop of Section 2.1: a pure reduction with
+// the same reads and the same flop count, but no writebacks.
+func Sec21Read(n int) *ir.Program {
+	return mustParse(fmt.Sprintf(`
+program sec21_read
+const N = %d
+array a[N]
+scalar sum
+loop L1 {
+  for i = 0, N - 1 { sum = sum + a[i] }
+}
+`, n))
+}
+
+// Sec21Pair is both loops in one program — the fusion candidate used by
+// the optimization experiments.
+func Sec21Pair(n int) *ir.Program {
+	return mustParse(fmt.Sprintf(`
+program sec21
+const N = %d
+array a[N]
+scalar sum
+loop L1 {
+  for i = 0, N - 1 { a[i] = a[i] + 0.4 }
+}
+loop L2 {
+  for i = 0, N - 1 { sum = sum + a[i] }
+}
+`, n))
+}
+
+// StrideKernelNames lists the Figure 3 kernels in the paper's plot
+// order. Each kernel "XwYr" reads Y arrays and writes X of them, all in
+// unit stride.
+var StrideKernelNames = []string{
+	"1w1r", "2w2r", "3w3r", "1w2r", "1w3r", "1w4r", "2w3r", "2w5r", "3w6r",
+	"0w1r", "0w2r", "0w3r",
+}
+
+// StrideKernel builds one of the Figure 3 kernels over arrays of n
+// elements.
+func StrideKernel(name string, n int) (*ir.Program, error) {
+	body, arrays, ok := strideBody(name)
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown stride kernel %q", name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "program k%s\nconst N = %d\n", name, n)
+	for _, a := range arrays {
+		fmt.Fprintf(&b, "array %s[N]\n", a)
+	}
+	b.WriteString("scalar sum\nloop L1 {\n  for i = 0, N - 1 {\n")
+	for _, line := range body {
+		fmt.Fprintf(&b, "    %s\n", line)
+	}
+	b.WriteString("  }\n}\n")
+	return lang.Parse(b.String())
+}
+
+// MustStrideKernel panics on unknown names; for tests and the harness.
+func MustStrideKernel(name string, n int) *ir.Program {
+	p, err := StrideKernel(name, n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func strideBody(name string) (body []string, arrays []string, ok bool) {
+	switch name {
+	case "1w1r":
+		return []string{"a[i] = a[i] + 0.5"}, []string{"a"}, true
+	case "2w2r":
+		return []string{"a[i] = a[i] + 0.5", "b[i] = b[i] + 0.5"}, []string{"a", "b"}, true
+	case "3w3r":
+		return []string{"a[i] = a[i] + 0.5", "b[i] = b[i] + 0.5", "c[i] = c[i] + 0.5"},
+			[]string{"a", "b", "c"}, true
+	case "1w2r":
+		return []string{"a[i] = a[i] + b[i]"}, []string{"a", "b"}, true
+	case "1w3r":
+		return []string{"a[i] = a[i] + b[i] + c[i]"}, []string{"a", "b", "c"}, true
+	case "1w4r":
+		return []string{"a[i] = a[i] + b[i] + c[i] + d[i]"}, []string{"a", "b", "c", "d"}, true
+	case "2w3r":
+		return []string{"a[i] = a[i] + c[i]", "b[i] = b[i] + c[i]"}, []string{"a", "b", "c"}, true
+	case "2w5r":
+		return []string{"a[i] = a[i] + c[i] + d[i]", "b[i] = b[i] + e[i]"},
+			[]string{"a", "b", "c", "d", "e"}, true
+	case "3w6r":
+		return []string{"a[i] = a[i] + d[i]", "b[i] = b[i] + e[i]", "c[i] = c[i] + g1[i]"},
+			[]string{"a", "b", "c", "d", "e", "g1"}, true
+	case "0w1r":
+		return []string{"sum = sum + a[i]"}, []string{"a"}, true
+	case "0w2r":
+		return []string{"sum = sum + a[i] + b[i]"}, []string{"a", "b"}, true
+	case "0w3r":
+		return []string{"sum = sum + a[i] + b[i] + c[i]"}, []string{"a", "b", "c"}, true
+	}
+	return nil, nil, false
+}
+
+// Fig7Original is the Figure 7(a) program: one loop updates res, a
+// second sums it. The optimization experiments derive the fused (b) and
+// store-eliminated (c) forms from it with the transformation passes.
+func Fig7Original(n int) *ir.Program {
+	return mustParse(fmt.Sprintf(`
+program fig7
+const N = %d
+array res[N]
+array data[N]
+scalar sum
+
+loop Init {
+  for i = 0, N - 1 { read data[i] }
+}
+
+loop Update {
+  for i = 0, N - 1 { res[i] = res[i] + data[i] }
+}
+
+loop Sum {
+  sum = 0
+  for i = 0, N - 1 { sum = sum + res[i] }
+  print sum
+}
+`, n))
+}
+
+// Fig8Workload is the store-elimination benchmark of Figure 8: exactly
+// the two loops of Figure 7(a), with res and data pre-existing in
+// memory (the simulator is value-blind, so zero-filled data exercises
+// identical memory behaviour). The experiment derives the "fusion
+// only" and "store elimination" variants with the transformation
+// passes and times all three.
+func Fig8Workload(n int) *ir.Program {
+	return mustParse(fmt.Sprintf(`
+program fig8
+const N = %d
+array res[N]
+array data[N]
+scalar sum
+
+loop Update {
+  for i = 0, N - 1 { res[i] = res[i] + data[i] }
+}
+
+loop Sum {
+  sum = 0
+  for i = 0, N - 1 { sum = sum + res[i] }
+  print sum
+}
+`, n))
+}
+
+// Fig6Original is Figure 6(a): initialization of a[N,N], computation of
+// b[N,N] = f(a shifted), a last-column fix-up with g, and a checksum.
+// Indices are 1-based as in the paper; arrays are declared one larger
+// and row/column 0 is unused.
+func Fig6Original(n int) *ir.Program {
+	return mustParse(fmt.Sprintf(`
+program fig6a
+const N = %d
+array a[N+1, N+1]
+array b[N+1, N+1]
+scalar sum
+
+loop Init {
+  for j = 1, N {
+    for i = 1, N { read a[i,j] }
+  }
+}
+
+loop Comp {
+  for j = 2, N {
+    for i = 1, N { b[i,j] = f(a[i,j-1], a[i,j]) }
+  }
+}
+
+loop Last {
+  for i = 1, N { b[i,N] = g(b[i,N], a[i,1]) }
+}
+
+loop Check {
+  sum = 0
+  for j = 2, N {
+    for i = 1, N { sum = sum + a[i,j] + b[i,j] }
+  }
+  print sum
+}
+`, n))
+}
+
+// Fig6Fused is Figure 6(b): the paper's hand-fused form, with the
+// first column peeled into its own read loop and the last-column
+// fix-up folded in under a guard.
+func Fig6Fused(n int) *ir.Program {
+	return mustParse(fmt.Sprintf(`
+program fig6b
+const N = %d
+array a[N+1, N+1]
+array b[N+1, N+1]
+scalar sum
+
+loop Fused {
+  sum = 0
+  for i = 1, N { read a[i,1] }
+  for j = 2, N {
+    for i = 1, N {
+      read a[i,j]
+      b[i,j] = f(a[i,j-1], a[i,j])
+      if j <= N - 1 {
+        sum = sum + a[i,j] + b[i,j]
+      } else {
+        b[i,N] = g(b[i,N], a[i,1])
+        sum = sum + b[i,N] + a[i,N]
+      }
+    }
+  }
+  print sum
+}
+`, n))
+}
+
+// Fig6ShrunkPeeled is Figure 6(c): after array shrinking and peeling,
+// the two N x N arrays are replaced by two length-N arrays (a1 peels
+// the first column, a3 carries one j-iteration) and two scalars (a2
+// holds the current element, b1 the current b value).
+func Fig6ShrunkPeeled(n int) *ir.Program {
+	return mustParse(fmt.Sprintf(`
+program fig6c
+const N = %d
+array a1[N+1]
+array a3[N+1]
+scalar a2
+scalar b1
+scalar sum
+
+loop Fused {
+  sum = 0
+  for i = 1, N { read a1[i] }
+  for j = 2, N {
+    for i = 1, N {
+      read a2
+      if j == 2 {
+        b1 = f(a1[i], a2)
+      } else {
+        b1 = f(a3[i], a2)
+      }
+      if j <= N - 1 {
+        sum = sum + a2 + b1
+        a3[i] = a2
+      } else {
+        b1 = g(b1, a1[i])
+        sum = sum + b1 + a2
+      }
+    }
+  }
+  print sum
+}
+`, n))
+}

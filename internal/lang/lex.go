@@ -1,0 +1,201 @@
+// Package lang implements the textual front-end for the loop-nest IR: a
+// small Fortran-flavoured language with programs, constant/array/scalar
+// declarations, labeled top-level loop nests, and the usual expression
+// grammar. The ir package's printer emits this syntax, so parsing and
+// printing round-trip.
+//
+// Example:
+//
+//	program sec21
+//	const N = 2000000
+//	array a[N]
+//	scalar sum
+//
+//	loop L1 {
+//	  for i = 0, N - 1 {
+//	    a[i] = a[i] + 0.4
+//	  }
+//	}
+//
+//	loop L2 {
+//	  for i = 0, N - 1 {
+//	    sum = sum + a[i]
+//	  }
+//	}
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // one of ( ) [ ] { } , = + - * / < > <= >= == != && || +=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %q", t.text)
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer converts source text into tokens. Comments run from "//" or "#"
+// to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) errf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+			lx.advance()
+		}
+		return token{kind: tokIdent, text: lx.src[start:lx.pos], line: line, col: col}, nil
+	case isDigit(c) || (c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1])):
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isDigit(lx.peekByte()) || lx.peekByte() == '.') {
+			lx.advance()
+		}
+		// Exponent.
+		if lx.pos < len(lx.src) && (lx.peekByte() == 'e' || lx.peekByte() == 'E') {
+			save := *lx
+			lx.advance()
+			if lx.pos < len(lx.src) && (lx.peekByte() == '+' || lx.peekByte() == '-') {
+				lx.advance()
+			}
+			if lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+				for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+					lx.advance()
+				}
+			} else {
+				*lx = save // not an exponent after all
+			}
+		}
+		text := lx.src[start:lx.pos]
+		if strings.Count(text, ".") > 1 {
+			return token{}, lx.errf(line, col, "malformed number %q", text)
+		}
+		return token{kind: tokNumber, text: text, line: line, col: col}, nil
+	default:
+		// Multi-byte punctuation first.
+		two := ""
+		if lx.pos+1 < len(lx.src) {
+			two = lx.src[lx.pos : lx.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "==", "!=", "&&", "||", "+=":
+			lx.advance()
+			lx.advance()
+			return token{kind: tokPunct, text: two, line: line, col: col}, nil
+		}
+		switch c {
+		case '(', ')', '[', ']', '{', '}', ',', '=', '+', '-', '*', '/', '<', '>':
+			lx.advance()
+			return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+		}
+		return token{}, lx.errf(line, col, "unexpected character %q", string(c))
+	}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

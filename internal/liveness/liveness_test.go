@@ -1,0 +1,374 @@
+package liveness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+)
+
+func analyze(t *testing.T, src string) *Info {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inf
+}
+
+const threeNestSrc = `
+program t
+const N = 8
+array a[N]
+array b[N]
+scalar s
+loop L1 { for i = 0, N-1 { a[i] = i } }
+loop L2 { for i = 0, N-1 { b[i] = a[i] } }
+loop L3 { for i = 0, N-1 { s = s + b[i] } }
+`
+
+func TestArrayLifeRanges(t *testing.T) {
+	inf := analyze(t, threeNestSrc)
+	a := inf.Arrays["a"]
+	if a.FirstWrite != 0 || a.LastWrite != 0 || a.FirstRead != 1 || a.LastRead != 1 {
+		t.Fatalf("a life = %+v", a)
+	}
+	b := inf.Arrays["b"]
+	if b.FirstWrite != 1 || b.LastRead != 2 {
+		t.Fatalf("b life = %+v", b)
+	}
+}
+
+func TestLiveAfter(t *testing.T) {
+	inf := analyze(t, threeNestSrc)
+	if !inf.LiveAfter("a", 0) {
+		t.Fatal("a is read in L2, live after L1")
+	}
+	if inf.LiveAfter("a", 1) {
+		t.Fatal("a dead after L2")
+	}
+	if !inf.LiveAfter("b", 1) || inf.LiveAfter("b", 2) {
+		t.Fatal("b liveness wrong")
+	}
+	if inf.LiveAfter("ghost", 0) {
+		t.Fatal("unknown array must not be live")
+	}
+}
+
+func TestLiveBefore(t *testing.T) {
+	inf := analyze(t, threeNestSrc)
+	if inf.LiveBefore("a", 0) {
+		t.Fatal("a has no values before L1")
+	}
+	if !inf.LiveBefore("a", 1) {
+		t.Fatal("a carries values into L2")
+	}
+}
+
+func TestCollectUsesOrderAndKinds(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+scalar s
+loop L1 {
+  for i = 0, N-1 {
+    a[i] = a[i] + 1
+    s = s + a[i]
+  }
+}
+`)
+	uses := CollectUses(p, p.Nests[0], "a")
+	if len(uses) != 3 {
+		t.Fatalf("uses = %d, want 3", len(uses))
+	}
+	// RHS read precedes the write; the sum read follows it.
+	if uses[0].Write || !uses[1].Write || uses[2].Write {
+		t.Fatalf("kinds wrong: %+v", uses)
+	}
+	if !(uses[0].Order < uses[1].Order && uses[1].Order < uses[2].Order) {
+		t.Fatal("order wrong")
+	}
+	if len(uses[0].Loops) != 1 || uses[0].Loops[0].Var != "i" {
+		t.Fatal("loop context wrong")
+	}
+}
+
+func TestCollectUsesGuards(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+array b[N]
+loop L1 {
+  for i = 0, N-1 {
+    if i >= 1 {
+      b[i] = a[i-1]
+    } else {
+      b[i] = 0
+    }
+  }
+}
+`)
+	uses := CollectUses(p, p.Nests[0], "a")
+	if len(uses) != 1 {
+		t.Fatalf("uses = %d", len(uses))
+	}
+	g := uses[0].Guards
+	if len(g) != 1 || g[0].Var != "i" || !g[0].ImpliesGE("i", 1) {
+		t.Fatalf("guards = %+v", g)
+	}
+}
+
+func TestGuardNegation(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+array b[N]
+loop L1 {
+  for i = 0, N-1 {
+    if i < 1 {
+      b[i] = 0
+    } else {
+      b[i] = a[i-1]
+    }
+  }
+}
+`)
+	uses := CollectUses(p, p.Nests[0], "a")
+	if len(uses) != 1 || !uses[0].Guards[0].ImpliesGE("i", 1) {
+		t.Fatalf("negated guard missing: %+v", uses)
+	}
+}
+
+func TestImpliesGE(t *testing.T) {
+	gGe := Guard{Var: "i", Op: ir.Ge, C: 3}
+	if !gGe.ImpliesGE("i", 3) || !gGe.ImpliesGE("i", 2) || gGe.ImpliesGE("i", 4) {
+		t.Fatal("Ge guard implication wrong")
+	}
+	gGt := Guard{Var: "i", Op: ir.Gt, C: 3}
+	if !gGt.ImpliesGE("i", 4) || gGt.ImpliesGE("i", 5) {
+		t.Fatal("Gt guard implication wrong")
+	}
+	gEq := Guard{Var: "i", Op: ir.Eq, C: 5}
+	if !gEq.ImpliesGE("i", 5) || gEq.ImpliesGE("i", 6) {
+		t.Fatal("Eq guard implication wrong")
+	}
+	gLt := Guard{Var: "i", Op: ir.Lt, C: 5}
+	if gLt.ImpliesGE("i", 1) {
+		t.Fatal("Lt guard must not imply a lower bound")
+	}
+	if gGe.ImpliesGE("j", 1) {
+		t.Fatal("guard variable mismatch ignored")
+	}
+}
+
+func TestClassifyScalarLike(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array tmp[N]
+array a[N]
+array b[N]
+scalar s
+loop L1 {
+  for i = 0, N-1 {
+    tmp[i] = a[i] * 2
+    b[i] = tmp[i] + 1
+  }
+}
+`)
+	c := Classify(p, 0, "tmp")
+	if c.Kind != ScalarLike {
+		t.Fatalf("kind = %s (%s)", c.Kind, c.Reason)
+	}
+}
+
+func TestClassifyForwardOnly(t *testing.T) {
+	// Figure 7's fused shape: res[i] = res[i]+data[i]; sum += res[i].
+	p := lang.MustParse(`
+program t
+const N = 8
+array res[N]
+array data[N]
+scalar sum
+loop L1 {
+  for i = 0, N-1 {
+    res[i] = res[i] + data[i]
+    sum = sum + res[i]
+  }
+}
+`)
+	c := Classify(p, 0, "res")
+	if c.Kind != ForwardOnly {
+		t.Fatalf("kind = %s (%s)", c.Kind, c.Reason)
+	}
+}
+
+func TestClassifyCarryOneGuarded(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array tmp[N]
+array a[N]
+array b[N]
+loop L1 {
+  for i = 0, N-1 {
+    tmp[i] = a[i] * 2
+    if i >= 1 {
+      b[i] = tmp[i] + tmp[i-1]
+    } else {
+      b[i] = tmp[i]
+    }
+  }
+}
+`)
+	c := Classify(p, 0, "tmp")
+	if c.Kind != CarryOne {
+		t.Fatalf("kind = %s (%s)", c.Kind, c.Reason)
+	}
+	if c.CarryVar != "i" || c.CarryLevel != 0 {
+		t.Fatalf("carry = %s@%d", c.CarryVar, c.CarryLevel)
+	}
+}
+
+func TestClassifyCarryUnguardedRejected(t *testing.T) {
+	// The i-1 read at i=0 would reference an element this nest never
+	// wrote; without a guard the transformation is unsafe.
+	p := lang.MustParse(`
+program t
+const N = 8
+array tmp[N]
+array a[N]
+array b[N]
+loop L1 {
+  for i = 1, N-1 {
+    tmp[i] = a[i] * 2
+    b[i] = tmp[i] + tmp[i-1]
+  }
+}
+`)
+	c := Classify(p, 0, "tmp")
+	if c.Kind != Unknown || !strings.Contains(c.Reason, "guard") {
+		t.Fatalf("kind = %s (%s)", c.Kind, c.Reason)
+	}
+}
+
+func TestClassifyTwoDimCarry(t *testing.T) {
+	// Figure 6 shape (simplified): a[i,j] produced, a[i,j-1] consumed,
+	// guarded against the first column.
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N,N]
+array b[N,N]
+loop L1 {
+  for j = 0, N-1 {
+    for i = 0, N-1 {
+      read a[i,j]
+      if j >= 1 {
+        b[i,j] = f(a[i,j-1], a[i,j])
+      } else {
+        b[i,j] = a[i,j]
+      }
+    }
+  }
+}
+`)
+	c := Classify(p, 0, "a")
+	if c.Kind != CarryOne {
+		t.Fatalf("kind = %s (%s)", c.Kind, c.Reason)
+	}
+	if c.CarryVar != "j" || c.CarryLevel != 0 {
+		t.Fatalf("carry = %s@%d", c.CarryVar, c.CarryLevel)
+	}
+}
+
+func TestClassifyReadOnlyRejected(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+scalar s
+loop L1 { for i = 0, N-1 { s = s + a[i] } }
+`)
+	c := Classify(p, 0, "a")
+	if c.Kind != Unknown || !strings.Contains(c.Reason, "never written") {
+		t.Fatalf("%s (%s)", c.Kind, c.Reason)
+	}
+}
+
+func TestClassifyMultipleWriteIndicesRejected(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+loop L1 {
+  for i = 0, N-2 {
+    a[i] = 1
+    a[i+1] = 2
+  }
+}
+`)
+	c := Classify(p, 0, "a")
+	if c.Kind != Unknown {
+		t.Fatalf("kind = %s", c.Kind)
+	}
+}
+
+func TestClassifyIdenticalWritesInBranches(t *testing.T) {
+	// Two writes with the same subscript in different branches are fine.
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+array b[N]
+scalar s
+loop L1 {
+  for i = 0, N-1 {
+    if b[i] > 0 { a[i] = 1 } else { a[i] = 2 }
+    s = s + a[i]
+  }
+}
+`)
+	c := Classify(p, 0, "a")
+	if c.Kind != ScalarLike {
+		t.Fatalf("kind = %s (%s)", c.Kind, c.Reason)
+	}
+}
+
+func TestClassifyLargeDistanceRejected(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+array b[N]
+loop L1 {
+  for i = 0, N-1 {
+    a[i] = 1
+    if i >= 2 { b[i] = a[i-2] }
+  }
+}
+`)
+	if c := Classify(p, 0, "a"); c.Kind != Unknown {
+		t.Fatalf("distance-2 carry must be rejected, got %s", c.Kind)
+	}
+}
+
+func TestClassifyUnusedArray(t *testing.T) {
+	p := lang.MustParse(`
+program t
+array a[4]
+array b[4]
+loop L1 { b[0] = 1 }
+`)
+	if c := Classify(p, 0, "a"); c.Kind != Unknown || !strings.Contains(c.Reason, "not used") {
+		t.Fatalf("%+v", c)
+	}
+}

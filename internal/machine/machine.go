@@ -1,0 +1,235 @@
+// Package machine defines the machine models of the reproduction: peak
+// flop rate, per-channel data bandwidths, cache geometry, and a
+// bottleneck ("roofline") timing model.
+//
+// The paper's evaluation machines are encoded from their published
+// characteristics: the SGI Origin2000's R10000 with machine balance
+// 4 / 4 / 0.8 bytes per flop (register, L1–L2, memory channels; ~300
+// MB/s STREAM memory bandwidth), and the HP/Convex Exemplar's PA-8000
+// with a single level of large direct-mapped off-chip cache and ~500
+// MB/s of memory bandwidth (Figure 3 measures 417–551 MB/s).
+//
+// Time is modelled as the slowest resource:
+//
+//	T = max( flops/flopRate, bytes_c / bandwidth_c for every channel c )
+//
+// which is exactly the paper's premise that performance is bounded by
+// the most-saturated channel. An optional exposed-latency term supports
+// the latency-vs-bandwidth ablation: T += misses·latency·(1−overlap).
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MB is one megabyte (1e6 bytes), the unit of the paper's bandwidth
+// figures.
+const MB = 1e6
+
+// Spec describes a machine model.
+type Spec struct {
+	Name string
+	// FlopRate is the peak floating-point rate in flops/second.
+	FlopRate float64
+	// ChannelBW is the peak bandwidth in bytes/second of every channel
+	// of the memory hierarchy, processor-side first: ChannelBW[0] is
+	// registers↔top cache, then one entry per cache-to-cache channel,
+	// and the last entry is last-cache↔memory. Its length must be
+	// len(Caches)+1.
+	ChannelBW []float64
+	// Caches lists the cache levels, processor-side first.
+	Caches []sim.CacheConfig
+	// MemLatencyNs is the exposed latency of one memory line transfer in
+	// nanoseconds, and LatencyOverlap in [0,1] is the fraction hidden by
+	// prefetching and non-blocking caches. The default model (overlap 1)
+	// is purely bandwidth-bound, matching the paper's thesis that
+	// latency is tolerated but bandwidth cannot be.
+	MemLatencyNs   float64
+	LatencyOverlap float64
+}
+
+// Validate checks internal consistency.
+func (s Spec) Validate() error {
+	if s.FlopRate <= 0 {
+		return fmt.Errorf("machine %s: non-positive flop rate", s.Name)
+	}
+	if len(s.ChannelBW) != len(s.Caches)+1 {
+		return fmt.Errorf("machine %s: %d channels for %d caches (want %d)",
+			s.Name, len(s.ChannelBW), len(s.Caches), len(s.Caches)+1)
+	}
+	for i, bw := range s.ChannelBW {
+		if bw <= 0 {
+			return fmt.Errorf("machine %s: channel %d has non-positive bandwidth", s.Name, i)
+		}
+	}
+	for _, c := range s.Caches {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.LatencyOverlap < 0 || s.LatencyOverlap > 1 {
+		return fmt.Errorf("machine %s: overlap %v outside [0,1]", s.Name, s.LatencyOverlap)
+	}
+	return nil
+}
+
+// NewHierarchy instantiates a fresh simulator for this machine.
+func (s Spec) NewHierarchy() *sim.Hierarchy {
+	return sim.MustHierarchy(s.Caches...)
+}
+
+// Balance returns the machine balance in bytes per flop for every
+// channel (processor-side first) — the paper's Figure 1 machine row.
+func (s Spec) Balance() []float64 {
+	out := make([]float64, len(s.ChannelBW))
+	for i, bw := range s.ChannelBW {
+		out[i] = bw / s.FlopRate
+	}
+	return out
+}
+
+// MemoryBandwidth returns the memory-channel bandwidth in bytes/second.
+func (s Spec) MemoryBandwidth() float64 { return s.ChannelBW[len(s.ChannelBW)-1] }
+
+// ChannelNames labels each channel for reports ("L1-Reg", "L2-L1",
+// "Mem-L2"), processor-side first.
+func (s Spec) ChannelNames() []string {
+	out := make([]string, len(s.ChannelBW))
+	for i := range out {
+		switch {
+		case i == 0:
+			out[i] = s.Caches[0].Name + "-Reg"
+		case i == len(s.Caches):
+			out[i] = "Mem-" + s.Caches[len(s.Caches)-1].Name
+		default:
+			out[i] = s.Caches[i].Name + "-" + s.Caches[i-1].Name
+		}
+	}
+	return out
+}
+
+// Time is a predicted execution-time breakdown.
+type Time struct {
+	Total       float64   // seconds
+	CPU         float64   // flops / flop rate
+	Channel     []float64 // per-channel bytes/bandwidth, processor-side first
+	Latency     float64   // exposed-latency term (0 in the default model)
+	Bottleneck  string    // name of the binding resource
+	BottleneckI int       // -1 for CPU, else channel index
+}
+
+// Predict computes the bottleneck time for a run: channel byte counts
+// (as returned by sim.Hierarchy.ChannelBytes), flop count, and the
+// number of memory-level line transfers for the latency term.
+func (s Spec) Predict(channelBytes []int64, flops int64, memLines int64) (Time, error) {
+	if len(channelBytes) != len(s.ChannelBW) {
+		return Time{}, fmt.Errorf("machine %s: %d channel counts for %d channels",
+			s.Name, len(channelBytes), len(s.ChannelBW))
+	}
+	t := Time{CPU: float64(flops) / s.FlopRate, BottleneckI: -1, Bottleneck: "CPU"}
+	t.Total = t.CPU
+	names := s.ChannelNames()
+	for i, b := range channelBytes {
+		ct := float64(b) / s.ChannelBW[i]
+		t.Channel = append(t.Channel, ct)
+		if ct > t.Total {
+			t.Total = ct
+			t.BottleneckI = i
+			t.Bottleneck = names[i]
+		}
+	}
+	t.Latency = float64(memLines) * s.MemLatencyNs * 1e-9 * (1 - s.LatencyOverlap)
+	t.Total += t.Latency
+	return t, nil
+}
+
+// EffectiveBandwidth returns memory bytes moved divided by predicted
+// time, in bytes/second — the quantity plotted in Figure 3.
+func EffectiveBandwidth(memBytes int64, t Time) float64 {
+	if t.Total == 0 {
+		return 0
+	}
+	return float64(memBytes) / t.Total
+}
+
+// Origin2000 models one R10000 processor of an SGI Origin2000:
+// 195 MHz × 2 flops/cycle = 390 Mflop/s peak; 32 KB 2-way L1 with 32 B
+// lines; 4 MB 2-way unified L2 with 128 B lines; machine balance
+// 4 / 4 / 0.8 bytes per flop, i.e. 1560 MB/s register and L1–L2
+// channels and 312 MB/s of memory bandwidth (the paper quotes ~300 MB/s
+// STREAM). Memory latency ~1 µs per 128 B line on remote memory is
+// fully overlapped in the default model (software prefetching).
+func Origin2000() Spec {
+	return Spec{
+		Name:     "Origin2000",
+		FlopRate: 390e6,
+		ChannelBW: []float64{
+			4 * 390e6, // registers ↔ L1: 4 B/flop
+			4 * 390e6, // L1 ↔ L2:        4 B/flop
+			312e6,     // L2 ↔ memory:    0.8 B/flop
+		},
+		Caches: []sim.CacheConfig{
+			{Name: "L1", Size: 32 << 10, LineSize: 32, Assoc: 2},
+			{Name: "L2", Size: 4 << 20, LineSize: 128, Assoc: 2},
+		},
+		MemLatencyNs:   945, // ~one remote line on Origin2000
+		LatencyOverlap: 1,
+	}
+}
+
+// Exemplar models one PA-8000 processor of an HP/Convex Exemplar
+// X-Class: 180 MHz × 2 flops/cycle = 360 Mflop/s peak, a single level
+// of 1 MB direct-mapped off-chip data cache with 32 B lines (the
+// direct-mapped geometry is what the paper's footnote 3 blames for the
+// 3w6r outlier), and ~480 MB/s of memory bandwidth (Figure 3 measures
+// 417–551 MB/s).
+func Exemplar() Spec {
+	return Spec{
+		Name:     "Exemplar",
+		FlopRate: 360e6,
+		ChannelBW: []float64{
+			4 * 360e6, // registers ↔ cache
+			480e6,     // cache ↔ memory
+		},
+		Caches: []sim.CacheConfig{
+			{Name: "L1", Size: 1 << 20, LineSize: 32, Assoc: 1},
+		},
+		MemLatencyNs:   500,
+		LatencyOverlap: 1,
+	}
+}
+
+// Scaled returns a copy of the spec with every cache capacity divided
+// by factor (geometry otherwise unchanged). Experiments use it to put
+// moderate problem sizes into the out-of-cache regime the paper's
+// full-size workloads occupied: program balance depends on the
+// footprint-to-capacity ratio, not on absolute sizes, and the scaled
+// machine keeps the same bandwidths and flop rate (hence the same
+// machine balance).
+func Scaled(s Spec, factor int) Spec {
+	if factor <= 0 {
+		panic("machine: non-positive scale factor")
+	}
+	s.Name = fmt.Sprintf("%s/%d", s.Name, factor)
+	caches := make([]sim.CacheConfig, len(s.Caches))
+	copy(caches, s.Caches)
+	for i := range caches {
+		caches[i].Size /= factor
+		if caches[i].Size < caches[i].LineSize*caches[i].Assoc {
+			caches[i].Size = caches[i].LineSize * caches[i].Assoc
+		}
+	}
+	s.Caches = caches
+	return s
+}
+
+// LatencyBound returns a copy of the spec with no latency overlap —
+// the "latency-only machine" of the model ablation, where every memory
+// line transfer stalls the processor for its full latency.
+func LatencyBound(s Spec) Spec {
+	s.Name += "-latency"
+	s.LatencyOverlap = 0
+	return s
+}

@@ -1,0 +1,243 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSpecsValidate(t *testing.T) {
+	for _, s := range []Spec{Origin2000(), Exemplar()} {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	bad := Origin2000()
+	bad.ChannelBW = bad.ChannelBW[:2] // wrong channel count
+	if err := bad.Validate(); err == nil {
+		t.Fatal("channel count mismatch not caught")
+	}
+	bad2 := Origin2000()
+	bad2.FlopRate = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero flop rate not caught")
+	}
+	bad3 := Origin2000()
+	bad3.LatencyOverlap = 2
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("overlap out of range not caught")
+	}
+}
+
+func TestOrigin2000Balance(t *testing.T) {
+	// The paper's Figure 1 machine row: 4 / 4 / 0.8 bytes per flop.
+	b := Origin2000().Balance()
+	want := []float64{4, 4, 0.8}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 0.01 {
+			t.Fatalf("balance[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestExemplarShape(t *testing.T) {
+	s := Exemplar()
+	if len(s.Caches) != 1 || s.Caches[0].Assoc != 1 {
+		t.Fatal("Exemplar must model a single direct-mapped cache")
+	}
+	if s.MemoryBandwidth() < 400*MB || s.MemoryBandwidth() > 560*MB {
+		t.Fatalf("Exemplar memory bandwidth %v outside the paper's 417-551 MB/s range", s.MemoryBandwidth())
+	}
+}
+
+func TestChannelNames(t *testing.T) {
+	got := Origin2000().ChannelNames()
+	want := []string{"L1-Reg", "L2-L1", "Mem-L2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v", got)
+		}
+	}
+	if got := Exemplar().ChannelNames(); got[0] != "L1-Reg" || got[1] != "Mem-L1" {
+		t.Fatalf("Exemplar names = %v", got)
+	}
+}
+
+func TestPredictBottleneckSelection(t *testing.T) {
+	s := Origin2000()
+	// Memory-heavy: 1 GB over the memory channel dominates.
+	tm, err := s.Predict([]int64{1 << 20, 1 << 20, 1 << 30}, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Bottleneck != "Mem-L2" {
+		t.Fatalf("bottleneck = %s", tm.Bottleneck)
+	}
+	wantT := float64(1<<30) / s.MemoryBandwidth()
+	if math.Abs(tm.Total-wantT) > 1e-12 {
+		t.Fatalf("time = %v, want %v", tm.Total, wantT)
+	}
+	// Compute-heavy: flops dominate.
+	tc, err := s.Predict([]int64{8, 8, 8}, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Bottleneck != "CPU" || tc.BottleneckI != -1 {
+		t.Fatalf("bottleneck = %s", tc.Bottleneck)
+	}
+}
+
+func TestPredictChannelMismatch(t *testing.T) {
+	if _, err := Origin2000().Predict([]int64{1, 2}, 0, 0); err == nil {
+		t.Fatal("mismatched channel count not caught")
+	}
+}
+
+func TestLatencyTerm(t *testing.T) {
+	s := LatencyBound(Origin2000())
+	t0, err := s.Predict([]int64{0, 0, 0}, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000 * s.MemLatencyNs * 1e-9
+	if math.Abs(t0.Latency-want) > 1e-15 || math.Abs(t0.Total-want) > 1e-15 {
+		t.Fatalf("latency term = %v, want %v", t0.Latency, want)
+	}
+	// Default model hides latency entirely.
+	t1, err := Origin2000().Predict([]int64{0, 0, 0}, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Latency != 0 {
+		t.Fatal("default model must overlap latency fully")
+	}
+}
+
+func TestEffectiveBandwidth(t *testing.T) {
+	tm := Time{Total: 2}
+	if got := EffectiveBandwidth(600*MB*2, tm); math.Abs(got-600*MB) > 1 {
+		t.Fatalf("effective bandwidth = %v", got)
+	}
+	if EffectiveBandwidth(100, Time{}) != 0 {
+		t.Fatal("zero time must not divide")
+	}
+}
+
+func TestStreamSaturatesMemoryChannel(t *testing.T) {
+	for _, s := range []Spec{Origin2000(), Exemplar()} {
+		// 4x the last cache in bytes → elements.
+		last := s.Caches[len(s.Caches)-1]
+		n := 4 * last.Size / 8
+		r := Stream(s, n)
+		for name, bw := range map[string]float64{"copy": r.Copy, "scale": r.Scale, "add": r.Add, "triad": r.Triad} {
+			if bw < 0.9*s.MemoryBandwidth() || bw > 1.05*s.MemoryBandwidth() {
+				t.Fatalf("%s: STREAM %s = %.0f MB/s, machine memory bandwidth %.0f MB/s",
+					s.Name, name, bw/MB, s.MemoryBandwidth()/MB)
+			}
+		}
+		if r.Min() > r.Copy+1 {
+			t.Fatal("Min exceeds a component")
+		}
+	}
+}
+
+func TestCacheBenchPlateaus(t *testing.T) {
+	s := Origin2000()
+	pts := CacheBench(s, 4, 32*1024) // 4 KB .. 32 MB
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	byWS := map[int64]float64{}
+	for _, p := range pts {
+		byWS[p.WorkingSet] = p.Bandwidth
+	}
+	// In-L1 working set streams at register bandwidth.
+	if bw := byWS[16<<10]; math.Abs(bw-s.ChannelBW[0]) > 0.05*s.ChannelBW[0] {
+		t.Fatalf("16KB working set: %.0f MB/s, want register bandwidth %.0f MB/s", bw/MB, s.ChannelBW[0]/MB)
+	}
+	// In-L2 working set is bound by the L1-L2 channel.
+	if bw := byWS[1<<20]; math.Abs(bw-s.ChannelBW[1]) > 0.05*s.ChannelBW[1] {
+		t.Fatalf("1MB working set: %.0f MB/s, want L1-L2 bandwidth %.0f MB/s", bw/MB, s.ChannelBW[1]/MB)
+	}
+	// Out-of-cache working set is bound by memory bandwidth.
+	if bw := byWS[32<<20]; math.Abs(bw-s.MemoryBandwidth()) > 0.05*s.MemoryBandwidth() {
+		t.Fatalf("32MB working set: %.0f MB/s, want memory bandwidth %.0f MB/s", bw/MB, s.MemoryBandwidth()/MB)
+	}
+	// Monotone non-increasing within tolerance.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Bandwidth > pts[i-1].Bandwidth*1.10 {
+			t.Fatalf("bandwidth rose with working set: %v -> %v", pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestNewHierarchyMatchesSpec(t *testing.T) {
+	s := Origin2000()
+	h := s.NewHierarchy()
+	if h.Levels() != 2 {
+		t.Fatal("levels wrong")
+	}
+	if h.LevelConfig(0).Size != 32<<10 || h.LevelConfig(1).LineSize != 128 {
+		t.Fatal("geometry wrong")
+	}
+	var _ *sim.Hierarchy = h
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled(Origin2000(), 16)
+	if s.Name != "Origin2000/16" {
+		t.Fatalf("name = %q", s.Name)
+	}
+	if s.Caches[0].Size != 2<<10 || s.Caches[1].Size != 256<<10 {
+		t.Fatalf("cache sizes = %d, %d", s.Caches[0].Size, s.Caches[1].Size)
+	}
+	// Balance unchanged: bandwidths and flop rate are not scaled.
+	b, o := s.Balance(), Origin2000().Balance()
+	for i := range b {
+		if b[i] != o[i] {
+			t.Fatalf("balance changed: %v vs %v", b, o)
+		}
+	}
+	// The original spec must be untouched (deep copy of caches).
+	if Origin2000().Caches[0].Size != 32<<10 {
+		t.Fatal("scaling mutated the source spec")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaledFloorsAtMinimumGeometry(t *testing.T) {
+	s := Scaled(Origin2000(), 1<<20)
+	for _, c := range s.Caches {
+		if c.Size < c.LineSize*c.Assoc {
+			t.Fatalf("cache %s scaled below one line per way: %+v", c.Name, c)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScaledPanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Scaled(Origin2000(), 0)
+}
+
+func TestLatencyBoundSpec(t *testing.T) {
+	s := LatencyBound(Origin2000())
+	if s.LatencyOverlap != 0 {
+		t.Fatal("overlap not cleared")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package machine
+
+// Calibration probes: software analogues of the tools the paper used to
+// measure machine balance — McCalpin's STREAM for sustainable memory
+// bandwidth and Mucci's CacheBench for per-level cache bandwidth. Both
+// drive the machine's own cache simulator and timing model, so they
+// verify that the modelled machine exhibits the bandwidths its spec
+// claims (e.g. that cache geometry does not throttle streaming below
+// the nominal channel bandwidth).
+
+// StreamResult holds the four STREAM kernels' bandwidths in bytes/s.
+type StreamResult struct {
+	Copy, Scale, Add, Triad float64
+}
+
+// Min returns the lowest of the four bandwidths.
+func (r StreamResult) Min() float64 {
+	m := r.Copy
+	for _, v := range []float64{r.Scale, r.Add, r.Triad} {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Stream runs the four STREAM kernels (copy, scale, add, triad) over
+// arrays of n elements on the machine model and reports the effective
+// memory bandwidth of each: total memory traffic divided by predicted
+// time. Choose n large enough to overflow the last cache level
+// (STREAM's rule is 4× the cache size).
+func Stream(s Spec, n int) StreamResult {
+	// Copy: a[i]=b[i]; Scale: a[i]=q*b[i]; Add: a[i]=b[i]+c[i];
+	// Triad: a[i]=b[i]+q*c[i].
+	run := func(reads int, flopsPerElem int64) float64 {
+		h := s.NewHierarchy()
+		base := func(k int) int64 { return int64(k) * int64(n+64) * 8 }
+		for i := 0; i < n; i++ {
+			for r := 0; r < reads; r++ {
+				h.Load(base(1+r)+int64(i)*8, 8)
+			}
+			h.Store(base(0)+int64(i)*8, 8)
+			h.AddFlops(flopsPerElem)
+		}
+		h.Flush()
+		t, err := s.Predict(h.ChannelBytes(), h.Flops, h.LevelStats(s.lastLevel()).Misses())
+		if err != nil {
+			panic(err)
+		}
+		return EffectiveBandwidth(h.MemoryBytes(), t)
+	}
+	return StreamResult{
+		Copy:  run(1, 0),
+		Scale: run(1, 1),
+		Add:   run(2, 1),
+		Triad: run(2, 2),
+	}
+}
+
+func (s Spec) lastLevel() int { return len(s.Caches) - 1 }
+
+// CachePoint is one CacheBench measurement: repeatedly traversing a
+// working set of the given size yields the given read bandwidth.
+type CachePoint struct {
+	WorkingSet int64   // bytes
+	Bandwidth  float64 // bytes/s
+}
+
+// CacheBench sweeps working-set sizes (powers of two from minKB to
+// maxKB kilobytes) and reports the read bandwidth of repeated
+// traversals, exposing the per-level bandwidth plateaus of the model.
+func CacheBench(s Spec, minKB, maxKB int) []CachePoint {
+	var out []CachePoint
+	for kb := minKB; kb <= maxKB; kb *= 2 {
+		size := int64(kb) << 10
+		h := s.NewHierarchy()
+		elems := size / 8
+		// One warm-up traversal, then measure repeated traversals.
+		for i := int64(0); i < elems; i++ {
+			h.Load(i*8, 8)
+		}
+		h.ResetCounters()
+		const passes = 4
+		for p := 0; p < passes; p++ {
+			for i := int64(0); i < elems; i++ {
+				h.Load(i*8, 8)
+			}
+		}
+		t, err := s.Predict(h.ChannelBytes(), h.Flops, h.LevelStats(s.lastLevel()).Misses())
+		if err != nil {
+			panic(err)
+		}
+		bytesRead := int64(passes) * size
+		if t.Total == 0 {
+			// Entirely register-resident is impossible here; guard anyway.
+			out = append(out, CachePoint{WorkingSet: size, Bandwidth: 0})
+			continue
+		}
+		out = append(out, CachePoint{WorkingSet: size, Bandwidth: float64(bytesRead) / t.Total})
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package maxflow implements the Edmonds–Karp maximum-flow algorithm
+// (Ford–Fulkerson with breadth-first augmenting paths) together with
+// minimum edge cuts and minimum vertex cuts via the standard
+// node-splitting construction.
+//
+// This package is the computational engine behind the paper's Figure 5
+// algorithm: bandwidth-minimal two-partition loop fusion reduces to a
+// minimum vertex cut on the transformed hyper-graph, which in turn
+// reduces to max-flow.
+package maxflow
+
+import "fmt"
+
+// Inf is the capacity used for edges that must never be cut.
+const Inf int64 = 1 << 60
+
+// edge is one direction of a residual edge pair.
+type edge struct {
+	to  int
+	cap int64 // residual capacity
+	rev int   // index of the reverse edge in net[to]
+}
+
+// Network is a flow network over vertices 0..N-1 supporting parallel
+// edges and integer capacities.
+type Network struct {
+	adj [][]edge
+}
+
+// NewNetwork returns a flow network with n vertices.
+func NewNetwork(n int) *Network {
+	if n < 0 {
+		panic("maxflow: negative vertex count")
+	}
+	return &Network{adj: make([][]edge, n)}
+}
+
+// N returns the vertex count.
+func (f *Network) N() int { return len(f.adj) }
+
+// AddVertex appends a vertex and returns its index.
+func (f *Network) AddVertex() int {
+	f.adj = append(f.adj, nil)
+	return len(f.adj) - 1
+}
+
+// AddEdge adds a directed edge u->v with the given capacity and returns
+// an opaque handle usable with EdgeFlow.
+func (f *Network) AddEdge(u, v int, cap int64) EdgeID {
+	if u < 0 || u >= len(f.adj) || v < 0 || v >= len(f.adj) {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, len(f.adj)))
+	}
+	if cap < 0 {
+		panic("maxflow: negative capacity")
+	}
+	f.adj[u] = append(f.adj[u], edge{to: v, cap: cap, rev: len(f.adj[v])})
+	f.adj[v] = append(f.adj[v], edge{to: u, cap: 0, rev: len(f.adj[u]) - 1})
+	return EdgeID{u: u, i: len(f.adj[u]) - 1, orig: cap}
+}
+
+// EdgeID identifies an edge added with AddEdge.
+type EdgeID struct {
+	u, i int
+	orig int64
+}
+
+// EdgeFlow returns the flow currently routed through the identified edge.
+func (f *Network) EdgeFlow(id EdgeID) int64 {
+	return id.orig - f.adj[id.u][id.i].cap
+}
+
+// Saturated reports whether the identified edge carries its full capacity.
+func (f *Network) Saturated(id EdgeID) bool {
+	return f.adj[id.u][id.i].cap == 0 && id.orig > 0
+}
+
+// MaxFlow computes the maximum s-t flow using Edmonds–Karp and returns
+// its value. It may be called once per network; capacities are consumed.
+func (f *Network) MaxFlow(s, t int) int64 {
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	var total int64
+	prevV := make([]int, f.N())
+	prevE := make([]int, f.N())
+	for {
+		// BFS over residual edges.
+		for i := range prevV {
+			prevV[i] = -1
+		}
+		prevV[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && prevV[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for ei := range f.adj[u] {
+				e := &f.adj[u][ei]
+				if e.cap > 0 && prevV[e.to] == -1 {
+					prevV[e.to] = u
+					prevE[e.to] = ei
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if prevV[t] == -1 {
+			return total
+		}
+		// Find bottleneck.
+		aug := Inf
+		for v := t; v != s; v = prevV[v] {
+			e := &f.adj[prevV[v]][prevE[v]]
+			if e.cap < aug {
+				aug = e.cap
+			}
+		}
+		// Apply.
+		for v := t; v != s; v = prevV[v] {
+			e := &f.adj[prevV[v]][prevE[v]]
+			e.cap -= aug
+			f.adj[v][e.rev].cap += aug
+		}
+		total += aug
+	}
+}
+
+// ResidualReachable returns, after MaxFlow has run, the set of vertices
+// reachable from s in the residual graph — the source side of a minimum
+// cut.
+func (f *Network) ResidualReachable(s int) []bool {
+	seen := make([]bool, f.N())
+	seen[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range f.adj[u] {
+			if e.cap > 0 && !seen[e.to] {
+				seen[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return seen
+}
+
+// --- Minimum vertex cut via node splitting -------------------------------
+
+// VertexCut computes a minimum vertex cut separating s from t in the
+// directed graph with the given vertex count and edges. Vertex i has
+// removal cost weight[i] (pass nil for unit weights). s and t themselves
+// are never cut (their internal capacity is infinite). It returns the cut
+// vertices and the cut's total weight. If s and t are directly connected
+// by an edge no vertex cut exists; VertexCut returns an error in that
+// case.
+//
+// The construction follows the paper's Figure 5 step 2: each vertex v is
+// split into v_in and v_out joined by an internal edge of capacity
+// weight[v]; each original edge (u,v) becomes u_out -> v_in with infinite
+// capacity. A minimum s-t edge cut in the split graph then consists only
+// of internal edges, which identify the cut vertices.
+func VertexCut(n int, edges [][2]int, weight []int64, s, t int) (cut []int, total int64, err error) {
+	if s == t {
+		return nil, 0, fmt.Errorf("maxflow: vertex cut with s == t")
+	}
+	if weight == nil {
+		weight = make([]int64, n)
+		for i := range weight {
+			weight[i] = 1
+		}
+	}
+	if len(weight) != n {
+		return nil, 0, fmt.Errorf("maxflow: weight length %d != n %d", len(weight), n)
+	}
+	for _, e := range edges {
+		if (e[0] == s && e[1] == t) || (e[0] == t && e[1] == s) {
+			return nil, 0, fmt.Errorf("maxflow: s and t are adjacent; no vertex cut exists")
+		}
+	}
+	// v_in = 2v, v_out = 2v+1.
+	net := NewNetwork(2 * n)
+	internal := make([]EdgeID, n)
+	for v := 0; v < n; v++ {
+		w := weight[v]
+		if v == s || v == t {
+			w = Inf
+		}
+		internal[v] = net.AddEdge(2*v, 2*v+1, w)
+	}
+	for _, e := range edges {
+		net.AddEdge(2*e[0]+1, 2*e[1], Inf)
+	}
+	total = net.MaxFlow(2*s, 2*t+1)
+	if total >= Inf {
+		return nil, 0, fmt.Errorf("maxflow: no finite vertex cut between %d and %d", s, t)
+	}
+	// A vertex is in the cut iff its internal edge crosses the residual
+	// partition: v_in reachable from s_in, v_out not.
+	seen := net.ResidualReachable(2 * s)
+	for v := 0; v < n; v++ {
+		if v == s || v == t {
+			continue
+		}
+		if seen[2*v] && !seen[2*v+1] {
+			cut = append(cut, v)
+		}
+	}
+	return cut, total, nil
+}
+
+// EdgeCut computes a minimum s-t edge cut of the directed graph described
+// by edges with the given capacities (nil for unit). It returns the
+// indices (into edges) of a minimum cut set and the cut value.
+func EdgeCut(n int, edges [][2]int, cap []int64, s, t int) (cutIdx []int, total int64) {
+	if cap == nil {
+		cap = make([]int64, len(edges))
+		for i := range cap {
+			cap[i] = 1
+		}
+	}
+	net := NewNetwork(n)
+	ids := make([]EdgeID, len(edges))
+	for i, e := range edges {
+		ids[i] = net.AddEdge(e[0], e[1], cap[i])
+	}
+	total = net.MaxFlow(s, t)
+	seen := net.ResidualReachable(s)
+	for i, e := range edges {
+		if seen[e[0]] && !seen[e[1]] {
+			cutIdx = append(cutIdx, i)
+		}
+	}
+	return cutIdx, total
+}

@@ -1,0 +1,282 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimpleChain(t *testing.T) {
+	// s -> a -> t with capacities 3, 2: flow limited to 2.
+	f := NewNetwork(3)
+	f.AddEdge(0, 1, 3)
+	f.AddEdge(1, 2, 2)
+	if got := f.MaxFlow(0, 2); got != 2 {
+		t.Fatalf("flow = %d, want 2", got)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	// Two disjoint unit paths s->a->t and s->b->t.
+	f := NewNetwork(4)
+	f.AddEdge(0, 1, 1)
+	f.AddEdge(1, 3, 1)
+	f.AddEdge(0, 2, 1)
+	f.AddEdge(2, 3, 1)
+	if got := f.MaxFlow(0, 3); got != 2 {
+		t.Fatalf("flow = %d, want 2", got)
+	}
+}
+
+func TestClassicCLRS(t *testing.T) {
+	// The classic CLRS figure-26 network; max flow is 23.
+	f := NewNetwork(6)
+	s, v1, v2, v3, v4, tk := 0, 1, 2, 3, 4, 5
+	f.AddEdge(s, v1, 16)
+	f.AddEdge(s, v2, 13)
+	f.AddEdge(v1, v3, 12)
+	f.AddEdge(v2, v1, 4)
+	f.AddEdge(v2, v4, 14)
+	f.AddEdge(v3, v2, 9)
+	f.AddEdge(v3, tk, 20)
+	f.AddEdge(v4, v3, 7)
+	f.AddEdge(v4, tk, 4)
+	if got := f.MaxFlow(s, tk); got != 23 {
+		t.Fatalf("flow = %d, want 23", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	f := NewNetwork(2)
+	if got := f.MaxFlow(0, 1); got != 0 {
+		t.Fatalf("flow = %d, want 0", got)
+	}
+}
+
+func TestEdgeFlowAndSaturated(t *testing.T) {
+	f := NewNetwork(3)
+	e1 := f.AddEdge(0, 1, 5)
+	e2 := f.AddEdge(1, 2, 3)
+	f.MaxFlow(0, 2)
+	if got := f.EdgeFlow(e1); got != 3 {
+		t.Fatalf("flow on e1 = %d, want 3", got)
+	}
+	if !f.Saturated(e2) {
+		t.Fatal("e2 should be saturated")
+	}
+	if f.Saturated(e1) {
+		t.Fatal("e1 should not be saturated")
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	f := NewNetwork(2)
+	f.AddEdge(0, 1, 1)
+	f.AddEdge(0, 1, 2)
+	if got := f.MaxFlow(0, 1); got != 3 {
+		t.Fatalf("flow = %d, want 3", got)
+	}
+}
+
+func TestEdgeCutMatchesFlow(t *testing.T) {
+	edges := [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {1, 2}}
+	cut, total := EdgeCut(4, edges, nil, 0, 3)
+	if total != 2 {
+		t.Fatalf("cut value = %d, want 2", total)
+	}
+	if len(cut) != 2 {
+		t.Fatalf("cut set = %v, want size 2", cut)
+	}
+}
+
+func TestVertexCutSimple(t *testing.T) {
+	// s -0- a -1- t : only vertex a separates them.
+	edges := [][2]int{{0, 1}, {1, 2}}
+	cut, total, err := VertexCut(3, edges, nil, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 1 || len(cut) != 1 || cut[0] != 1 {
+		t.Fatalf("cut=%v total=%d", cut, total)
+	}
+}
+
+func TestVertexCutDiamond(t *testing.T) {
+	// s -> a -> t, s -> b -> t: both a and b must be cut.
+	edges := [][2]int{{0, 1}, {1, 3}, {0, 2}, {2, 3}}
+	cut, total, err := VertexCut(4, edges, nil, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || len(cut) != 2 {
+		t.Fatalf("cut=%v total=%d, want two vertices", cut, total)
+	}
+}
+
+func TestVertexCutWeighted(t *testing.T) {
+	// Two internal paths; cutting cheap vertex 1 (w=1) on one path and
+	// cheap vertex 2 (w=2) on the other beats heavy vertices 3,4 (w=10).
+	edges := [][2]int{{0, 1}, {1, 5}, {0, 2}, {2, 5}, {0, 3}, {3, 1}, {0, 4}, {4, 2}}
+	w := []int64{0, 1, 2, 10, 10, 0}
+	cut, total, err := VertexCut(6, edges, w, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 {
+		t.Fatalf("total=%d want 3 (cut=%v)", total, cut)
+	}
+}
+
+func TestVertexCutAdjacentST(t *testing.T) {
+	edges := [][2]int{{0, 1}}
+	if _, _, err := VertexCut(2, edges, nil, 0, 1); err == nil {
+		t.Fatal("expected error when s,t adjacent")
+	}
+}
+
+func TestVertexCutDisconnected(t *testing.T) {
+	cut, total, err := VertexCut(3, nil, nil, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 || len(cut) != 0 {
+		t.Fatalf("cut=%v total=%d want empty", cut, total)
+	}
+}
+
+// verifyCutDisconnects checks that removing cut vertices disconnects s,t.
+func verifyCutDisconnects(n int, edges [][2]int, cut []int, s, t int) bool {
+	removed := make([]bool, n)
+	for _, v := range cut {
+		removed[v] = true
+	}
+	adj := make([][]int, n)
+	for _, e := range edges {
+		if !removed[e[0]] && !removed[e[1]] {
+			adj[e[0]] = append(adj[e[0]], e[1])
+		}
+	}
+	seen := make([]bool, n)
+	seen[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return !seen[t]
+}
+
+// bruteVertexCut finds the minimum unit-weight vertex cut by enumeration.
+func bruteVertexCut(n int, edges [][2]int, s, t int) int {
+	best := n + 1
+	inner := []int{}
+	for v := 0; v < n; v++ {
+		if v != s && v != t {
+			inner = append(inner, v)
+		}
+	}
+	for mask := 0; mask < 1<<len(inner); mask++ {
+		var cut []int
+		for i, v := range inner {
+			if mask&(1<<i) != 0 {
+				cut = append(cut, v)
+			}
+		}
+		if len(cut) >= best {
+			continue
+		}
+		if verifyCutDisconnects(n, edges, cut, s, t) {
+			best = len(cut)
+		}
+	}
+	return best
+}
+
+// Property: on random graphs without a direct s-t edge, VertexCut matches
+// brute force and actually disconnects s from t.
+func TestVertexCutPropertyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5) // small enough for brute force
+		s, tt := 0, n-1
+		var edges [][2]int
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v || (u == s && v == tt) || (u == tt && v == s) {
+					continue
+				}
+				if rng.Intn(4) == 0 {
+					edges = append(edges, [2]int{u, v})
+				}
+			}
+		}
+		cut, total, err := VertexCut(n, edges, nil, s, tt)
+		if err != nil {
+			return false
+		}
+		if int64(len(cut)) != total {
+			return false
+		}
+		if !verifyCutDisconnects(n, edges, cut, s, tt) {
+			return false
+		}
+		return int(total) == bruteVertexCut(n, edges, s, tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: max-flow equals min edge cut value (weak duality check on
+// random unit-capacity graphs).
+func TestMaxFlowMinCutProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		var edges [][2]int
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		cutIdx, total := EdgeCut(n, edges, nil, 0, n-1)
+		if int64(len(cutIdx)) != total {
+			return false
+		}
+		// Removing the cut edges must disconnect s from t.
+		keep := make(map[int]bool)
+		for _, i := range cutIdx {
+			keep[i] = true
+		}
+		adj := make([][]int, n)
+		for i, e := range edges {
+			if !keep[i] {
+				adj[e[0]] = append(adj[e[0]], e[1])
+			}
+		}
+		seen := make([]bool, n)
+		seen[0] = true
+		q := []int{0}
+		for len(q) > 0 {
+			u := q[0]
+			q = q[1:]
+			for _, v := range adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					q = append(q, v)
+				}
+			}
+		}
+		return !seen[n-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package sim
+
+import "fmt"
+
+// Belady (MIN) replacement support. Burger, Goodman and Kägi (ISCA'96)
+// bounded the benefit of smarter cache management by simulating SPEC
+// under Belady's optimal replacement policy; the paper's related-work
+// section discusses the result (and its impracticality: the hardware
+// would need perfect future knowledge). This file reproduces that
+// methodology: record a trace, then replay it under the optimal
+// policy, which evicts the line whose next use lies farthest in the
+// future.
+
+// Trace is a recorded line-granular access trace for one cache
+// configuration.
+type Trace struct {
+	cfg    CacheConfig
+	lines  []int64 // line-aligned addresses
+	writes []bool
+}
+
+// Len returns the number of recorded line accesses.
+func (t *Trace) Len() int { return len(t.lines) }
+
+// Recorder captures a processor-level access stream. It implements the
+// executor's Machine interface, so a program can be run "onto" a
+// recorder directly.
+type Recorder struct {
+	trace Trace
+	Flops int64
+}
+
+// NewRecorder returns a recorder that snaps accesses to the line size
+// of cfg.
+func NewRecorder(cfg CacheConfig) (*Recorder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Recorder{trace: Trace{cfg: cfg}}, nil
+}
+
+// Load records a read access.
+func (r *Recorder) Load(addr int64, size int) { r.record(addr, size, false) }
+
+// Store records a write access.
+func (r *Recorder) Store(addr int64, size int) { r.record(addr, size, true) }
+
+// AddFlops counts flops (for symmetry with the hierarchy).
+func (r *Recorder) AddFlops(n int64) { r.Flops += n }
+
+// Flush is a no-op: the replay decides final writebacks.
+func (r *Recorder) Flush() {}
+
+func (r *Recorder) record(addr int64, size int, write bool) {
+	ls := int64(r.trace.cfg.LineSize)
+	first := addr &^ (ls - 1)
+	last := (addr + int64(size) - 1) &^ (ls - 1)
+	for a := first; a <= last; a += ls {
+		r.trace.lines = append(r.trace.lines, a)
+		r.trace.writes = append(r.trace.writes, write)
+	}
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() *Trace { return &r.trace }
+
+// ReplayBelady replays the trace through a single cache level under
+// Belady's optimal replacement and returns the resulting counters
+// (including final writebacks of dirty lines, matching
+// Hierarchy.Flush accounting).
+func ReplayBelady(t *Trace) (Stats, error) {
+	return replay(t, true)
+}
+
+// ReplayLRU replays the trace through the same single level under LRU,
+// for an apples-to-apples comparison on the identical trace.
+func ReplayLRU(t *Trace) (Stats, error) {
+	return replay(t, false)
+}
+
+const never = int(^uint(0) >> 1) // sentinel next-use for "no future use"
+
+func replay(t *Trace, belady bool) (Stats, error) {
+	cfg := t.cfg
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if cfg.Policy != WriteBack || cfg.NoWriteAllocate {
+		return Stats{}, fmt.Errorf("sim: replay supports write-back write-allocate caches")
+	}
+	nsets := int64(cfg.Size / cfg.LineSize / cfg.Assoc)
+	ls := int64(cfg.LineSize)
+
+	// Pre-compute next-use chains: nextUse[i] = index of the next
+	// access to the same line, or never.
+	nextUse := make([]int, len(t.lines))
+	lastSeen := map[int64]int{}
+	for i := len(t.lines) - 1; i >= 0; i-- {
+		if j, ok := lastSeen[t.lines[i]]; ok {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = never
+		}
+		lastSeen[t.lines[i]] = i
+	}
+
+	type line struct {
+		addr  int64
+		dirty bool
+		next  int // next use index (Belady) — refreshed on access
+		used  int // last access index (LRU)
+	}
+	sets := make([][]line, nsets)
+	var st Stats
+
+	for i, addr := range t.lines {
+		write := t.writes[i]
+		if write {
+			st.Writes++
+		} else {
+			st.Reads++
+		}
+		set := addr / ls % nsets
+		hit := false
+		for k := range sets[set] {
+			if sets[set][k].addr == addr {
+				hit = true
+				sets[set][k].next = nextUse[i]
+				sets[set][k].used = i
+				if write {
+					sets[set][k].dirty = true
+				}
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		if write {
+			st.WriteMisses++
+		} else {
+			st.ReadMisses++
+		}
+		st.BytesIn += ls
+		nl := line{addr: addr, dirty: write, next: nextUse[i], used: i}
+		if len(sets[set]) < cfg.Assoc {
+			sets[set] = append(sets[set], nl)
+			continue
+		}
+		// Choose a victim: farthest next use (Belady) or least recently
+		// used (LRU).
+		victim := 0
+		for k := 1; k < len(sets[set]); k++ {
+			if belady {
+				if sets[set][k].next > sets[set][victim].next {
+					victim = k
+				}
+			} else {
+				if sets[set][k].used < sets[set][victim].used {
+					victim = k
+				}
+			}
+		}
+		if sets[set][victim].dirty {
+			st.Writebacks++
+			st.BytesOut += ls
+		}
+		sets[set][victim] = nl
+	}
+	// Final flush of dirty lines.
+	for _, set := range sets {
+		for _, l := range set {
+			if l.dirty {
+				st.Writebacks++
+				st.BytesOut += ls
+			}
+		}
+	}
+	return st, nil
+}

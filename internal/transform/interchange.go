@@ -1,0 +1,340 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Loop interchange and loop distribution: the two classical
+// restructurings that complement fusion in a bandwidth-oriented
+// pipeline. Interchange fixes traversal order — a column-major array
+// walked row-first streams whole cache lines for single elements, and
+// swapping the loops converts that to stride-one access. Distribution
+// is fusion's inverse: it splits independent statements of one loop
+// into separate loops, re-exposing fusion choices.
+
+// Interchange swaps two perfectly nested loops in the named nest. The
+// loops must be adjacent in the nest (inner directly inside outer, with
+// no other statements between), with bounds invariant in each other's
+// variables. Legality: for every pair of references to the same array
+// with at least one write, the dependence distance vector over (outer,
+// inner) must remain lexicographically non-negative after the swap —
+// conservatively required here as "both components non-negative", which
+// covers all stride-fix use cases.
+func Interchange(p *ir.Program, nestLabel, outerVar string) (*ir.Program, error) {
+	out := p.Clone()
+	nest := out.NestByLabel(nestLabel)
+	if nest == nil {
+		return nil, fmt.Errorf("transform: no nest %q", nestLabel)
+	}
+	// Locate the outer loop and verify perfect nesting.
+	var outer, inner *ir.For
+	var locate func(ss []ir.Stmt) bool
+	locate = func(ss []ir.Stmt) bool {
+		for _, s := range ss {
+			f, ok := s.(*ir.For)
+			if !ok {
+				if iff, isIf := s.(*ir.If); isIf {
+					if locate(iff.Then) || locate(iff.Else) {
+						return true
+					}
+				}
+				continue
+			}
+			if f.Var == outerVar {
+				outer = f
+				return true
+			}
+			if locate(f.Body) {
+				return true
+			}
+		}
+		return false
+	}
+	if !locate(nest.Body) {
+		return nil, fmt.Errorf("transform: no loop over %q in nest %q", outerVar, nestLabel)
+	}
+	if len(outer.Body) != 1 {
+		return nil, fmt.Errorf("transform: loop over %q is not perfectly nested", outerVar)
+	}
+	var ok bool
+	if inner, ok = outer.Body[0].(*ir.For); !ok {
+		return nil, fmt.Errorf("transform: loop over %q has no inner loop", outerVar)
+	}
+	// Bounds must be invariant in the other loop's variable.
+	for _, pair := range []struct {
+		e ir.Expr
+		v string
+	}{{inner.Lo, outer.Var}, {inner.Hi, outer.Var}, {outer.Lo, inner.Var}, {outer.Hi, inner.Var}} {
+		if ir.UsesVar([]ir.Stmt{&ir.For{Var: "_", Lo: pair.e, Hi: pair.e}}, pair.v) {
+			return nil, fmt.Errorf("transform: loop bounds depend on %q; not interchangeable", pair.v)
+		}
+	}
+
+	// Legality via per-pair distances over both loop variables.
+	if err := interchangeLegal(out, nest, outer.Var, inner.Var); err != nil {
+		return nil, err
+	}
+
+	// Swap: exchange headers, keep the innermost body.
+	outer.Var, inner.Var = inner.Var, outer.Var
+	outer.Lo, inner.Lo = inner.Lo, outer.Lo
+	outer.Hi, inner.Hi = inner.Hi, outer.Hi
+	outer.Step, inner.Step = inner.Step, outer.Step
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("transform: interchange produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+// interchangeLegal checks every same-array reference pair with a write
+// for non-negative distances along both loops.
+func interchangeLegal(p *ir.Program, nest *ir.Nest, outerVar, innerVar string) error {
+	arrays := nest.ArraysAccessed(p)
+	for _, arr := range arrays {
+		uses := liveness.CollectUses(p, nest, arr)
+		for i := range uses {
+			for j := range uses {
+				if i == j || (!uses[i].Write && !uses[j].Write) {
+					continue
+				}
+				w, r := uses[i], uses[j]
+				if !w.Write {
+					continue // handle each ordered (write, other) pair once
+				}
+				dv, dist, ok := liveness.Delta(p, w, r)
+				if !ok {
+					return fmt.Errorf("transform: unanalyzable references to %s block interchange", arr)
+				}
+				if dist != 0 && dv != "" && dv != outerVar && dv != innerVar {
+					continue // carried by some other loop: unaffected
+				}
+				if dist < 0 {
+					return fmt.Errorf("transform: negative dependence distance on %s", arr)
+				}
+				// dist >= 0 along a single variable: after the swap the
+				// vector is a permutation of (d,0) or (0,d) with d >= 0,
+				// still lexicographically non-negative.
+			}
+		}
+	}
+	return nil
+}
+
+// Distribute splits the top-level statements of the named nest's outer
+// loop into one loop per statement group, where groups are the
+// connected components of the statement dependence relation (two
+// statements sharing an array or scalar with at least one write stay
+// together — a conservative grouping that also keeps cross-iteration
+// interactions intact). It is the inverse of fusion and re-exposes
+// partitioning choices.
+func Distribute(p *ir.Program, nestLabel string) (*ir.Program, error) {
+	out := p.Clone()
+	nest := out.NestByLabel(nestLabel)
+	if nest == nil {
+		return nil, fmt.Errorf("transform: no nest %q", nestLabel)
+	}
+	var loop *ir.For
+	loopAt := -1
+	for i, s := range nest.Body {
+		if f, ok := s.(*ir.For); ok {
+			if loop != nil {
+				return nil, fmt.Errorf("transform: nest %q has multiple top-level loops", nestLabel)
+			}
+			loop = f
+			loopAt = i
+		}
+	}
+	if loop == nil {
+		return nil, fmt.Errorf("transform: nest %q has no loop", nestLabel)
+	}
+	if len(loop.Body) < 2 {
+		return nil, fmt.Errorf("transform: loop body has a single statement; nothing to distribute")
+	}
+
+	// Union-find over statements by shared names with a write.
+	n := len(loop.Body)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	type access struct{ reads, writes map[string]bool }
+	accs := make([]access, n)
+	for i, s := range loop.Body {
+		r, w := accessedNamesOf(out, []ir.Stmt{s})
+		accs[i] = access{r, w}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if conflictsDistribute(accs[i].reads, accs[i].writes, accs[j].reads, accs[j].writes) {
+				union(i, j)
+			}
+		}
+	}
+
+	// Build one loop per component, preserving statement order.
+	var order []int
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		root := find(i)
+		if !seen[root] {
+			seen[root] = true
+			order = append(order, root)
+		}
+	}
+	if len(order) < 2 {
+		return nil, fmt.Errorf("transform: statements are all connected; distribution would not split the loop")
+	}
+	var newBody []ir.Stmt
+	newBody = append(newBody, nest.Body[:loopAt]...)
+	for _, root := range order {
+		var group []ir.Stmt
+		for i, s := range loop.Body {
+			if find(i) == root {
+				group = append(group, s)
+			}
+		}
+		newBody = append(newBody, &ir.For{
+			Var: loop.Var, Lo: ir.CloneExpr(loop.Lo), Hi: ir.CloneExpr(loop.Hi),
+			Step: loop.Step, Body: group,
+		})
+	}
+	newBody = append(newBody, nest.Body[loopAt+1:]...)
+
+	// Each new loop becomes its own nest so the fusion machinery can
+	// repartition them; prefix statements stay with the first, suffix
+	// with the last.
+	nest.Body = newBody
+	split := splitNest(nest)
+	idx := out.NestIndex(nest)
+	out.Nests = append(out.Nests[:idx], append(split, out.Nests[idx+1:]...)...)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("transform: distribution produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+// splitNest turns a nest with k top-level loops into k nests, keeping
+// leading non-loop statements with the first loop and trailing ones
+// with the last.
+func splitNest(n *ir.Nest) []*ir.Nest {
+	var loops []int
+	for i, s := range n.Body {
+		if _, ok := s.(*ir.For); ok {
+			loops = append(loops, i)
+		}
+	}
+	if len(loops) <= 1 {
+		return []*ir.Nest{n}
+	}
+	var out []*ir.Nest
+	for k, li := range loops {
+		start, end := li, li+1
+		if k == 0 {
+			start = 0
+		}
+		if k == len(loops)-1 {
+			end = len(n.Body)
+		}
+		out = append(out, &ir.Nest{
+			Label: fmt.Sprintf("%s_d%d", n.Label, k+1),
+			Body:  n.Body[start:end],
+		})
+	}
+	return out
+}
+
+// conflictsDistribute reports whether two statements must stay in the
+// same distributed loop.
+func conflictsDistribute(r1, w1, r2, w2 map[string]bool) bool {
+	for nm := range w1 {
+		if r2[nm] || w2[nm] {
+			return true
+		}
+	}
+	for nm := range w2 {
+		if r1[nm] {
+			return true
+		}
+	}
+	return false
+}
+
+// accessedNamesOf mirrors fusion's accessedNames for this package.
+func accessedNamesOf(p *ir.Program, ss []ir.Stmt) (reads, writes map[string]bool) {
+	reads, writes = map[string]bool{}, map[string]bool{}
+	declared := func(name string) bool {
+		return p.ArrayByName(name) != nil || p.ScalarByName(name) != nil
+	}
+	var visitExpr func(ir.Expr)
+	visitExpr = func(e ir.Expr) {
+		switch e := e.(type) {
+		case *ir.Var:
+			if declared(e.Name) {
+				reads[e.Name] = true
+			}
+		case *ir.Ref:
+			if declared(e.Name) {
+				reads[e.Name] = true
+			}
+			for _, ix := range e.Index {
+				visitExpr(ix)
+			}
+		case *ir.Bin:
+			visitExpr(e.L)
+			visitExpr(e.R)
+		case *ir.Neg:
+			visitExpr(e.X)
+		case *ir.Call:
+			for _, a := range e.Args {
+				visitExpr(a)
+			}
+		}
+	}
+	var visit func([]ir.Stmt)
+	visit = func(ss []ir.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ir.For:
+				visitExpr(s.Lo)
+				visitExpr(s.Hi)
+				visit(s.Body)
+			case *ir.Assign:
+				if declared(s.LHS.Name) {
+					writes[s.LHS.Name] = true
+				}
+				for _, ix := range s.LHS.Index {
+					visitExpr(ix)
+				}
+				visitExpr(s.RHS)
+			case *ir.If:
+				visitExpr(s.Cond)
+				visit(s.Then)
+				visit(s.Else)
+			case *ir.ReadInput:
+				if declared(s.Target.Name) {
+					writes[s.Target.Name] = true
+				}
+				for _, ix := range s.Target.Index {
+					visitExpr(ix)
+				}
+			case *ir.Print:
+				visitExpr(s.Arg)
+			}
+		}
+	}
+	visit(ss)
+	return reads, writes
+}

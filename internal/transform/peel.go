@@ -1,0 +1,260 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Loop peeling and guard simplification: enabling transformations for
+// the paper's array peeling (Section 3.2). Peeling splits the first or
+// last iteration of a loop out of its body, turning iteration-dependent
+// guards ("if j == 2", "if j <= N-1") into statically decidable
+// conditions that SimplifyGuards then folds away — the mechanical path
+// from Figure 6(b)'s guarded fused loop toward Figure 6(c).
+
+// PeelFirst rewrites the loop over the given variable inside the named
+// nest from
+//
+//	for v = lo, hi { B }
+//
+// into
+//
+//	B[v := lo] ; for v = lo+1, hi { B }
+//
+// The loop bounds must be affine and the range provably non-empty
+// (lo <= hi) so the peeled copy is unconditionally correct.
+func PeelFirst(p *ir.Program, nestLabel, loopVar string) (*ir.Program, error) {
+	return peel(p, nestLabel, loopVar, true)
+}
+
+// PeelLast peels the final iteration instead:
+//
+//	for v = lo, hi-1 { B } ; B[v := hi]
+func PeelLast(p *ir.Program, nestLabel, loopVar string) (*ir.Program, error) {
+	return peel(p, nestLabel, loopVar, false)
+}
+
+func peel(p *ir.Program, nestLabel, loopVar string, first bool) (*ir.Program, error) {
+	out := p.Clone()
+	nest := out.NestByLabel(nestLabel)
+	if nest == nil {
+		return nil, fmt.Errorf("transform: no nest %q", nestLabel)
+	}
+	found := false
+	var rewrite func(ss []ir.Stmt) ([]ir.Stmt, error)
+	rewrite = func(ss []ir.Stmt) ([]ir.Stmt, error) {
+		var outSS []ir.Stmt
+		for _, s := range ss {
+			f, isFor := s.(*ir.For)
+			if !isFor || f.Var != loopVar {
+				if isFor {
+					body, err := rewrite(f.Body)
+					if err != nil {
+						return nil, err
+					}
+					f.Body = body
+				} else if iff, ok := s.(*ir.If); ok {
+					thenB, err := rewrite(iff.Then)
+					if err != nil {
+						return nil, err
+					}
+					elseB, err := rewrite(iff.Else)
+					if err != nil {
+						return nil, err
+					}
+					iff.Then, iff.Else = thenB, elseB
+				}
+				outSS = append(outSS, s)
+				continue
+			}
+			if found {
+				return nil, fmt.Errorf("transform: loop variable %q appears twice in nest %q", loopVar, nestLabel)
+			}
+			found = true
+			if f.StepOr1() != 1 {
+				return nil, fmt.Errorf("transform: peeling requires unit step")
+			}
+			lo, okLo := ir.AffineOf(f.Lo, out.Consts)
+			hi, okHi := ir.AffineOf(f.Hi, out.Consts)
+			if !okLo || !okHi || !lo.IsConst() || !hi.IsConst() {
+				return nil, fmt.Errorf("transform: peeling requires constant bounds")
+			}
+			if lo.Const > hi.Const {
+				return nil, fmt.Errorf("transform: loop over %q is empty; nothing to peel", loopVar)
+			}
+			if first {
+				peeled := ir.CloneStmts(f.Body)
+				ir.SubstVar(peeled, loopVar, ir.N(float64(lo.Const)))
+				outSS = append(outSS, peeled...)
+				f.Lo = ir.N(float64(lo.Const + 1))
+				outSS = append(outSS, f)
+			} else {
+				peeled := ir.CloneStmts(f.Body)
+				ir.SubstVar(peeled, loopVar, ir.N(float64(hi.Const)))
+				f.Hi = ir.N(float64(hi.Const - 1))
+				outSS = append(outSS, f)
+				outSS = append(outSS, peeled...)
+			}
+		}
+		return outSS, nil
+	}
+	body, err := rewrite(nest.Body)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("transform: no loop over %q in nest %q", loopVar, nestLabel)
+	}
+	nest.Body = body
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("transform: peeling produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+// SimplifyGuards folds away branch conditions that are statically
+// decidable: constant conditions, and comparisons of a loop variable
+// against a constant that the enclosing loop's bounds already decide
+// (e.g. "if j <= N-1" inside "for j = 2, N-1"). Iterates to a
+// fixpoint within each nest.
+func SimplifyGuards(p *ir.Program) (*ir.Program, int) {
+	out := p.Clone()
+	folded := 0
+	type rng struct{ lo, hi int64 }
+	var visit func(ss []ir.Stmt, ranges map[string]rng) []ir.Stmt
+	decide := func(cond ir.Expr, ranges map[string]rng) (bool, bool) {
+		// Constant condition?
+		if a, ok := ir.AffineOf(cond, out.Consts); ok && a.IsConst() {
+			return a.Const != 0, true
+		}
+		b, ok := cond.(*ir.Bin)
+		if !ok {
+			return false, false
+		}
+		// Both sides constant: evaluate the comparison outright (this is
+		// how guards in peeled iteration copies fold, where the loop
+		// variable has been substituted by its value).
+		lc, okL := ir.AffineOf(b.L, out.Consts)
+		rc, okRC := ir.AffineOf(b.R, out.Consts)
+		if okL && okRC && lc.IsConst() && rc.IsConst() {
+			l, r := lc.Const, rc.Const
+			switch b.Op {
+			case ir.Le:
+				return l <= r, true
+			case ir.Lt:
+				return l < r, true
+			case ir.Ge:
+				return l >= r, true
+			case ir.Gt:
+				return l > r, true
+			case ir.Eq:
+				return l == r, true
+			case ir.Ne:
+				return l != r, true
+			}
+			return false, false
+		}
+		v, okV := b.L.(*ir.Var)
+		if !okV {
+			return false, false
+		}
+		r, okR := ranges[v.Name]
+		if !okR {
+			return false, false
+		}
+		c, okC := ir.AffineOf(b.R, out.Consts)
+		if !okC || !c.IsConst() {
+			return false, false
+		}
+		k := c.Const
+		switch b.Op {
+		case ir.Le:
+			if r.hi <= k {
+				return true, true
+			}
+			if r.lo > k {
+				return false, true
+			}
+		case ir.Lt:
+			if r.hi < k {
+				return true, true
+			}
+			if r.lo >= k {
+				return false, true
+			}
+		case ir.Ge:
+			if r.lo >= k {
+				return true, true
+			}
+			if r.hi < k {
+				return false, true
+			}
+		case ir.Gt:
+			if r.lo > k {
+				return true, true
+			}
+			if r.hi <= k {
+				return false, true
+			}
+		case ir.Eq:
+			if r.lo == k && r.hi == k {
+				return true, true
+			}
+			if k < r.lo || k > r.hi {
+				return false, true
+			}
+		case ir.Ne:
+			if k < r.lo || k > r.hi {
+				return true, true
+			}
+			if r.lo == k && r.hi == k {
+				return false, true
+			}
+		}
+		return false, false
+	}
+	visit = func(ss []ir.Stmt, ranges map[string]rng) []ir.Stmt {
+		var outSS []ir.Stmt
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ir.For:
+				lo, okLo := ir.AffineOf(s.Lo, out.Consts)
+				hi, okHi := ir.AffineOf(s.Hi, out.Consts)
+				if okLo && okHi && lo.IsConst() && hi.IsConst() && s.StepOr1() == 1 {
+					prev, had := ranges[s.Var]
+					ranges[s.Var] = rng{lo.Const, hi.Const}
+					s.Body = visit(s.Body, ranges)
+					if had {
+						ranges[s.Var] = prev
+					} else {
+						delete(ranges, s.Var)
+					}
+				} else {
+					s.Body = visit(s.Body, ranges)
+				}
+				outSS = append(outSS, s)
+			case *ir.If:
+				if val, ok := decide(s.Cond, ranges); ok {
+					folded++
+					branch := s.Then
+					if !val {
+						branch = s.Else
+					}
+					outSS = append(outSS, visit(branch, ranges)...)
+					continue
+				}
+				s.Then = visit(s.Then, ranges)
+				s.Else = visit(s.Else, ranges)
+				outSS = append(outSS, s)
+			default:
+				outSS = append(outSS, s)
+			}
+		}
+		return outSS
+	}
+	for _, n := range out.Nests {
+		n.Body = visit(n.Body, map[string]rng{})
+	}
+	return out, folded
+}

@@ -1,0 +1,280 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/lang"
+)
+
+func runPrints(t *testing.T, p *ir.Program) []float64 {
+	t.Helper()
+	r, err := exec.Run(p, nil)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, p)
+	}
+	return r.Prints
+}
+
+func TestPeelFirst(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+scalar s
+loop L1 {
+  for i = 0, N-1 { a[i] = i * 2 }
+  s = 0
+  for i = 0, N-1 { s = s + a[i] }
+  print s
+}
+`)
+	q, err := PeelFirst(p, "L1", "i")
+	if err == nil {
+		t.Fatal("two loops over i in one nest must be rejected")
+	}
+	_ = q
+
+	p2 := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+scalar s
+loop L1 {
+  for i = 0, N-1 { a[i] = i * 2 }
+}
+loop L2 {
+  s = 0
+  for j = 0, N-1 { s = s + a[j] }
+  print s
+}
+`)
+	q2, err := PeelFirst(p2, "L1", "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runPrints(t, p2)[0] != runPrints(t, q2)[0] {
+		t.Fatal("peeling changed results")
+	}
+	// The peeled nest: first statement is the i=0 copy, loop starts at 1.
+	text := q2.NestByLabel("L1").String()
+	if !strings.Contains(text, "for i = 1, N - 1") {
+		t.Fatalf("loop bounds not adjusted:\n%s", text)
+	}
+	if !strings.Contains(text, "a[0] = 0 * 2") {
+		t.Fatalf("peeled copy missing:\n%s", text)
+	}
+}
+
+func TestPeelLast(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+scalar s
+loop L1 {
+  for i = 0, N-1 {
+    if i <= N-2 { a[i] = 1 } else { a[i] = 9 }
+  }
+}
+loop L2 {
+  s = 0
+  for j = 0, N-1 { s = s + a[j] }
+  print s
+}
+`)
+	q, err := PeelLast(p, "L1", "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runPrints(t, p)[0] != runPrints(t, q)[0] {
+		t.Fatal("peeling changed results")
+	}
+	if !strings.Contains(q.NestByLabel("L1").String(), "for i = 0, 6") {
+		t.Fatalf("upper bound not adjusted:\n%s", q.NestByLabel("L1"))
+	}
+}
+
+func TestPeelErrors(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+loop L1 {
+  for i = 0, N-1 step 2 { a[i] = 1 }
+}
+loop L2 {
+  for i = 5, 4 { a[i] = 1 }
+}
+`)
+	if _, err := PeelFirst(p, "L1", "i"); err == nil {
+		t.Fatal("non-unit step accepted")
+	}
+	if _, err := PeelFirst(p, "L2", "i"); err == nil {
+		t.Fatal("empty loop accepted")
+	}
+	if _, err := PeelFirst(p, "L1", "zz"); err == nil {
+		t.Fatal("missing loop accepted")
+	}
+	if _, err := PeelFirst(p, "LX", "i"); err == nil {
+		t.Fatal("missing nest accepted")
+	}
+}
+
+func TestPeelNestedLoop(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 6
+array a[N,N]
+scalar s
+loop L1 {
+  for j = 0, N-1 {
+    for i = 0, N-1 { a[i,j] = i + j }
+  }
+}
+loop L2 {
+  s = 0
+  for j = 0, N-1 {
+    for i = 0, N-1 { s = s + a[i,j] }
+  }
+  print s
+}
+`)
+	q, err := PeelFirst(p, "L1", "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runPrints(t, p)[0] != runPrints(t, q)[0] {
+		t.Fatal("outer peel changed results")
+	}
+	// Peeling the inner loop also works (the copy lands inside j's body).
+	q2, err := PeelLast(p, "L1", "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runPrints(t, p)[0] != runPrints(t, q2)[0] {
+		t.Fatal("inner peel changed results")
+	}
+}
+
+func TestSimplifyGuardsConstant(t *testing.T) {
+	p := lang.MustParse(`
+program t
+array a[4]
+scalar s
+loop L1 {
+  if 1 > 0 { s = 5 } else { s = 9 }
+  if 0 > 1 { a[0] = 1 }
+  print s
+}
+`)
+	q, folded := SimplifyGuards(p)
+	if folded != 2 {
+		t.Fatalf("folded = %d, want 2", folded)
+	}
+	if strings.Contains(q.String(), "if") {
+		t.Fatalf("constant guards remain:\n%s", q)
+	}
+	if runPrints(t, p)[0] != runPrints(t, q)[0] {
+		t.Fatal("simplification changed results")
+	}
+}
+
+func TestSimplifyGuardsLoopRange(t *testing.T) {
+	// After peeling the last iteration, "if j <= N-1" inside
+	// "for j = 2, N-2" is always true and the else branch is dead.
+	p := lang.MustParse(`
+program t
+const N = 10
+array b[N]
+scalar s
+loop L1 {
+  for j = 2, N-2 {
+    if j <= N-1 { b[j] = 1 } else { b[j] = 2 }
+    if j >= 2 { s = s + b[j] }
+    if j == 1 { s = s + 100 }
+  }
+  print s
+}
+`)
+	q, folded := SimplifyGuards(p)
+	if folded != 3 {
+		t.Fatalf("folded = %d, want 3\n%s", folded, q)
+	}
+	if strings.Contains(q.String(), "if") {
+		t.Fatalf("decidable guards remain:\n%s", q)
+	}
+	if runPrints(t, p)[0] != runPrints(t, q)[0] {
+		t.Fatal("simplification changed results")
+	}
+}
+
+func TestSimplifyGuardsKeepsUndecidable(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 10
+array b[N]
+loop L1 {
+  for j = 0, N-1 {
+    if j >= 5 { b[j] = 1 } else { b[j] = 2 }
+  }
+}
+`)
+	q, folded := SimplifyGuards(p)
+	if folded != 0 {
+		t.Fatalf("folded %d undecidable guards", folded)
+	}
+	if !strings.Contains(q.String(), "if j >= 5") {
+		t.Fatalf("guard lost:\n%s", q)
+	}
+}
+
+// The paper's Figure 6 chain, mechanized: peel the last j iteration of
+// the fused form, fold the now-decidable guards, and verify the result
+// still computes the same checksum. (Full shrink/peel to Figure 6(c)
+// additionally needs the hand-written a1/a3 split; see kernels.)
+func TestPeelPlusSimplifyOnFigure6(t *testing.T) {
+	fused := lang.MustParse(`
+program fig6b
+const N = 12
+array a[N+1, N+1]
+array b[N+1, N+1]
+scalar sum
+
+loop Fused {
+  sum = 0
+  for i = 1, N { read a[i,1] }
+  for j = 2, N {
+    for i = 1, N {
+      read a[i,j]
+      b[i,j] = f(a[i,j-1], a[i,j])
+      if j <= N - 1 {
+        sum = sum + a[i,j] + b[i,j]
+      } else {
+        b[i,N] = g(b[i,N], a[i,1])
+        sum = sum + b[i,N] + a[i,N]
+      }
+    }
+  }
+  print sum
+}
+`)
+	peeled, err := PeelLast(fused, "Fused", "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	simplified, folded := SimplifyGuards(peeled)
+	if folded < 2 {
+		t.Fatalf("folded = %d, want the j<=N-1 guards gone\n%s", folded, simplified)
+	}
+	if runPrints(t, fused)[0] != runPrints(t, simplified)[0] {
+		t.Fatal("peel+simplify changed the checksum")
+	}
+	// The main loop body must now be guard-free.
+	text := simplified.String()
+	if strings.Count(text, "if") != 0 {
+		t.Fatalf("guards remain after peel+simplify:\n%s", text)
+	}
+}

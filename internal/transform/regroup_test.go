@@ -1,0 +1,184 @@
+package transform
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/lang"
+	"repro/internal/sim"
+)
+
+func TestRegroupArraysBasic(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 64
+array a[N]
+array b[N]
+array c[N]
+scalar s
+loop L1 {
+  for i = 0, N-1 {
+    a[i] = i
+    b[i] = i * 2
+    c[i] = a[i] + b[i]
+  }
+}
+loop L2 {
+  s = 0
+  for i = 0, N-1 { s = s + c[i] }
+  print s
+}
+`)
+	q, err := RegroupArrays(p, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Semantics preserved.
+	r1, _ := exec.Run(p, nil)
+	r2, err2 := exec.Run(q, nil)
+	if err2 != nil {
+		t.Fatalf("%v\n%s", err2, q)
+	}
+	if r1.Prints[0] != r2.Prints[0] {
+		t.Fatalf("regrouping changed results: %v vs %v", r1.Prints, r2.Prints)
+	}
+	// Old arrays gone, one merged array with leading dim 3.
+	if p := q.ArrayByName("a"); p != nil {
+		t.Fatal("a not removed")
+	}
+	grp := q.ArrayByName("a_b_c")
+	if grp == nil || !reflect.DeepEqual(grp.Dims, []int{3, 64}) {
+		t.Fatalf("group array wrong: %+v", grp)
+	}
+	if !strings.Contains(q.String(), "a_b_c[0,i]") {
+		t.Fatalf("references not rewritten:\n%s", q)
+	}
+}
+
+func TestRegroupValidation(t *testing.T) {
+	p := lang.MustParse(`
+program t
+array a[8]
+array b[16]
+loop L1 { a[0] = 1
+  b[0] = 2 }
+`)
+	if _, err := RegroupArrays(p, []string{"a"}); err == nil {
+		t.Fatal("single-array group accepted")
+	}
+	if _, err := RegroupArrays(p, []string{"a", "b"}); err == nil {
+		t.Fatal("mismatched extents accepted")
+	}
+	if _, err := RegroupArrays(p, []string{"a", "ghost"}); err == nil {
+		t.Fatal("unknown array accepted")
+	}
+	if _, err := RegroupArrays(p, []string{"a", "a"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestRegroupInterleavesInMemory(t *testing.T) {
+	// The point of regrouping: k streams become one. With arrays laid
+	// out so their streams collide in a direct-mapped cache, the
+	// grouped version eliminates the conflict misses.
+	mk := func(n int) string {
+		return lang.MustParse(`
+program t
+const N = ` + itoa(n) + `
+array x[N]
+array y[N]
+array z[N]
+loop L1 {
+  for i = 0, N-1 { x[i] = y[i] + z[i] }
+}
+`).String()
+	}
+	// Array stride must be ≡ 0 mod cache size: 8n + 128 ≡ 0 mod 4096.
+	n := 0
+	for k := 1; ; k++ {
+		if (k*4096-128)%8 == 0 {
+			n = (k*4096 - 128) / 8
+			if n > 2000 {
+				break
+			}
+		}
+	}
+	p := lang.MustParse(mk(n))
+	q, err := RegroupArrays(p, []string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := func(prog string) int64 {
+		h := sim.MustHierarchy(sim.CacheConfig{Name: "C", Size: 4096, LineSize: 32, Assoc: 1})
+		if _, err := exec.Run(lang.MustParse(prog), h); err != nil {
+			t.Fatal(err)
+		}
+		return h.MemoryBytes()
+	}
+	before := traffic(p.String())
+	after := traffic(q.String())
+	if after >= before/2 {
+		t.Fatalf("regrouping did not remove conflicts: %d -> %d", before, after)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func TestRegroupCandidates(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 16
+array a[N]
+array b[N]
+array c[N]
+array d[N,N]
+array unused[N]
+scalar s
+loop L1 {
+  for i = 0, N-1 { a[i] = b[i] + 1 }
+}
+loop L2 {
+  for i = 0, N-1 { s = s + c[i] + d[i,0] }
+}
+`)
+	got := RegroupCandidates(p)
+	// a and b co-occur in L1 only; c has no same-shape partner in L2
+	// (d's rank differs); unused is never accessed.
+	if len(got) != 1 || len(got[0]) != 2 || got[0][0] != "a" || got[0][1] != "b" {
+		t.Fatalf("candidates = %v", got)
+	}
+}
+
+func TestRegroupAuto(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 32
+array a[N]
+array b[N]
+scalar s
+loop L1 {
+  s = 0
+  for i = 0, N-1 {
+    a[i] = i
+    b[i] = i + 1
+    s = s + a[i] * b[i]
+  }
+  print s
+}
+`)
+	q, log, err := RegroupAuto(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 1 || log[0].Pass != "regroup" {
+		t.Fatalf("log = %v", log)
+	}
+	r1, _ := exec.Run(p, nil)
+	r2, _ := exec.Run(q, nil)
+	if r1.Prints[0] != r2.Prints[0] {
+		t.Fatal("auto regrouping changed results")
+	}
+}

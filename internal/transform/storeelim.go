@@ -1,0 +1,117 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// EliminateStores removes the writeback of an array whose stored values
+// are fully consumed inside the nest and never used afterwards — the
+// paper's store elimination (Section 3.3, Figure 7). The store's value
+// is forwarded through a fresh scalar to the reads that follow it in
+// the iteration; reads that precede the store keep loading the array's
+// incoming values (which elimination leaves untouched in memory).
+//
+// Requirements (all re-validated here):
+//   - the array classifies ForwardOnly or ScalarLike in the nest;
+//   - it is not live after the nest (no later nest reads it);
+//   - the nest contains exactly one store to it, unconditionally
+//     executed at the top level of its loop body.
+func EliminateStores(p *ir.Program, nestIdx int, array string) (*ir.Program, error) {
+	cl := liveness.Classify(p, nestIdx, array)
+	if cl.Kind != liveness.ForwardOnly && cl.Kind != liveness.ScalarLike {
+		return nil, fmt.Errorf("transform: %s is %s in nest %d (%s), cannot eliminate stores",
+			array, cl.Kind, nestIdx, cl.Reason)
+	}
+	live, err := liveness.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	if live.LiveAfter(array, nestIdx) {
+		return nil, fmt.Errorf("transform: %s is read after nest %d; its writeback is needed", array, nestIdx)
+	}
+	uses := liveness.CollectUses(p, p.Nests[nestIdx], array)
+	var writes []liveness.Use
+	for _, u := range uses {
+		if u.Write {
+			writes = append(writes, u)
+		}
+	}
+	if len(writes) != 1 {
+		return nil, fmt.Errorf("transform: %s has %d stores in nest %d, need exactly 1", array, len(writes), nestIdx)
+	}
+	if len(writes[0].Guards) != 0 {
+		return nil, fmt.Errorf("transform: store to %s is conditional", array)
+	}
+
+	out := p.Clone()
+	tmp := freshName(out, array+"_v")
+	out.DeclareScalar(tmp)
+
+	// Rewrite the nest: locate the unique store at the top level of a
+	// statement list; turn it into tmp = rhs; forward tmp into every
+	// read of the array in the statements after it.
+	found := false
+	var visit func(ss []ir.Stmt) error
+	visit = func(ss []ir.Stmt) error {
+		for i, s := range ss {
+			switch s := s.(type) {
+			case *ir.For:
+				if err := visit(s.Body); err != nil {
+					return err
+				}
+			case *ir.If:
+				// The store is unconditional, so only recurse for
+				// completeness; reads inside branches are handled by
+				// the forwarding pass below.
+				if err := visit(s.Then); err != nil {
+					return err
+				}
+				if err := visit(s.Else); err != nil {
+					return err
+				}
+			case *ir.Assign:
+				if s.LHS.IsScalar() || s.LHS.Name != array {
+					continue
+				}
+				if found {
+					return fmt.Errorf("transform: multiple stores to %s", array)
+				}
+				found = true
+				s.LHS = ir.S(tmp)
+				// Forward into the rest of this list.
+				for _, later := range ss[i+1:] {
+					forwardReads([]ir.Stmt{later}, array, tmp)
+				}
+			case *ir.ReadInput:
+				if !s.Target.IsScalar() && s.Target.Name == array {
+					return fmt.Errorf("transform: store to %s comes from input; cannot forward", array)
+				}
+			}
+		}
+		return nil
+	}
+	if err := visit(out.Nests[nestIdx].Body); err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("transform: store to %s not found at top level", array)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("transform: store elimination produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+// forwardReads replaces every read of the array with the scalar.
+func forwardReads(ss []ir.Stmt, array, scalar string) {
+	replaceAllRefs(ss, array, func(read bool) (ir.Expr, *ir.Ref) {
+		if read {
+			return ir.V(scalar), nil
+		}
+		// No writes can appear after the unique store.
+		return nil, ir.S(scalar)
+	})
+}

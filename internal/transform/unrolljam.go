@@ -1,0 +1,417 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Unroll-and-jam and iteration scalarization: together they are the
+// register-reuse half of Carr & Kennedy's balance restoration, which
+// the paper credits (via MIPSpro -O3) for matrix multiply's register
+// balance dropping from 24 to 8 B/flop. Unroll-and-jam replicates an
+// outer loop body and fuses ("jams") the copies' inner loops, so one
+// inner iteration carries several outer iterations' worth of work;
+// scalarization then keeps each repeatedly-referenced array element in
+// a register for the whole iteration, deleting the redundant loads and
+// intermediate stores.
+
+// UnrollJam unrolls the loop over loopVar in the named nest by the
+// given factor and jams the copies' inner loops into one. Requirements:
+// constant unit-step bounds with a trip count divisible by factor; a
+// body consisting of exactly one inner loop; and, for every array
+// written in the body, all of its references (after unrolling) must
+// address the same element within an inner iteration, with the inner
+// loop variable in the subscript — the condition under which jamming
+// preserves each element's operation order exactly.
+func UnrollJam(p *ir.Program, nestLabel, loopVar string, factor int) (*ir.Program, error) {
+	if factor < 2 {
+		return nil, fmt.Errorf("transform: unroll factor must be at least 2")
+	}
+	out := p.Clone()
+	nest := out.NestByLabel(nestLabel)
+	if nest == nil {
+		return nil, fmt.Errorf("transform: no nest %q", nestLabel)
+	}
+	var target *ir.For
+	var locate func(ss []ir.Stmt) *ir.For
+	locate = func(ss []ir.Stmt) *ir.For {
+		for _, s := range ss {
+			if f, ok := s.(*ir.For); ok {
+				if f.Var == loopVar {
+					return f
+				}
+				if got := locate(f.Body); got != nil {
+					return got
+				}
+			}
+		}
+		return nil
+	}
+	if target = locate(nest.Body); target == nil {
+		return nil, fmt.Errorf("transform: no loop over %q in nest %q", loopVar, nestLabel)
+	}
+	if target.StepOr1() != 1 {
+		return nil, fmt.Errorf("transform: unroll-and-jam requires unit step")
+	}
+	lo, okLo := ir.AffineOf(target.Lo, out.Consts)
+	hi, okHi := ir.AffineOf(target.Hi, out.Consts)
+	if !okLo || !okHi || !lo.IsConst() || !hi.IsConst() {
+		return nil, fmt.Errorf("transform: unroll-and-jam requires constant bounds")
+	}
+	trip := hi.Const - lo.Const + 1
+	if trip <= 0 || trip%int64(factor) != 0 {
+		return nil, fmt.Errorf("transform: trip count %d not divisible by factor %d", trip, factor)
+	}
+	inner, ok := singleFor(target.Body)
+	if !ok {
+		return nil, fmt.Errorf("transform: loop over %q must contain exactly one inner loop to jam", loopVar)
+	}
+	if ir.UsesVar([]ir.Stmt{&ir.For{Var: "_", Lo: inner.Lo, Hi: inner.Hi, Body: nil}}, loopVar) {
+		return nil, fmt.Errorf("transform: inner bounds depend on %q; cannot jam", loopVar)
+	}
+
+	// Build the jammed body: factor copies of the inner body with
+	// loopVar shifted by 0..factor-1.
+	var jammed []ir.Stmt
+	for k := 0; k < factor; k++ {
+		cp := ir.CloneStmts(inner.Body)
+		if k > 0 {
+			ir.SubstVar(cp, loopVar, ir.AddE(ir.V(loopVar), ir.N(float64(k))))
+		}
+		jammed = append(jammed, cp...)
+	}
+
+	// Legality: every written array's references must be affine-equal
+	// within one jammed iteration and driven by the inner loop variable.
+	if err := jamLegal(out, jammed, inner.Var); err != nil {
+		return nil, err
+	}
+
+	target.Step = factor
+	inner.Body = jammed
+	target.Body = []ir.Stmt{inner}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("transform: unroll-and-jam produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+func singleFor(ss []ir.Stmt) (*ir.For, bool) {
+	if len(ss) != 1 {
+		return nil, false
+	}
+	f, ok := ss[0].(*ir.For)
+	return f, ok
+}
+
+// jamLegal verifies the written-array condition on the jammed body.
+func jamLegal(p *ir.Program, body []ir.Stmt, innerVar string) error {
+	type info struct {
+		writeIdx []*ir.Affine
+		bad      bool
+	}
+	arrays := map[string]*info{}
+	collect := func(r *ir.Ref, write bool) {
+		a := arrays[r.Name]
+		if a == nil {
+			a = &info{}
+			arrays[r.Name] = a
+		}
+		idx, ok := affineIdxOf(p, r)
+		if !ok {
+			a.bad = true
+			return
+		}
+		if write && a.writeIdx == nil {
+			a.writeIdx = idx
+		}
+	}
+	ir.WalkRefs(body, p, collect)
+	for name, a := range arrays {
+		if a.writeIdx == nil {
+			continue // read-only arrays are always jam-safe
+		}
+		if a.bad {
+			return fmt.Errorf("transform: non-affine reference to written array %s blocks jamming", name)
+		}
+		usesInner := false
+		for _, d := range a.writeIdx {
+			if d.Coeff(innerVar) != 0 {
+				usesInner = true
+			}
+		}
+		if !usesInner {
+			return fmt.Errorf("transform: written array %s does not use inner variable %s; jamming would reorder its updates", name, innerVar)
+		}
+		// All refs must match the write index exactly.
+		mismatch := false
+		ir.WalkRefs(body, p, func(r *ir.Ref, _ bool) {
+			if r.Name != name {
+				return
+			}
+			idx, ok := affineIdxOf(p, r)
+			if !ok {
+				mismatch = true
+				return
+			}
+			for k := range idx {
+				if !idx[k].Equal(a.writeIdx[k]) {
+					mismatch = true
+				}
+			}
+		})
+		if mismatch {
+			return fmt.Errorf("transform: written array %s is referenced at several elements per iteration; jamming unsafe", name)
+		}
+	}
+	return nil
+}
+
+func affineIdxOf(p *ir.Program, r *ir.Ref) ([]*ir.Affine, bool) {
+	out := make([]*ir.Affine, len(r.Index))
+	for i, ix := range r.Index {
+		a, ok := ir.AffineOf(ix, p.Consts)
+		if !ok {
+			return nil, false
+		}
+		out[i] = a
+	}
+	return out, true
+}
+
+// ScalarizeIteration performs register promotion within one iteration
+// of every innermost loop of the nest: array elements referenced more
+// than once per iteration (identified by affine-identical subscripts)
+// are loaded at most once into a temporary, intermediate stores are
+// forwarded through it, and a single final store (if any) survives at
+// the end of the body. This deletes exactly the redundant
+// register-channel traffic unroll-and-jam exposes.
+//
+// Per array, the transformation applies only when every reference group
+// (same subscript) addresses provably distinct elements from every
+// other group, so the groups cannot alias.
+func ScalarizeIteration(p *ir.Program, nestLabel string) (*ir.Program, int, error) {
+	out := p.Clone()
+	nest := out.NestByLabel(nestLabel)
+	if nest == nil {
+		return nil, 0, fmt.Errorf("transform: no nest %q", nestLabel)
+	}
+	promoted := 0
+	var visit func(ss []ir.Stmt) []ir.Stmt
+	visit = func(ss []ir.Stmt) []ir.Stmt {
+		innermost := true
+		for _, s := range ss {
+			if f, ok := s.(*ir.For); ok {
+				f.Body = visit(f.Body)
+				innermost = false
+			}
+		}
+		if !innermost || !straightLine(ss) {
+			return ss
+		}
+		body, n := scalarizeBody(out, ss)
+		promoted += n
+		return body
+	}
+	for _, s := range nest.Body {
+		if f, ok := s.(*ir.For); ok {
+			f.Body = visit(f.Body)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("transform: scalarization produced invalid program: %w", err)
+	}
+	return out, promoted, nil
+}
+
+// straightLine reports whether the list is assignments and reads only.
+func straightLine(ss []ir.Stmt) bool {
+	for _, s := range ss {
+		switch s.(type) {
+		case *ir.Assign, *ir.ReadInput, *ir.Print:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// scalarizeBody promotes repeated same-element references in a
+// straight-line body.
+func scalarizeBody(p *ir.Program, ss []ir.Stmt) ([]ir.Stmt, int) {
+	// Group references by (array, printed subscript).
+	type group struct {
+		array   string
+		key     string
+		idx     []*ir.Affine
+		indexEx []ir.Expr
+		reads   int
+		writes  int
+	}
+	groups := map[string]*group{}
+	order := []string{}
+	note := func(r *ir.Ref, write bool) {
+		idx, ok := affineIdxOf(p, r)
+		if !ok {
+			// Mark whole array unusable via sentinel group.
+			k := r.Name + "\x00!"
+			if groups[k] == nil {
+				groups[k] = &group{array: r.Name, key: "!"}
+				order = append(order, k)
+			}
+			return
+		}
+		k := r.Name + "\x00" + ir.ExprString(r)
+		g := groups[k]
+		if g == nil {
+			g = &group{array: r.Name, key: ir.ExprString(r), idx: idx, indexEx: r.Index}
+			groups[k] = g
+			order = append(order, k)
+		}
+		if write {
+			g.writes++
+		} else {
+			g.reads++
+		}
+	}
+	ir.WalkRefs(ss, p, note)
+
+	// Eligibility per array: no sentinel group, and all group pairs
+	// provably distinct (affine difference constant and non-zero in
+	// some dimension).
+	byArray := map[string][]*group{}
+	for _, k := range order {
+		g := groups[k]
+		byArray[g.array] = append(byArray[g.array], g)
+	}
+	eligible := map[string]bool{}
+	for name, gs := range byArray {
+		ok := true
+		for _, g := range gs {
+			if g.key == "!" {
+				ok = false
+			}
+		}
+		for i := 0; ok && i < len(gs); i++ {
+			for j := i + 1; j < len(gs); j++ {
+				distinct := false
+				for k := range gs[i].idx {
+					d := gs[i].idx[k].Sub(gs[j].idx[k])
+					if d.IsConst() && d.Const != 0 {
+						distinct = true
+					}
+				}
+				if !distinct {
+					ok = false
+				}
+			}
+		}
+		eligible[name] = ok
+	}
+
+	// Pick groups worth promoting: touched at least twice.
+	type promo struct {
+		g      *group
+		temp   string
+		loaded bool // temp currently holds the value
+	}
+	promos := map[string]*promo{} // key -> promo
+	count := 0
+	for _, k := range order {
+		g := groups[k]
+		if g.key == "!" || !eligible[g.array] {
+			continue
+		}
+		if g.reads+g.writes < 2 {
+			continue
+		}
+		promos[k] = &promo{g: g, temp: freshName(p, g.array+"_r")}
+		p.DeclareScalar(promos[k].temp)
+		count++
+	}
+	if count == 0 {
+		return ss, 0
+	}
+
+	keyOf := func(r *ir.Ref) string { return r.Name + "\x00" + ir.ExprString(r) }
+
+	// Rewrite statement by statement.
+	var out []ir.Stmt
+	var rewriteExpr func(e ir.Expr) ir.Expr
+	rewriteExpr = func(e ir.Expr) ir.Expr {
+		switch e := e.(type) {
+		case *ir.Ref:
+			if !e.IsScalar() {
+				if pr, ok := promos[keyOf(e)]; ok {
+					if !pr.loaded {
+						// First read: load into the temp, in place.
+						out = append(out, ir.Let(ir.S(pr.temp), &ir.Ref{Name: e.Name, Index: ir.CloneRef(e).Index}))
+						pr.loaded = true
+					}
+					return ir.V(pr.temp)
+				}
+			}
+			for i, ix := range e.Index {
+				e.Index[i] = rewriteExpr(ix)
+			}
+			return e
+		case *ir.Bin:
+			e.L = rewriteExpr(e.L)
+			e.R = rewriteExpr(e.R)
+			return e
+		case *ir.Neg:
+			e.X = rewriteExpr(e.X)
+			return e
+		case *ir.Call:
+			for i, a := range e.Args {
+				e.Args[i] = rewriteExpr(a)
+			}
+			return e
+		default:
+			return e
+		}
+	}
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *ir.Assign:
+			rhs := rewriteExpr(s.RHS)
+			if !s.LHS.IsScalar() {
+				if pr, ok := promos[keyOf(s.LHS)]; ok {
+					out = append(out, ir.Let(ir.S(pr.temp), rhs))
+					pr.loaded = true
+					continue
+				}
+			}
+			s.RHS = rhs
+			out = append(out, s)
+		case *ir.ReadInput:
+			if !s.Target.IsScalar() {
+				if pr, ok := promos[keyOf(s.Target)]; ok {
+					out = append(out, &ir.ReadInput{Target: ir.S(pr.temp)})
+					pr.loaded = true
+					continue
+				}
+			}
+			out = append(out, s)
+		case *ir.Print:
+			s.Arg = rewriteExpr(s.Arg)
+			out = append(out, s)
+		default:
+			out = append(out, s)
+		}
+	}
+	// Final stores for written groups.
+	for _, k := range order {
+		pr, ok := promos[k]
+		if !ok || pr.g.writes == 0 {
+			continue
+		}
+		idx := make([]ir.Expr, len(pr.g.indexEx))
+		for i, e := range pr.g.indexEx {
+			idx[i] = ir.CloneExpr(e)
+		}
+		out = append(out, ir.Let(&ir.Ref{Name: pr.g.array, Index: idx}, ir.V(pr.temp)))
+	}
+	return out, count
+}

@@ -1,0 +1,307 @@
+package transform
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim"
+)
+
+const mmSrc = `
+program mm
+const N = 16
+array a[N,N]
+array b[N,N]
+array c[N,N]
+loop Fill {
+  for j = 0, N-1 {
+    for i = 0, N-1 { read a[i,j] }
+  }
+}
+loop Fill2 {
+  for j = 0, N-1 {
+    for i = 0, N-1 { read b[i,j] }
+  }
+}
+loop MM {
+  for j = 0, N-1 {
+    for k = 0, N-1 {
+      for i = 0, N-1 {
+        c[i,j] = c[i,j] + a[i,k] * b[k,j]
+      }
+    }
+  }
+}
+loop Out {
+  print c[0,0] + c[N-1,N-1] * 3 + c[3,7]
+}
+`
+
+func sameResults(t *testing.T, a, b *ir.Program) {
+	t.Helper()
+	ra, err := exec.Run(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := exec.Run(b, nil)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b)
+	}
+	for i := range ra.Prints {
+		if math.Abs(ra.Prints[i]-rb.Prints[i]) > 1e-12*(1+math.Abs(ra.Prints[i])) {
+			t.Fatalf("print %d: %v vs %v\n%s", i, ra.Prints[i], rb.Prints[i], b)
+		}
+	}
+}
+
+func regBytes(t *testing.T, p *ir.Program) int64 {
+	t.Helper()
+	h := sim.MustHierarchy(sim.CacheConfig{Name: "L1", Size: 32 << 10, LineSize: 32, Assoc: 2})
+	if _, err := exec.Run(p, h); err != nil {
+		t.Fatal(err)
+	}
+	return h.RegLoadBytes + h.RegStoreBytes
+}
+
+func TestUnrollJamMatmul(t *testing.T) {
+	p := lang.MustParse(mmSrc)
+	q, err := UnrollJam(p, "MM", "k", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, p, q)
+	// Structure: the k loop steps by 4 and its body holds one jammed
+	// inner loop.
+	text := q.NestByLabel("MM").String()
+	if !strings.Contains(text, "for k = 0, N - 1 step 4") {
+		t.Fatalf("k loop not unrolled:\n%s", text)
+	}
+	if strings.Count(text, "for i =") != 1 {
+		t.Fatalf("inner loops not jammed:\n%s", text)
+	}
+	if strings.Count(text, "a[i,k") != 4 {
+		t.Fatalf("unrolled references missing:\n%s", text)
+	}
+}
+
+func TestUnrollJamPlusScalarizeReducesRegisterTraffic(t *testing.T) {
+	// The Carr-Kennedy effect: exact-result-preserving register reuse.
+	p := lang.MustParse(mmSrc)
+	uj, err := UnrollJam(p, "MM", "k", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, n, err := ScalarizeIteration(uj, "MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing scalarized")
+	}
+	sameResults(t, p, sc)
+	before, after := regBytes(t, p), regBytes(t, sc)
+	// Plain jki: 4 refs per 2 flops. After unroll-jam(4)+scalarize:
+	// c load+store once, 4 a loads, 4 b loads per 8 flops: 10/8 vs
+	// 16/8 — at least a 1.5x register-traffic reduction overall
+	// (the fill loops dilute it slightly).
+	if float64(after) > 0.72*float64(before) {
+		t.Fatalf("register traffic only %d -> %d", before, after)
+	}
+}
+
+func TestUnrollJamErrors(t *testing.T) {
+	p := lang.MustParse(mmSrc)
+	if _, err := UnrollJam(p, "MM", "k", 1); err == nil {
+		t.Fatal("factor 1 accepted")
+	}
+	if _, err := UnrollJam(p, "MM", "k", 3); err == nil {
+		t.Fatal("non-dividing factor accepted")
+	}
+	if _, err := UnrollJam(p, "MM", "zz", 2); err == nil {
+		t.Fatal("missing loop accepted")
+	}
+	if _, err := UnrollJam(p, "ZZ", "k", 2); err == nil {
+		t.Fatal("missing nest accepted")
+	}
+	// Innermost loop: nothing to jam.
+	if _, err := UnrollJam(p, "MM", "i", 2); err == nil {
+		t.Fatal("innermost unroll-jam accepted")
+	}
+}
+
+func TestUnrollJamRejectsReorderedWrites(t *testing.T) {
+	// s[j] accumulates across the inner loop: jamming interleaves the
+	// k and k+1 partial sums per element — per-element operation order
+	// changes, so the pass must refuse.
+	p := lang.MustParse(`
+program t
+const N = 8
+array s[N]
+array m[N,N]
+loop Acc {
+  for k = 0, N-1 {
+    for i = 0, N-1 {
+      s[k] = s[k] + m[i,k]
+    }
+  }
+}
+`)
+	if _, err := UnrollJam(p, "Acc", "k", 2); err == nil {
+		t.Fatal("write without inner variable jammed")
+	}
+}
+
+func TestUnrollJamRejectsTriangular(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N,N]
+loop L {
+  for k = 0, N-1 {
+    for i = 0, k { a[i,k] = 1 }
+  }
+}
+`)
+	if _, err := UnrollJam(p, "L", "k", 2); err == nil {
+		t.Fatal("k-dependent inner bounds jammed")
+	}
+}
+
+func TestScalarizeSimpleRedundantLoads(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 32
+array a[N]
+array b[N]
+array c[N]
+loop L {
+  for i = 0, N-1 {
+    b[i] = a[i] * 2 + a[i] * a[i]
+    c[i] = a[i] + 1
+  }
+}
+loop Out { print b[0] + c[0] + b[N-1] }
+`)
+	q, n, err := ScalarizeIteration(p, "L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("promoted %d groups, want 1 (a[i])", n)
+	}
+	sameResults(t, p, q)
+	// a is now loaded once per iteration.
+	before, after := regBytes(t, p), regBytes(t, q)
+	if after >= before {
+		t.Fatalf("no traffic reduction: %d -> %d", before, after)
+	}
+}
+
+func TestScalarizeReadModifyWriteChain(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 16
+array c[N]
+array a[N]
+loop L {
+  for i = 0, N-1 {
+    c[i] = c[i] + a[i]
+    c[i] = c[i] * 2
+    c[i] = c[i] + 1
+  }
+}
+loop Out { print c[0] + c[N-1] }
+`)
+	q, n, err := ScalarizeIteration(p, "L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("rmw chain not promoted")
+	}
+	sameResults(t, p, q)
+	// One load and one store of c per iteration.
+	text := q.NestByLabel("L").String()
+	if strings.Count(text, "c[i]") != 2 {
+		t.Fatalf("c[i] references = %d, want 2 (one load, one store):\n%s",
+			strings.Count(text, "c[i]"), text)
+	}
+}
+
+func TestScalarizeSkipsAliasedGroups(t *testing.T) {
+	// a[i] and a[mod(i,2)] may alias: the pass must leave a alone.
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+scalar s
+loop L {
+  for i = 0, N-1 {
+    s = s + a[i] + a[i] + a[mod(i,2)]
+  }
+}
+loop Out { print s }
+`)
+	q, n, err := ScalarizeIteration(p, "L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("aliased groups promoted (%d)", n)
+	}
+	sameResults(t, p, q)
+}
+
+func TestScalarizeSkipsBranchyBodies(t *testing.T) {
+	// Conditional bodies are left alone (conservative).
+	p := lang.MustParse(`
+program t
+const N = 8
+array a[N]
+scalar s
+loop L {
+  for i = 0, N-1 {
+    if i >= 1 { s = s + a[i] + a[i] }
+  }
+}
+`)
+	_, n, err := ScalarizeIteration(p, "L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("branchy body scalarized")
+	}
+}
+
+func TestScalarizeReadInput(t *testing.T) {
+	p := lang.MustParse(`
+program t
+const N = 16
+array a[N]
+scalar s
+loop L {
+  for i = 0, N-1 {
+    read a[i]
+    s = s + a[i] * a[i]
+  }
+}
+loop Out { print s + a[0] }
+`)
+	q, n, err := ScalarizeIteration(p, "L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("promoted %d", n)
+	}
+	sameResults(t, p, q)
+	// The final store keeps a's contents correct for the later read.
+	if !q.Nests[0].WritesArray(q, "a") {
+		t.Fatalf("final store missing:\n%s", q)
+	}
+}
