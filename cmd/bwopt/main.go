@@ -5,7 +5,15 @@
 // Usage:
 //
 //	bwopt [-fusion-only] [-machine origin|exemplar] [-scale N] \
+//	      [-verify off|structural|differential] [-tol T] \
 //	      [-passes spec[,spec...]] program.bw
+//
+// With -verify, the optimizer runs as a checkpointed pipeline: each
+// pass is verified (structurally, or also differentially against the
+// original program's observable results) before acceptance; a failing
+// or panicking pass is rolled back and skipped, and a verification
+// report is printed. With -passes, the named passes run in order and
+// the final program is checked once against the requested mode.
 //
 // Without -passes, the paper's full strategy runs (fuse → storage
 // reduction → store elimination). With -passes, the named passes run in
@@ -36,6 +44,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/transform"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -43,6 +52,8 @@ func main() {
 	machineName := flag.String("machine", "origin", "machine model: origin or exemplar")
 	scale := flag.Int("scale", 1, "divide cache capacities by this factor")
 	passes := flag.String("passes", "", "comma-separated pass specs (see doc comment); overrides the default pipeline")
+	verifyMode := flag.String("verify", "off", "per-pass verification: off, structural or differential")
+	tol := flag.Float64("tol", verify.DefaultTol, "relative tolerance for differential verification")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bwopt [flags] program.bw\n")
 		flag.PrintDefaults()
@@ -62,16 +73,30 @@ func main() {
 		fatal(err)
 	}
 
+	mode, err := verify.ParseMode(*verifyMode)
+	if err != nil {
+		fatal(err)
+	}
+
 	var q *ir.Program
 	var actions []transform.Action
+	var outcome *transform.Outcome
 	if *passes != "" {
 		q, actions, err = runPasses(p, *passes)
+		if err == nil {
+			err = finalCheck(p, q, mode, *tol)
+		}
 	} else {
 		opt := transform.All()
 		if *fusionOnly {
 			opt = transform.FusionOnly()
 		}
-		q, actions, err = transform.Optimize(p, opt)
+		q, outcome, err = transform.OptimizeVerified(p, transform.Config{
+			Options: opt, Verify: mode, Tol: *tol,
+		})
+		if outcome != nil {
+			actions = outcome.Actions
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -85,6 +110,21 @@ func main() {
 	}
 	for _, a := range actions {
 		fmt.Println(" ", a)
+	}
+
+	if mode != verify.ModeOff && outcome != nil {
+		skipped := make([]report.SkippedPass, 0, len(outcome.Skipped))
+		for _, pe := range outcome.Skipped {
+			where := pe.Nest
+			if pe.Array != "" {
+				if where != "" {
+					where += "/"
+				}
+				where += pe.Array
+			}
+			skipped = append(skipped, report.SkippedPass{Pass: pe.Pass, Where: where, Cause: pe.Cause.Error()})
+		}
+		fmt.Print(report.Degradation(outcome.Mode.String(), outcome.Checkpoints, skipped, outcome.Notes))
 	}
 
 	var spec machine.Spec
@@ -126,6 +166,23 @@ func main() {
 				i, before.Result.Prints[i], after.Result.Prints[i])
 		}
 	}
+}
+
+// finalCheck verifies the output of an explicit -passes run against the
+// requested mode: structural verification of the result, plus a
+// differential comparison with the original program when asked.
+func finalCheck(orig, xform *ir.Program, mode verify.Mode, tol float64) error {
+	if mode >= verify.ModeStructural {
+		if err := verify.Structural(xform); err != nil {
+			return err
+		}
+	}
+	if mode >= verify.ModeDifferential {
+		if err := verify.Differential(orig, xform, tol); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runPasses applies a comma-separated pass list in order.

@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	bwsim [-machine origin|exemplar] [-scale N] [-print-ir] program.bw
+//	bwsim [-machine origin|exemplar] [-scale N] [-print-ir] \
+//	      [-verify off|structural] program.bw
+//
+// With -verify structural, the parsed program is checked by the deep IR
+// verifier (static bounds and shape consistency beyond the parser's
+// validation) before any measurement runs. Differential verification
+// needs a transformed/original pair and therefore lives in bwopt.
 //
 // The input file uses the language documented in internal/lang (see
 // also the examples/ directory). The balance report lists per-channel
@@ -21,12 +27,14 @@ import (
 	"repro/internal/balance"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/verify"
 )
 
 func main() {
 	machineName := flag.String("machine", "origin", "machine model: origin or exemplar")
 	scale := flag.Int("scale", 1, "divide cache capacities by this factor")
 	printIR := flag.Bool("print-ir", false, "echo the parsed program before the report")
+	verifyMode := flag.String("verify", "off", "pre-run verification: off or structural")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bwsim [flags] program.bw\n")
 		flag.PrintDefaults()
@@ -44,6 +52,19 @@ func main() {
 	p, err := lang.Parse(string(src))
 	if err != nil {
 		fatal(err)
+	}
+
+	mode, err := verify.ParseMode(*verifyMode)
+	if err != nil {
+		fatal(err)
+	}
+	if mode >= verify.ModeDifferential {
+		fatal(fmt.Errorf("differential verification compares two programs; use bwopt -verify differential"))
+	}
+	if mode >= verify.ModeStructural {
+		if err := verify.Structural(p); err != nil {
+			fatal(err)
+		}
 	}
 
 	var spec machine.Spec

@@ -90,6 +90,59 @@ func TestBwoptEndToEnd(t *testing.T) {
 	}
 }
 
+func TestBwoptVerifyFlag(t *testing.T) {
+	bin := buildTool(t, "cmd/bwopt")
+	out, err := runTool(t, bin, "-verify", "differential", "testdata/fig7.bw")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"verification report", "verified ok", "verify mode differential", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Explicit pass lists get a final check instead of a report.
+	out, err = runTool(t, bin, "-verify", "structural", "-passes", "pipeline", "testdata/fig7.bw")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if out, err := runTool(t, bin, "-verify", "quantum", "testdata/fig7.bw"); err == nil {
+		t.Fatalf("unknown verify mode accepted:\n%s", out)
+	}
+}
+
+func TestBwsimVerifyFlag(t *testing.T) {
+	bin := buildTool(t, "cmd/bwsim")
+	out, err := runTool(t, bin, "-verify", "structural", "testdata/fig7.bw")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "bottleneck") {
+		t.Fatalf("verified run lost its report:\n%s", out)
+	}
+	// Differential needs a program pair; bwsim must refuse and point at bwopt.
+	out, err = runTool(t, bin, "-verify", "differential", "testdata/fig7.bw")
+	if err == nil {
+		t.Fatalf("bwsim accepted differential mode:\n%s", out)
+	}
+	if !strings.Contains(out, "bwopt") {
+		t.Fatalf("refusal does not point at bwopt:\n%s", out)
+	}
+	// A statically out-of-bounds subscript must fail before measuring.
+	bad := filepath.Join(t.TempDir(), "oob.bw")
+	src := "program oob\nconst N = 8\narray a[N]\nloop L1 {\n  for i = 0, N - 1 { a[i+1] = 1 }\n}\n"
+	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runTool(t, bin, "-verify", "structural", bad)
+	if err == nil {
+		t.Fatalf("out-of-bounds program accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "outside extent") {
+		t.Fatalf("missing bounds diagnostic:\n%s", out)
+	}
+}
+
 func TestBwbenchSingleExperiments(t *testing.T) {
 	bin := buildTool(t, "cmd/bwbench")
 	cases := map[string]string{

@@ -413,3 +413,42 @@ loop L2 { for i = 0, N-1 { sum = sum + a[i] } }
 		t.Fatalf("section 2.1 loops should fuse: %v", parts)
 	}
 }
+
+func TestGraphBuildersRejectBadNodes(t *testing.T) {
+	g := NewAbstract(3)
+	if err := g.AddArray("a", 0, 5); err == nil {
+		t.Error("AddArray accepted node out of range")
+	}
+	if err := g.AddDep(-1, 1); err == nil {
+		t.Error("AddDep accepted negative node")
+	}
+	if err := g.AddDep(1, 1); err == nil {
+		t.Error("AddDep accepted self dependence")
+	}
+	if err := g.AddPreventing(0, 3); err == nil {
+		t.Error("AddPreventing accepted node out of range")
+	}
+	if err := g.AddPreventing(2, 2); err == nil {
+		t.Error("AddPreventing accepted self edge")
+	}
+	// Valid calls still work after rejections.
+	if err := g.AddArray("a", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPreventing(0, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPartitionRejectsBadTerminals(t *testing.T) {
+	g := NewAbstract(2)
+	if _, _, err := g.TwoPartition(0, 5); err == nil {
+		t.Error("TwoPartition accepted terminal out of range")
+	}
+	if _, _, err := g.TwoPartition(1, 1); err == nil {
+		t.Error("TwoPartition accepted s == t")
+	}
+}

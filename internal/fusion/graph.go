@@ -52,10 +52,14 @@ func NewAbstract(n int, labels ...string) *Graph {
 }
 
 // AddArray registers an array accessed by the given nodes (one
-// hyper-edge).
-func (g *Graph) AddArray(name string, nodes ...int) {
+// hyper-edge). It returns an error when a node index is out of range,
+// so a malformed fusion graph surfaces as a pass failure rather than a
+// crash.
+func (g *Graph) AddArray(name string, nodes ...int) error {
 	for _, v := range nodes {
-		g.checkNode(v)
+		if err := g.checkNode(v); err != nil {
+			return err
+		}
 	}
 	if _, ok := g.arrayNodes[name]; !ok {
 		g.ArrayNames = append(g.ArrayNames, name)
@@ -74,35 +78,47 @@ func (g *Graph) AddArray(name string, nodes ...int) {
 	}
 	sort.Ints(merged)
 	g.arrayNodes[name] = merged
+	return nil
 }
 
 // AddDep records that node from must execute before node to.
-func (g *Graph) AddDep(from, to int) {
-	g.checkNode(from)
-	g.checkNode(to)
+func (g *Graph) AddDep(from, to int) error {
+	if err := g.checkNode(from); err != nil {
+		return err
+	}
+	if err := g.checkNode(to); err != nil {
+		return err
+	}
 	if from == to {
-		panic("fusion: self dependence")
+		return fmt.Errorf("fusion: self dependence on node %d", from)
 	}
 	g.depEdges[[2]int{from, to}] = true
+	return nil
 }
 
 // AddPreventing records a fusion-preventing constraint between a and b.
-func (g *Graph) AddPreventing(a, b int) {
-	g.checkNode(a)
-	g.checkNode(b)
+func (g *Graph) AddPreventing(a, b int) error {
+	if err := g.checkNode(a); err != nil {
+		return err
+	}
+	if err := g.checkNode(b); err != nil {
+		return err
+	}
 	if a == b {
-		panic("fusion: self preventing edge")
+		return fmt.Errorf("fusion: self preventing edge on node %d", a)
 	}
 	if a > b {
 		a, b = b, a
 	}
 	g.preventing[[2]int{a, b}] = true
+	return nil
 }
 
-func (g *Graph) checkNode(v int) {
+func (g *Graph) checkNode(v int) error {
 	if v < 0 || v >= g.N {
-		panic(fmt.Sprintf("fusion: node %d out of range [0,%d)", v, g.N))
+		return fmt.Errorf("fusion: node %d out of range [0,%d)", v, g.N)
 	}
+	return nil
 }
 
 // NodesOf returns the nodes accessing the named array.
@@ -166,16 +182,22 @@ func Build(p *ir.Program) (*Graph, error) {
 	g := NewAbstract(len(p.Nests), labels...)
 	for i, n := range p.Nests {
 		for _, a := range n.ArraysAccessed(p) {
-			g.AddArray(a, i)
+			if err := g.AddArray(a, i); err != nil {
+				return nil, err
+			}
 		}
 	}
 	for a := 0; a < len(p.Nests); a++ {
 		for b := a + 1; b < len(p.Nests); b++ {
 			if inf.HasDep(a, b) {
-				g.AddDep(a, b)
+				if err := g.AddDep(a, b); err != nil {
+					return nil, err
+				}
 			}
 			if inf.Preventing(a, b) || !deps.Conformable(p, p.Nests[a], p.Nests[b]) {
-				g.AddPreventing(a, b)
+				if err := g.AddPreventing(a, b); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -203,7 +225,9 @@ func (g *Graph) Validate(parts Partition) error {
 	}
 	for pi, group := range parts {
 		for _, v := range group {
-			g.checkNode(v)
+			if err := g.checkNode(v); err != nil {
+				return err
+			}
 			if seen[v] != -1 {
 				return fmt.Errorf("fusion: node %d in partitions %d and %d", v, seen[v], pi)
 			}

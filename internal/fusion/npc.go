@@ -45,11 +45,15 @@ func ReduceKWayCut(inst KWayCutInstance) (*Graph, error) {
 		if e[0] == e[1] {
 			return nil, fmt.Errorf("fusion: self edge %v", e)
 		}
-		g.AddArray(fmt.Sprintf("e%d", i), e[0], e[1])
+		if err := g.AddArray(fmt.Sprintf("e%d", i), e[0], e[1]); err != nil {
+			return nil, err
+		}
 	}
 	for i := 0; i < len(inst.Terminals); i++ {
 		for j := i + 1; j < len(inst.Terminals); j++ {
-			g.AddPreventing(inst.Terminals[i], inst.Terminals[j])
+			if err := g.AddPreventing(inst.Terminals[i], inst.Terminals[j]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return g, nil

@@ -26,8 +26,12 @@ import (
 // solely of array vertices and equals the set of arrays that must be
 // loaded twice.
 func (g *Graph) TwoPartition(s, t int) (Partition, []string, error) {
-	g.checkNode(s)
-	g.checkNode(t)
+	if err := g.checkNode(s); err != nil {
+		return nil, nil, err
+	}
+	if err := g.checkNode(t); err != nil {
+		return nil, nil, err
+	}
 	if s == t {
 		return nil, nil, fmt.Errorf("fusion: s == t")
 	}
@@ -101,7 +105,7 @@ func contains(xs []int, v int) bool {
 
 // induced builds the fusion subgraph over the given node set, returning
 // it and the mapping from new to old indices.
-func (g *Graph) induced(set []int) (*Graph, []int) {
+func (g *Graph) induced(set []int) (*Graph, []int, error) {
 	sorted := append([]int(nil), set...)
 	sort.Ints(sorted)
 	newIdx := map[int]int{}
@@ -119,24 +123,30 @@ func (g *Graph) induced(set []int) (*Graph, []int) {
 			}
 		}
 		if len(nodes) > 0 {
-			sub.AddArray(name, nodes...)
+			if err := sub.AddArray(name, nodes...); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 	for e := range g.depEdges {
 		if a, ok := newIdx[e[0]]; ok {
 			if b, ok2 := newIdx[e[1]]; ok2 {
-				sub.AddDep(a, b)
+				if err := sub.AddDep(a, b); err != nil {
+					return nil, nil, err
+				}
 			}
 		}
 	}
 	for e := range g.preventing {
 		if a, ok := newIdx[e[0]]; ok {
 			if b, ok2 := newIdx[e[1]]; ok2 {
-				sub.AddPreventing(a, b)
+				if err := sub.AddPreventing(a, b); err != nil {
+					return nil, nil, err
+				}
 			}
 		}
 	}
-	return sub, sorted
+	return sub, sorted, nil
 }
 
 // depReachable reports whether b is reachable from a via dependence
@@ -186,7 +196,10 @@ func (g *Graph) bisect(set []int) (Partition, error) {
 	if len(set) == 0 {
 		return nil, nil
 	}
-	sub, back := g.induced(set)
+	sub, back, err := g.induced(set)
+	if err != nil {
+		return nil, err
+	}
 	pairs := sub.PreventingPairs()
 	if len(pairs) == 0 {
 		// Everything here can fuse into one loop.

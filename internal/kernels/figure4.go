@@ -15,13 +15,18 @@ import "repro/internal/fusion"
 func Figure4Graph() *fusion.Graph {
 	g := fusion.NewAbstract(6, "loop1", "loop2", "loop3", "loop4", "loop5", "loop6")
 	l := func(i int) int { return i - 1 }
-	g.AddArray("A", l(1), l(2), l(3), l(5))
-	g.AddArray("D", l(1), l(2), l(3), l(4))
-	g.AddArray("E", l(1), l(2), l(3), l(4))
-	g.AddArray("F", l(1), l(2), l(3), l(4))
-	g.AddArray("B", l(4), l(6))
-	g.AddArray("C", l(4), l(6))
-	g.AddPreventing(l(5), l(6))
-	g.AddDep(l(5), l(6))
+	must := func(err error) {
+		if err != nil {
+			panic(err) // static, known-good instance
+		}
+	}
+	must(g.AddArray("A", l(1), l(2), l(3), l(5)))
+	must(g.AddArray("D", l(1), l(2), l(3), l(4)))
+	must(g.AddArray("E", l(1), l(2), l(3), l(4)))
+	must(g.AddArray("F", l(1), l(2), l(3), l(4)))
+	must(g.AddArray("B", l(4), l(6)))
+	must(g.AddArray("C", l(4), l(6)))
+	must(g.AddPreventing(l(5), l(6)))
+	must(g.AddDep(l(5), l(6)))
 	return g
 }

@@ -166,14 +166,17 @@ func CollectUses(p *ir.Program, n *ir.Nest, array string) []Use {
 		}
 	}
 	// guardsOf extracts var-OP-const facts from a condition for one
-	// branch polarity. Conjunctions decompose; anything else is ignored
-	// (guards are only ever used to *enable* a transformation, so
-	// missing facts are safe).
+	// branch polarity, folding program constants so a bound like N-1
+	// is captured. Conjunctions decompose; unrecognized shapes yield
+	// no fact but still mark the use as guarded via the conservative
+	// sentinel below, because EliminateStores treats an empty guard
+	// list as proof of an unconditional store.
 	var guardsOf func(cond ir.Expr, negated bool) []Guard
 	guardsOf = func(cond ir.Expr, negated bool) []Guard {
+		unknownGuard := []Guard{{Var: "", Op: ir.Ne, C: 0}}
 		b, ok := cond.(*ir.Bin)
 		if !ok {
-			return nil
+			return unknownGuard
 		}
 		if b.Op == ir.And && !negated {
 			return append(guardsOf(b.L, false), guardsOf(b.R, false)...)
@@ -182,9 +185,9 @@ func CollectUses(p *ir.Program, n *ir.Nest, array string) []Use {
 			return append(guardsOf(b.L, true), guardsOf(b.R, true)...)
 		}
 		v, okV := b.L.(*ir.Var)
-		c, okC := ir.AffineOf(b.R, nil)
+		c, okC := ir.AffineOf(b.R, p.Consts)
 		if !okV || !okC || !c.IsConst() {
-			return nil
+			return unknownGuard
 		}
 		op := b.Op
 		if negated {
@@ -202,14 +205,14 @@ func CollectUses(p *ir.Program, n *ir.Nest, array string) []Use {
 			case ir.Ne:
 				op = ir.Eq
 			default:
-				return nil
+				return unknownGuard
 			}
 		}
 		switch op {
 		case ir.Lt, ir.Le, ir.Gt, ir.Ge, ir.Eq, ir.Ne:
 			return []Guard{{Var: v.Name, Op: op, C: c.Const}}
 		}
-		return nil
+		return unknownGuard
 	}
 	var visit func(ss []ir.Stmt)
 	visit = func(ss []ir.Stmt) {
@@ -311,6 +314,23 @@ func Classify(p *ir.Program, nestIdx int, array string) Class {
 	if len(uses) == 0 {
 		out.Reason = "array not used in nest"
 		return out
+	}
+	// All uses must sit under the same top-level loop of the nest.
+	// Renaming loop variables by position is only meaningful within one
+	// iteration space; a write in one sibling loop and a read in the
+	// next are different iterations even when the subscripts look alike.
+	for _, u := range uses[1:] {
+		var a, b *ir.For
+		if len(uses[0].Loops) > 0 {
+			a = uses[0].Loops[0]
+		}
+		if len(u.Loops) > 0 {
+			b = u.Loops[0]
+		}
+		if a != b {
+			out.Reason = "uses span sibling loops of the nest"
+			return out
+		}
 	}
 	var writes, reads []Use
 	for _, u := range uses {

@@ -7,6 +7,18 @@
 // algorithm: bandwidth-minimal two-partition loop fusion reduces to a
 // minimum vertex cut on the transformed hyper-graph, which in turn
 // reduces to max-flow.
+//
+// Failure semantics: the low-level Network primitives (NewNetwork,
+// AddEdge, MaxFlow) panic on misuse — negative vertex counts, edges
+// out of range, negative capacities, source equal to sink. These are
+// programmer-error invariants: every index is computed by the caller
+// from its own construction, never from external input, so a violation
+// is a bug in the caller, not a recoverable condition. The high-level
+// entry points VertexCut and EdgeCut, which callers reach with derived
+// problem instances, fully validate their inputs and return errors
+// instead; the optimizer pipeline additionally runs every pass under
+// panic containment, so even an invariant violation degrades to a
+// skipped pass rather than a crash.
 package maxflow
 
 import "fmt"
@@ -159,6 +171,12 @@ func (f *Network) ResidualReachable(s int) []bool {
 // capacity. A minimum s-t edge cut in the split graph then consists only
 // of internal edges, which identify the cut vertices.
 func VertexCut(n int, edges [][2]int, weight []int64, s, t int) (cut []int, total int64, err error) {
+	if n < 0 {
+		return nil, 0, fmt.Errorf("maxflow: negative vertex count %d", n)
+	}
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return nil, 0, fmt.Errorf("maxflow: terminals (%d,%d) out of range [0,%d)", s, t, n)
+	}
 	if s == t {
 		return nil, 0, fmt.Errorf("maxflow: vertex cut with s == t")
 	}
@@ -171,7 +189,15 @@ func VertexCut(n int, edges [][2]int, weight []int64, s, t int) (cut []int, tota
 	if len(weight) != n {
 		return nil, 0, fmt.Errorf("maxflow: weight length %d != n %d", len(weight), n)
 	}
+	for i, w := range weight {
+		if w < 0 {
+			return nil, 0, fmt.Errorf("maxflow: negative weight %d on vertex %d", w, i)
+		}
+	}
 	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return nil, 0, fmt.Errorf("maxflow: edge (%d,%d) out of range [0,%d)", e[0], e[1], n)
+		}
 		if (e[0] == s && e[1] == t) || (e[0] == t && e[1] == s) {
 			return nil, 0, fmt.Errorf("maxflow: s and t are adjacent; no vertex cut exists")
 		}
@@ -209,18 +235,39 @@ func VertexCut(n int, edges [][2]int, weight []int64, s, t int) (cut []int, tota
 
 // EdgeCut computes a minimum s-t edge cut of the directed graph described
 // by edges with the given capacities (nil for unit). It returns the
-// indices (into edges) of a minimum cut set and the cut value.
-func EdgeCut(n int, edges [][2]int, cap []int64, s, t int) (cutIdx []int, total int64) {
+// indices (into edges) of a minimum cut set and the cut value. Invalid
+// instances — terminals or edges out of range, s equal to t, negative
+// or mis-sized capacities — are reported as errors.
+func EdgeCut(n int, edges [][2]int, cap []int64, s, t int) (cutIdx []int, total int64, err error) {
+	if n < 0 {
+		return nil, 0, fmt.Errorf("maxflow: negative vertex count %d", n)
+	}
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return nil, 0, fmt.Errorf("maxflow: terminals (%d,%d) out of range [0,%d)", s, t, n)
+	}
+	if s == t {
+		return nil, 0, fmt.Errorf("maxflow: edge cut with s == t")
+	}
 	if cap == nil {
 		cap = make([]int64, len(edges))
 		for i := range cap {
 			cap[i] = 1
 		}
 	}
-	net := NewNetwork(n)
-	ids := make([]EdgeID, len(edges))
+	if len(cap) != len(edges) {
+		return nil, 0, fmt.Errorf("maxflow: capacity length %d != edge count %d", len(cap), len(edges))
+	}
 	for i, e := range edges {
-		ids[i] = net.AddEdge(e[0], e[1], cap[i])
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return nil, 0, fmt.Errorf("maxflow: edge (%d,%d) out of range [0,%d)", e[0], e[1], n)
+		}
+		if cap[i] < 0 {
+			return nil, 0, fmt.Errorf("maxflow: negative capacity %d on edge %d", cap[i], i)
+		}
+	}
+	net := NewNetwork(n)
+	for i, e := range edges {
+		net.AddEdge(e[0], e[1], cap[i])
 	}
 	total = net.MaxFlow(s, t)
 	seen := net.ResidualReachable(s)
@@ -229,5 +276,5 @@ func EdgeCut(n int, edges [][2]int, cap []int64, s, t int) (cutIdx []int, total 
 			cutIdx = append(cutIdx, i)
 		}
 	}
-	return cutIdx, total
+	return cutIdx, total, nil
 }

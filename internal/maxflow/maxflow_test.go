@@ -80,7 +80,10 @@ func TestParallelEdges(t *testing.T) {
 
 func TestEdgeCutMatchesFlow(t *testing.T) {
 	edges := [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {1, 2}}
-	cut, total := EdgeCut(4, edges, nil, 0, 3)
+	cut, total, err := EdgeCut(4, edges, nil, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if total != 2 {
 		t.Fatalf("cut value = %d, want 2", total)
 	}
@@ -246,7 +249,10 @@ func TestMaxFlowMinCutProperty(t *testing.T) {
 				edges = append(edges, [2]int{u, v})
 			}
 		}
-		cutIdx, total := EdgeCut(n, edges, nil, 0, n-1)
+		cutIdx, total, err := EdgeCut(n, edges, nil, 0, n-1)
+		if err != nil {
+			return false
+		}
 		if int64(len(cutIdx)) != total {
 			return false
 		}
@@ -278,5 +284,52 @@ func TestMaxFlowMinCutProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestVertexCutRejectsInvalidInput(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		edges  [][2]int
+		weight []int64
+		s, t   int
+	}{
+		{"negative n", -1, nil, nil, 0, 1},
+		{"s out of range", 3, nil, nil, 5, 1},
+		{"t out of range", 3, nil, nil, 0, 7},
+		{"s equals t", 3, nil, nil, 1, 1},
+		{"weight length", 3, nil, []int64{1}, 0, 2},
+		{"negative weight", 3, nil, []int64{1, -1, 1}, 0, 2},
+		{"edge out of range", 3, [][2]int{{0, 9}}, nil, 0, 2},
+	}
+	for _, tc := range cases {
+		if _, _, err := VertexCut(tc.n, tc.edges, tc.weight, tc.s, tc.t); err == nil {
+			t.Errorf("%s: VertexCut accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestEdgeCutRejectsInvalidInput(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}}
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		cap   []int64
+		s, t  int
+	}{
+		{"negative n", -1, nil, nil, 0, 1},
+		{"s out of range", 3, edges, nil, -1, 2},
+		{"t out of range", 3, edges, nil, 0, 3},
+		{"s equals t", 3, edges, nil, 2, 2},
+		{"cap length", 3, edges, []int64{1}, 0, 2},
+		{"negative cap", 3, edges, []int64{1, -1}, 0, 2},
+		{"edge out of range", 3, [][2]int{{0, 4}}, nil, 0, 2},
+	}
+	for _, tc := range cases {
+		if _, _, err := EdgeCut(tc.n, tc.edges, tc.cap, tc.s, tc.t); err == nil {
+			t.Errorf("%s: EdgeCut accepted invalid input", tc.name)
+		}
 	}
 }

@@ -84,6 +84,37 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// SkippedPass describes one optimizer pass step that was rolled back
+// and skipped by the verified pipeline.
+type SkippedPass struct {
+	Pass  string // pass name, e.g. "reduce-storage"
+	Where string // nest/array location, may be empty
+	Cause string // why it was skipped
+}
+
+// Degradation renders the verified pipeline's outcome: which passes
+// were skipped (with causes), how many checkpoints were committed, and
+// any degradation notes (for example a differential→structural
+// downgrade).
+func Degradation(mode string, checkpoints int, skipped []SkippedPass, notes []string) *Table {
+	t := &Table{Title: "verification report", Headers: []string{"pass", "where", "outcome"}}
+	if len(skipped) == 0 {
+		t.AddRow("(all passes)", "", "verified ok")
+	}
+	for _, s := range skipped {
+		where := s.Where
+		if where == "" {
+			where = "-"
+		}
+		t.AddRow(s.Pass, where, "SKIPPED: "+s.Cause)
+	}
+	t.AddNote("verify mode %s, %d checkpoint(s) committed", mode, checkpoints)
+	for _, n := range notes {
+		t.AddNote("%s", n)
+	}
+	return t
+}
+
 // F formats a float with the given precision, trimming to compact form.
 func F(v float64, prec int) string {
 	return fmt.Sprintf("%.*f", prec, v)

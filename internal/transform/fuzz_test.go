@@ -10,6 +10,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/ir"
 	"repro/internal/sim"
+	"repro/internal/verify"
 )
 
 // This file fuzzes the whole compiler pipeline: random loop-chain
@@ -204,4 +205,41 @@ func tinyHierarchyForFuzz() *sim.Hierarchy {
 		sim.CacheConfig{Name: "L1", Size: 512, LineSize: 32, Assoc: 2},
 		sim.CacheConfig{Name: "L2", Size: 4096, LineSize: 64, Assoc: 2},
 	)
+}
+
+// FuzzOptimize is the native fuzz target behind the CI fuzz step: a
+// seed drives the random-program generator, and the verified pipeline
+// must optimize cleanly — no errors, no rolled-back passes, and a
+// result that is structurally valid and observably equivalent to the
+// original. A skip here means a pass produced a divergent or invalid
+// program that the verifier had to contain, which is a compiler bug.
+func FuzzOptimize(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		p := randProgram(rng, 0)
+		want, err := exec.Run(p, nil)
+		if err != nil {
+			t.Skipf("generator produced a non-running program: %v", err)
+		}
+		q, out, err := OptimizeVerified(p, Config{Options: All(), Verify: verify.ModeDifferential})
+		if err != nil {
+			t.Fatalf("pipeline failed: %v\n%s", err, p)
+		}
+		for _, pe := range out.Skipped {
+			t.Errorf("pass rolled back: %v\n%s", pe, p)
+		}
+		if err := verify.Structural(q); err != nil {
+			t.Fatalf("optimized program structurally invalid: %v\n%s", err, q)
+		}
+		got, err := exec.Run(q, nil)
+		if err != nil {
+			t.Fatalf("optimized program failed: %v\n%s", err, q)
+		}
+		if err := verify.CompareResults(want, got, 0); err != nil {
+			t.Fatalf("%v\n--- original ---\n%s--- optimized ---\n%s", err, p, q)
+		}
+	})
 }

@@ -1,0 +1,380 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/fusion"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+	"repro/internal/verify"
+)
+
+// Defaults for Config knobs left zero.
+const (
+	// DefaultTol is the relative tolerance for differential
+	// verification.
+	DefaultTol = verify.DefaultTol
+	// DefaultMaxFixpointIters bounds the scans of the storage-reduction
+	// and store-elimination fixpoint loops. Each scan commits at most
+	// one transformation, so the bound is effectively the maximum
+	// number of storage transformations per pass, plus one confirming
+	// scan.
+	DefaultMaxFixpointIters = 512
+	// DefaultMaxPassSteps bounds the transformations one pass may
+	// commit, independent of fixpoint convergence.
+	DefaultMaxPassSteps = 4096
+)
+
+// Config controls the checkpointed pass manager: which passes run
+// (Options), how each accepted checkpoint is verified, and the
+// iteration budgets that keep a pathological input from hanging the
+// pipeline.
+type Config struct {
+	Options
+	// Verify selects per-checkpoint verification. Regardless of mode,
+	// every checkpoint must pass ir.Program.Validate before it replaces
+	// the last known-good program.
+	Verify verify.Mode
+	// Tol is the relative tolerance for differential verification;
+	// non-positive means DefaultTol.
+	Tol float64
+	// MaxFixpointIters bounds the scans of each fixpoint loop;
+	// non-positive means DefaultMaxFixpointIters.
+	MaxFixpointIters int
+	// MaxPassSteps bounds the committed transformations per pass;
+	// non-positive means DefaultMaxPassSteps.
+	MaxPassSteps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tol <= 0 {
+		c.Tol = DefaultTol
+	}
+	if c.MaxFixpointIters <= 0 {
+		c.MaxFixpointIters = DefaultMaxFixpointIters
+	}
+	if c.MaxPassSteps <= 0 {
+		c.MaxPassSteps = DefaultMaxPassSteps
+	}
+	return c
+}
+
+// PassError is the structured record of a pass (or one checkpointed
+// step of a pass) that failed: it panicked, returned an error, or
+// produced a program that failed verification. The pipeline converts
+// every such failure into a PassError, rolls back to the last
+// known-good program, and continues with the remaining work.
+type PassError struct {
+	Pass     string // pass name: "fuse", "contract", "shrink", "store-elim", ...
+	Nest     string // nest the step targeted, if any
+	Array    string // array the step targeted, if any
+	Panicked bool   // the failure was a contained panic
+	Cause    error
+}
+
+func (e *PassError) Error() string {
+	var loc string
+	if e.Nest != "" {
+		loc = " in nest " + e.Nest
+	}
+	if e.Array != "" {
+		loc += " (array " + e.Array + ")"
+	}
+	verb := "failed"
+	if e.Panicked {
+		verb = "panicked"
+	}
+	return fmt.Sprintf("transform: pass %s%s %s: %v", e.Pass, loc, verb, e.Cause)
+}
+
+func (e *PassError) Unwrap() error { return e.Cause }
+
+// Outcome is the degradation report of one pipeline run: what was
+// applied, what was skipped and why, and how many checkpoints were
+// verified and accepted.
+type Outcome struct {
+	// Mode is the verification mode the run effectively used (it can
+	// downgrade from differential to structural when the reference run
+	// of the input program itself fails; see Notes).
+	Mode verify.Mode
+	// Actions logs applied transformations and skipped passes in
+	// pipeline order.
+	Actions []Action
+	// Skipped holds one PassError per rolled-back pass or step.
+	Skipped []*PassError
+	// Checkpoints counts accepted (verified) program states.
+	Checkpoints int
+	// Notes carries free-form degradation remarks (budget exhaustion,
+	// verification downgrades).
+	Notes []string
+}
+
+// panicCause wraps a recovered panic value so PassError can tell
+// contained panics apart from ordinary errors.
+type panicCause struct{ val any }
+
+func (p *panicCause) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// manager runs passes against a last-known-good program, verifying and
+// committing one checkpoint at a time.
+type manager struct {
+	cfg      Config
+	cur      *ir.Program  // last known-good program
+	baseline *exec.Result // reference result of the input, for differential mode
+	out      *Outcome
+	steps    int             // checkpoints committed by the current pass
+	blocked  map[string]bool // (pass,nest,array) steps that already failed once
+}
+
+func newManager(p *ir.Program, cfg Config) *manager {
+	cfg = cfg.withDefaults()
+	m := &manager{
+		cfg:     cfg,
+		cur:     p.Clone(),
+		out:     &Outcome{Mode: cfg.Verify},
+		blocked: map[string]bool{},
+	}
+	if cfg.Verify >= verify.ModeDifferential {
+		ref, err := exec.Run(p, nil)
+		if err != nil {
+			m.cfg.Verify = verify.ModeStructural
+			m.out.Mode = verify.ModeStructural
+			m.note("differential baseline run failed (%v); downgraded to structural verification", err)
+		} else {
+			m.baseline = ref
+		}
+	}
+	return m
+}
+
+// OptimizeVerified runs the paper's compiler strategy under the
+// checkpointed pass manager. Each transformation step executes with
+// panic containment, its result is verified according to cfg.Verify,
+// and on any failure the pipeline rolls back to the last known-good
+// program, records the skip, and continues with the remaining passes.
+// The returned program is therefore always valid; the Outcome reports
+// what was applied and what degraded. The error is non-nil only when
+// the input program itself is invalid.
+func OptimizeVerified(p *ir.Program, cfg Config) (*ir.Program, *Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, &Outcome{Mode: cfg.Verify}, fmt.Errorf("transform: input program invalid: %w", err)
+	}
+	m := newManager(p, cfg)
+	if m.cfg.Fuse {
+		m.fusePass()
+	}
+	if m.cfg.ReduceStorage {
+		m.storagePass()
+	}
+	if m.cfg.EliminateStores {
+		m.storeElimPass()
+	}
+	if err := m.cur.Validate(); err != nil {
+		// Unreachable in normal operation: every checkpoint was
+		// validated before acceptance. Guard anyway.
+		return nil, m.out, fmt.Errorf("transform: pipeline produced invalid program: %w", err)
+	}
+	return m.cur, m.out, nil
+}
+
+func (m *manager) note(format string, args ...any) {
+	m.out.Notes = append(m.out.Notes, fmt.Sprintf(format, args...))
+}
+
+// stepFn attempts one transformation of the current program. A nil
+// program with a nil error means "not applicable here" — not a
+// failure, no checkpoint.
+type stepFn func(cur *ir.Program) (*ir.Program, []Action, error)
+
+// protect invokes fn with panic containment.
+func protect(cur *ir.Program, fn stepFn) (next *ir.Program, acts []Action, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			next, acts = nil, nil
+			err = &panicCause{val: r}
+		}
+	}()
+	return fn(cur)
+}
+
+// skip records a rolled-back pass in both the structured skip list and
+// the action log.
+func (m *manager) skip(pass, nest, array string, cause error) {
+	pe := &PassError{Pass: pass, Nest: nest, Array: array, Cause: cause}
+	if _, ok := cause.(*panicCause); ok {
+		pe.Panicked = true
+	}
+	m.out.Skipped = append(m.out.Skipped, pe)
+	m.out.Actions = append(m.out.Actions, Action{
+		Pass: pass, Nest: nest, Array: array, Skipped: true, Note: cause.Error(),
+	})
+}
+
+// check verifies a candidate checkpoint according to the configured
+// mode. ir.Program.Validate is the unconditional floor.
+func (m *manager) check(next *ir.Program) error {
+	if m.cfg.Verify >= verify.ModeStructural {
+		if err := verify.Structural(next); err != nil {
+			return err
+		}
+	} else if err := next.Validate(); err != nil {
+		return err
+	}
+	if m.baseline != nil && m.cfg.Verify >= verify.ModeDifferential {
+		if err := verify.DifferentialAgainst(m.baseline, next, m.cfg.Tol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStep executes one candidate transformation against the current
+// known-good program under panic containment, verifies the result, and
+// commits it as the new checkpoint. On failure the known-good program
+// is kept, the failure is recorded as a PassError, the step is
+// blacklisted so fixpoint loops do not retry it, and false is
+// returned.
+func (m *manager) runStep(pass, nest, array string, fn stepFn) bool {
+	key := pass + "\x00" + nest + "\x00" + array
+	if m.blocked[key] {
+		return false
+	}
+	next, acts, err := protect(m.cur, fn)
+	if err != nil {
+		m.blocked[key] = true
+		m.skip(pass, nest, array, err)
+		return false
+	}
+	if next == nil {
+		return false // not applicable; no checkpoint
+	}
+	if err := m.check(next); err != nil {
+		m.blocked[key] = true
+		m.skip(pass, nest, array, err)
+		return false
+	}
+	m.cur = next
+	m.out.Actions = append(m.out.Actions, acts...)
+	m.out.Checkpoints++
+	m.steps++
+	return true
+}
+
+// fusePass runs bandwidth-minimal loop fusion as one checkpointed step.
+func (m *manager) fusePass() {
+	m.steps = 0
+	m.runStep("fuse", "", "", func(cur *ir.Program) (*ir.Program, []Action, error) {
+		fused, parts, err := fusion.FuseGreedily(cur)
+		if err != nil {
+			return nil, nil, err
+		}
+		var acts []Action
+		if len(parts) < len(cur.Nests) {
+			acts = append(acts, Action{Pass: "fuse",
+				Note: fmt.Sprintf("%d loops into %d partitions", len(cur.Nests), len(parts))})
+		}
+		return fused, acts, nil
+	})
+}
+
+// storagePass iterates array contraction and shrinking to a fixpoint:
+// contracting one array can make another transformable. Every accepted
+// transformation is its own verified checkpoint, and the fixpoint
+// carries an explicit iteration budget.
+func (m *manager) storagePass() {
+	const pass = "reduce-storage"
+	m.steps = 0
+	iters := 0
+	for changed := true; changed; {
+		if iters++; iters > m.cfg.MaxFixpointIters {
+			m.skip(pass, "", "", fmt.Errorf("fixpoint iteration budget (%d scans) exhausted before convergence", m.cfg.MaxFixpointIters))
+			return
+		}
+		if m.steps >= m.cfg.MaxPassSteps {
+			m.skip(pass, "", "", fmt.Errorf("per-pass step limit (%d) reached", m.cfg.MaxPassSteps))
+			return
+		}
+		changed = false
+		live, err := liveness.Analyze(m.cur)
+		if err != nil {
+			m.skip(pass, "", "", fmt.Errorf("liveness analysis failed: %w", err))
+			return
+		}
+		for ni := range m.cur.Nests {
+			nest := m.cur.Nests[ni].Label
+			for _, arr := range append([]*ir.Array(nil), m.cur.Arrays...) {
+				name := arr.Name
+				if live.LiveAfter(name, ni) || !usedOnlyIn(m.cur, ni, name) {
+					continue
+				}
+				cl := liveness.Classify(m.cur, ni, name)
+				switch cl.Kind {
+				case liveness.ScalarLike:
+					changed = m.runStep("contract", nest, name, func(cur *ir.Program) (*ir.Program, []Action, error) {
+						next, err := ContractArray(cur, ni, name)
+						if err != nil {
+							return nil, nil, nil // not contractible here
+						}
+						return next, []Action{{Pass: "contract", Nest: nest, Array: name,
+							Note: "array replaced by a scalar"}}, nil
+					})
+				case liveness.CarryOne:
+					changed = m.runStep("shrink", nest, name, func(cur *ir.Program) (*ir.Program, []Action, error) {
+						next, err := ShrinkArray(cur, ni, name)
+						if err != nil {
+							return nil, nil, nil // not shrinkable here
+						}
+						return next, []Action{{Pass: "shrink", Nest: nest, Array: name,
+							Note: fmt.Sprintf("carry-1 along %s: scalar + buffer", cl.CarryVar)}}, nil
+					})
+				}
+				if changed {
+					break
+				}
+			}
+			if changed {
+				break
+			}
+		}
+	}
+}
+
+// storeElimPass removes dead writebacks, one verified checkpoint per
+// eliminated array, under the same fixpoint budget.
+func (m *manager) storeElimPass() {
+	const pass = "store-elim"
+	m.steps = 0
+	iters := 0
+	for changed := true; changed; {
+		if iters++; iters > m.cfg.MaxFixpointIters {
+			m.skip(pass, "", "", fmt.Errorf("fixpoint iteration budget (%d scans) exhausted before convergence", m.cfg.MaxFixpointIters))
+			return
+		}
+		if m.steps >= m.cfg.MaxPassSteps {
+			m.skip(pass, "", "", fmt.Errorf("per-pass step limit (%d) reached", m.cfg.MaxPassSteps))
+			return
+		}
+		changed = false
+		for ni := range m.cur.Nests {
+			nest := m.cur.Nests[ni].Label
+			for _, arr := range append([]*ir.Array(nil), m.cur.Arrays...) {
+				name := arr.Name
+				changed = m.runStep(pass, nest, name, func(cur *ir.Program) (*ir.Program, []Action, error) {
+					next, err := EliminateStores(cur, ni, name)
+					if err != nil {
+						return nil, nil, nil // no eliminable stores here
+					}
+					return next, []Action{{Pass: pass, Nest: nest, Array: name,
+						Note: "writeback removed, value forwarded"}}, nil
+				})
+				if changed {
+					break
+				}
+			}
+			if changed {
+				break
+			}
+		}
+	}
+}

@@ -3,21 +3,27 @@ package transform
 import (
 	"fmt"
 
-	"repro/internal/fusion"
 	"repro/internal/ir"
-	"repro/internal/liveness"
 )
 
-// Action records one transformation applied by the pipeline.
+// Action records one transformation applied — or one pass skipped —
+// by the pipeline.
 type Action struct {
-	Pass  string // "fuse", "contract", "shrink", "store-elim"
-	Nest  string // nest label (after fusion)
-	Array string // affected array, if any
-	Note  string
+	Pass    string // "fuse", "contract", "shrink", "store-elim"
+	Nest    string // nest label (after fusion)
+	Array   string // affected array, if any
+	Note    string
+	Skipped bool // the pass failed and was rolled back; Note holds the cause
 }
 
 // String renders the action for reports.
 func (a Action) String() string {
+	if a.Skipped {
+		if a.Array == "" {
+			return fmt.Sprintf("%s: SKIPPED (%s)", a.Pass, a.Note)
+		}
+		return fmt.Sprintf("%s: SKIPPED %s in %s (%s)", a.Pass, a.Array, a.Nest, a.Note)
+	}
 	if a.Array == "" {
 		return fmt.Sprintf("%s: %s", a.Pass, a.Note)
 	}
@@ -43,92 +49,16 @@ func FusionOnly() Options { return Options{Fuse: true} }
 // storage reduction (array contraction and shrinking), then store
 // elimination. It returns the optimized program and a log of applied
 // actions. The input program is never modified.
+//
+// Optimize is the compatibility entry point: it runs the checkpointed
+// pass manager with verification off, so each transformation is still
+// panic-contained, validated before acceptance, and rolled back on
+// failure. Use OptimizeVerified to select structural or differential
+// verification and inspect the degradation report.
 func Optimize(p *ir.Program, opt Options) (*ir.Program, []Action, error) {
-	cur := p.Clone()
-	var log []Action
-
-	if opt.Fuse {
-		fused, parts, err := fusion.FuseGreedily(cur)
-		if err != nil {
-			return nil, nil, err
-		}
-		if len(parts) < len(cur.Nests) {
-			log = append(log, Action{Pass: "fuse",
-				Note: fmt.Sprintf("%d loops into %d partitions", len(cur.Nests), len(parts))})
-		}
-		cur = fused
+	q, out, err := OptimizeVerified(p, Config{Options: opt})
+	if err != nil {
+		return nil, nil, err
 	}
-
-	if opt.ReduceStorage {
-		// Iterate to a fixpoint: contracting one array can make another
-		// transformable.
-		for changed := true; changed; {
-			changed = false
-			for ni := range cur.Nests {
-				for _, arr := range append([]*ir.Array(nil), cur.Arrays...) {
-					live, err := liveness.Analyze(cur)
-					if err != nil {
-						return nil, nil, err
-					}
-					if live.LiveAfter(arr.Name, ni) || !usedOnlyIn(cur, ni, arr.Name) {
-						continue
-					}
-					cl := liveness.Classify(cur, ni, arr.Name)
-					switch cl.Kind {
-					case liveness.ScalarLike:
-						next, err := ContractArray(cur, ni, arr.Name)
-						if err != nil {
-							continue
-						}
-						log = append(log, Action{Pass: "contract", Nest: cur.Nests[ni].Label,
-							Array: arr.Name, Note: "array replaced by a scalar"})
-						cur = next
-						changed = true
-					case liveness.CarryOne:
-						next, err := ShrinkArray(cur, ni, arr.Name)
-						if err != nil {
-							continue
-						}
-						log = append(log, Action{Pass: "shrink", Nest: cur.Nests[ni].Label,
-							Array: arr.Name, Note: fmt.Sprintf("carry-1 along %s: scalar + buffer", cl.CarryVar)})
-						cur = next
-						changed = true
-					}
-					if changed {
-						break
-					}
-				}
-				if changed {
-					break
-				}
-			}
-		}
-	}
-
-	if opt.EliminateStores {
-		for changed := true; changed; {
-			changed = false
-			for ni := range cur.Nests {
-				for _, arr := range append([]*ir.Array(nil), cur.Arrays...) {
-					next, err := EliminateStores(cur, ni, arr.Name)
-					if err != nil {
-						continue
-					}
-					log = append(log, Action{Pass: "store-elim", Nest: cur.Nests[ni].Label,
-						Array: arr.Name, Note: "writeback removed, value forwarded"})
-					cur = next
-					changed = true
-					break
-				}
-				if changed {
-					break
-				}
-			}
-		}
-	}
-
-	if err := cur.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("transform: pipeline produced invalid program: %w", err)
-	}
-	return cur, log, nil
+	return q, out.Actions, nil
 }
