@@ -3,7 +3,10 @@
 //
 // Usage:
 //
-//	bwbench [-quick] [-experiment all|sec2.1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|sp-util|ablation|conflicts|stream|cachebench]
+//	bwbench [-quick] [-experiment all|<name>]
+//
+// Run bwbench -h for the full experiment list (it is derived from the
+// experiments table below, so the two cannot drift apart).
 //
 // Each experiment prints the same rows/series the paper reports,
 // with a footnote quoting the paper's measured values for comparison.
@@ -13,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -26,7 +30,8 @@ var experiments = []string{
 
 func main() {
 	quick := flag.Bool("quick", false, "small workloads with cache-scaled machines (seconds instead of minutes)")
-	which := flag.String("experiment", "all", "which experiment to run")
+	which := flag.String("experiment", "all",
+		"which experiment to run: all, or one of "+strings.Join(experiments, ", "))
 	flag.Parse()
 
 	cfg := core.Default()

@@ -113,18 +113,7 @@ func main() {
 	}
 
 	if mode != verify.ModeOff && outcome != nil {
-		skipped := make([]report.SkippedPass, 0, len(outcome.Skipped))
-		for _, pe := range outcome.Skipped {
-			where := pe.Nest
-			if pe.Array != "" {
-				if where != "" {
-					where += "/"
-				}
-				where += pe.Array
-			}
-			skipped = append(skipped, report.SkippedPass{Pass: pe.Pass, Where: where, Cause: pe.Cause.Error()})
-		}
-		fmt.Print(report.Degradation(outcome.Mode.String(), outcome.Checkpoints, skipped, outcome.Notes))
+		fmt.Print(report.Degradation(outcome.Mode.String(), outcome.Checkpoints, outcome.SkippedReport(), outcome.Notes))
 	}
 
 	var spec machine.Spec

@@ -1,0 +1,99 @@
+// Command bwserved serves the bandwidth-analysis pipeline over
+// HTTP/JSON: balance reports, verified optimization, and simulated
+// cache statistics for mini-language programs or built-in kernels.
+//
+// Usage:
+//
+//	bwserved [-addr :8080] [-workers N] [-cache-entries N] \
+//	         [-timeout 15s] [-max-timeout 60s] [-max-body 1048576] \
+//	         [-max-steps 200000000] [-drain 10s] [-quiet]
+//
+// Endpoints:
+//
+//	POST /v1/analyze   balance report (+ optional Belady replay)
+//	POST /v1/optimize  verified optimizer pipeline, before/after balance
+//	GET  /v1/kernels   built-in kernel registry
+//	GET  /healthz      liveness + cache stats
+//	GET  /metrics      Prometheus text-format metrics
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/analyze \
+//	     -d '{"kernel":"sec21","n":65536}' | jq .balance.text
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -drain before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent analyses (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 256, "result-cache capacity (negative disables)")
+	timeout := flag.Duration("timeout", 15*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size cap in bytes")
+	maxSteps := flag.Int64("max-steps", 200_000_000, "per-run loop-iteration budget (negative disables)")
+	drain := flag.Duration("drain", 10*time.Second, "connection-drain window on shutdown")
+	quiet := flag.Bool("quiet", false, "suppress request logs")
+	flag.Parse()
+
+	var logw io.Writer = os.Stderr
+	if *quiet {
+		logw = nil
+	}
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+		MaxSteps:       *maxSteps,
+		LogWriter:      logw,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "bwserved listening on %s\n", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "bwserved:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, let in-flight requests finish.
+	fmt.Fprintln(os.Stderr, "bwserved: shutting down, draining connections")
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "bwserved: shutdown:", err)
+		os.Exit(1)
+	}
+}

@@ -13,12 +13,14 @@
 package balance
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/exec"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/sim"
 )
 
 // Report is the balance analysis of one program on one machine.
@@ -48,6 +50,13 @@ type Report struct {
 	MemoryBytes int64
 	EffectiveBW float64
 
+	// LevelNames and LevelStats carry the per-level cache counters of
+	// the simulated run (hits, misses, writebacks, channel bytes),
+	// processor-side first — the raw event counts behind the balance
+	// figures.
+	LevelNames []string
+	LevelStats []sim.Stats
+
 	// Result carries the program's computed values for equivalence
 	// checking.
 	Result *exec.Result
@@ -56,6 +65,15 @@ type Report struct {
 // Measure runs the program on the machine model and computes its
 // balance report.
 func Measure(p *ir.Program, spec machine.Spec) (*Report, error) {
+	return MeasureCtx(context.Background(), p, spec, exec.Limits{})
+}
+
+// MeasureCtx is Measure with cancellation and a step budget threaded
+// into the simulated run: the measurement aborts with an error wrapping
+// exec.ErrCanceled when ctx is done, or exec.ErrStepBudget when the
+// program exceeds lim.MaxSteps loop iterations. Services use it to keep
+// a hostile or huge program from wedging a worker.
+func MeasureCtx(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.Limits) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,7 +84,7 @@ func Measure(p *ir.Program, spec machine.Spec) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := cp.Run(h)
+	res, err := cp.RunCtx(ctx, h, lim)
 	if err != nil {
 		return nil, err
 	}
@@ -88,6 +106,10 @@ func Measure(p *ir.Program, spec machine.Spec) (*Report, error) {
 		MemoryBytes:    h.MemoryBytes(),
 		EffectiveBW:    machine.EffectiveBandwidth(h.MemoryBytes(), t),
 		Result:         res,
+	}
+	for i := 0; i < h.Levels(); i++ {
+		r.LevelNames = append(r.LevelNames, h.LevelConfig(i).Name)
+		r.LevelStats = append(r.LevelStats, h.LevelStats(i))
 	}
 	r.ProgramBalance = make([]float64, len(channels))
 	r.Ratios = make([]float64, len(channels))

@@ -1,0 +1,134 @@
+// Package cache implements a concurrency-safe, content-addressed LRU
+// result cache. The analysis pipeline is a pure function of its inputs
+// (program source, machine configuration, pipeline options), so a
+// result can be keyed by a cryptographic digest of those inputs and
+// reused for every identical request. Values are stored as opaque
+// interfaces and must be treated as immutable once inserted: the same
+// value may be handed to many concurrent readers.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Key returns the content address of an arbitrary JSON-encodable
+// value: the hex SHA-256 of its canonical JSON encoding. Go's
+// encoding/json writes struct fields in declaration order and map keys
+// sorted, so equal values produce equal keys.
+func Key(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("cache: key encoding: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Len       int
+	Capacity  int
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a fixed-capacity LRU map from content address to result.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// New returns a cache holding at most capacity entries. A non-positive
+// capacity yields a cache that stores nothing (every Get misses), so a
+// service can be run cache-less without branching at call sites.
+func New(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value stored under key and marks it most recently
+// used. The second result reports whether the key was present.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry if
+// the cache is full. Storing an existing key refreshes its value and
+// recency.
+func (c *Cache) Put(key string, val any) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the current number of entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Len:       c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

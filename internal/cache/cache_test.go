@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3) // evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived eviction")
+	}
+	if v, ok := c.Get("b"); !ok || v.(int) != 2 {
+		t.Fatalf("b = %v, %v", v, ok)
+	}
+	// b is now most recent; inserting d evicts c.
+	c.Put("d", 4)
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("c survived eviction despite being least recent")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b evicted despite recent use")
+	}
+	st := c.Stats()
+	if st.Evictions != 2 || st.Len != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("a", 2)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("a = %v, want refreshed value 2", v)
+	}
+}
+
+func TestHitMissCounters(t *testing.T) {
+	c := New(4)
+	c.Get("absent")
+	c.Put("k", "v")
+	c.Get("k")
+	c.Get("k")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits 1 miss", st)
+	}
+	if r := st.HitRatio(); r < 0.66 || r > 0.67 {
+		t.Fatalf("hit ratio = %v, want 2/3", r)
+	}
+}
+
+func TestZeroCapacityStoresNothing(t *testing.T) {
+	c := New(0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-capacity cache stored a value")
+	}
+}
+
+func TestKeyDeterministicAndDistinct(t *testing.T) {
+	type req struct {
+		Source  string
+		Machine string
+		Scale   int
+	}
+	k1, err := Key(req{"prog", "origin", 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := Key(req{"prog", "origin", 1})
+	if k1 != k2 {
+		t.Fatalf("equal values produced different keys: %s vs %s", k1, k2)
+	}
+	k3, _ := Key(req{"prog", "origin", 2})
+	if k1 == k3 {
+		t.Fatal("different values produced the same key")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key length = %d, want 64 hex chars", len(k1))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%64)
+				if i%3 == 0 {
+					c.Put(key, i)
+				} else {
+					c.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("len = %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/lang"
+)
+
+// longProgram runs ~1.6e9 innermost iterations — hours of interpreter
+// time if left alone. The cancellation tests prove it stops promptly.
+const longProgram = `
+program long
+const N = 40000
+scalar s
+loop L1 {
+  for i = 0, N - 1 {
+    for j = 0, N - 1 {
+      s = s + 1
+    }
+  }
+}
+`
+
+func TestRunCtxCancelsPromptly(t *testing.T) {
+	p := lang.MustParse(longProgram)
+	for _, engine := range []string{"interp", "compiled"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			var err error
+			if engine == "interp" {
+				_, err = RunCtx(ctx, p, nil, Limits{})
+			} else {
+				cp, cerr := Compile(p)
+				if cerr != nil {
+					t.Fatal(cerr)
+				}
+				_, err = cp.RunCtx(ctx, nil, Limits{})
+			}
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Fatal("run completed despite cancellation")
+			}
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("err = %v, want ErrCanceled", err)
+			}
+			// The deadline is 20ms and polling happens every 1024
+			// iterations; anything past 5s means polling is broken.
+			if elapsed > 5*time.Second {
+				t.Fatalf("cancellation took %v, want prompt stop", elapsed)
+			}
+		})
+	}
+}
+
+func TestRunCtxStepBudget(t *testing.T) {
+	p := lang.MustParse(longProgram)
+	lim := Limits{MaxSteps: 10_000}
+	for _, engine := range []string{"interp", "compiled"} {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			var err error
+			if engine == "interp" {
+				_, err = RunCtx(context.Background(), p, nil, lim)
+			} else {
+				cp, cerr := Compile(p)
+				if cerr != nil {
+					t.Fatal(cerr)
+				}
+				_, err = cp.RunCtx(context.Background(), nil, lim)
+			}
+			if !errors.Is(err, ErrStepBudget) {
+				t.Fatalf("err = %v, want ErrStepBudget", err)
+			}
+		})
+	}
+}
+
+// TestRunCtxBudgetAllowsCompletion checks that a budget larger than the
+// program's work does not disturb the run or its results.
+func TestRunCtxBudgetAllowsCompletion(t *testing.T) {
+	src := `
+program small
+const N = 100
+array a[N]
+scalar s
+loop L1 {
+  for i = 0, N - 1 { a[i] = i }
+}
+loop L2 {
+  for i = 0, N - 1 { s = s + a[i] }
+}
+`
+	p := lang.MustParse(src)
+	ref, err := Run(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCtx(context.Background(), p, nil, Limits{MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scalars["s"] != ref.Scalars["s"] {
+		t.Fatalf("budgeted run s = %v, unbudgeted %v", got.Scalars["s"], ref.Scalars["s"])
+	}
+}

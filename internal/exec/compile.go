@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -28,12 +29,30 @@ type Compiled struct {
 // cenv is the mutable state of one compiled execution.
 type cenv struct {
 	mach     Machine
+	ctx      context.Context
+	lim      Limits
+	steps    int64
 	arrays   []carr
 	scalars  []float64
 	ivars    []int64
 	res      *Result
 	flops    int64
 	inputSeq int64
+}
+
+// step mirrors interp.step for the compiled engine: one loop-body
+// iteration of budget accounting plus periodic context polling.
+func (env *cenv) step() error {
+	env.steps++
+	if env.lim.MaxSteps > 0 && env.steps > env.lim.MaxSteps {
+		return fmt.Errorf("%w (limit %d iterations)", ErrStepBudget, env.lim.MaxSteps)
+	}
+	if env.steps&pollMask == 0 {
+		if err := env.ctx.Err(); err != nil {
+			return fmt.Errorf("%w after %d iterations: %v", ErrCanceled, env.steps, err)
+		}
+	}
+	return nil
 }
 
 type carr struct {
@@ -87,8 +106,21 @@ func Compile(p *ir.Program) (*Compiled, error) {
 
 // Run executes the compiled program against a (possibly nil) machine.
 func (cp *Compiled) Run(h Machine) (*Result, error) {
+	return cp.RunCtx(context.Background(), h, Limits{})
+}
+
+// RunCtx is Run with cancellation and a step budget, with the same
+// semantics as the package-level RunCtx. Compiled programs are
+// stateless between runs, so one Compiled may serve many concurrent
+// RunCtx calls, each with its own context.
+func (cp *Compiled) RunCtx(ctx context.Context, h Machine, lim Limits) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	env := &cenv{
 		mach: h,
+		ctx:  ctx,
+		lim:  lim,
 		res:  &Result{Scalars: map[string]float64{}, arrays: map[string][]float64{}},
 	}
 	var next int64
@@ -225,6 +257,9 @@ func (c *compiler) stmt(s ir.Stmt) (stmtF, error) {
 				return err
 			}
 			for v := l; v <= h; v += step {
+				if err := env.step(); err != nil {
+					return err
+				}
 				env.ivars[slot] = v
 				if err := body(env); err != nil {
 					return err

@@ -13,6 +13,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -23,6 +25,31 @@ import (
 // align is the allocation alignment (and inter-array padding) in bytes;
 // it is at least as large as any modelled cache line.
 const align = 128
+
+// ErrCanceled is returned (wrapped) when a run is abandoned because its
+// context was canceled or its deadline expired. Callers detect it with
+// errors.Is.
+var ErrCanceled = errors.New("exec: run canceled")
+
+// ErrStepBudget is returned (wrapped) when a run exceeds its
+// Limits.MaxSteps budget. It is distinct from ErrCanceled: the budget
+// bounds total work regardless of wall-clock deadlines.
+var ErrStepBudget = errors.New("exec: step budget exhausted")
+
+// pollMask sets how often the interpreter loops poll the context: every
+// pollMask+1 loop-body iterations. 1024 innermost iterations are
+// microseconds of work, so cancellation is prompt without measurable
+// polling overhead.
+const pollMask = 1023
+
+// Limits bounds one execution. The zero value imposes no limit.
+type Limits struct {
+	// MaxSteps caps the number of loop-body iterations executed across
+	// the whole run (0 = unlimited). One step is one iteration of one
+	// `for` statement, so deeply nested loops consume budget at their
+	// innermost rate.
+	MaxSteps int64
+}
 
 // Result carries the values computed by a program run.
 type Result struct {
@@ -60,10 +87,23 @@ var _ Machine = (*sim.Hierarchy)(nil)
 // run. Dirty cache lines are flushed at program end so writeback counts
 // cover the whole execution, matching the paper's accounting.
 func Run(p *ir.Program, h Machine) (*Result, error) {
+	return RunCtx(context.Background(), p, h, Limits{})
+}
+
+// RunCtx is Run with cancellation and a step budget: the interpreter
+// polls ctx between loop iterations and abandons the run with an error
+// wrapping ErrCanceled once ctx is done, or ErrStepBudget once
+// lim.MaxSteps loop iterations have executed. A nil ctx means
+// context.Background().
+func RunCtx(ctx context.Context, p *ir.Program, h Machine, lim Limits) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	e := &interp{prog: p, mach: h, res: &Result{Scalars: map[string]float64{}, arrays: map[string][]float64{}}}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := &interp{prog: p, mach: h, ctx: ctx, lim: lim,
+		res: &Result{Scalars: map[string]float64{}, arrays: map[string][]float64{}}}
 	e.layout()
 	for _, n := range p.Nests {
 		if err := e.stmts(n.Body); err != nil {
@@ -95,12 +135,30 @@ type arrayState struct {
 type interp struct {
 	prog     *ir.Program
 	mach     Machine
+	ctx      context.Context
+	lim      Limits
+	steps    int64 // loop-body iterations executed
 	res      *Result
 	arrays   map[string]*arrayState
 	scalars  map[string]*float64
 	ivars    map[string]*int64 // loop variables
 	flops    int64
 	inputSeq int64 // position in the sequential input stream
+}
+
+// step accounts one loop-body iteration, enforcing the step budget and
+// periodically polling the context.
+func (e *interp) step() error {
+	e.steps++
+	if e.lim.MaxSteps > 0 && e.steps > e.lim.MaxSteps {
+		return fmt.Errorf("%w (limit %d iterations)", ErrStepBudget, e.lim.MaxSteps)
+	}
+	if e.steps&pollMask == 0 {
+		if err := e.ctx.Err(); err != nil {
+			return fmt.Errorf("%w after %d iterations: %v", ErrCanceled, e.steps, err)
+		}
+	}
+	return nil
 }
 
 // layout assigns base addresses and allocates array storage.
@@ -466,6 +524,9 @@ func (e *interp) stmt(s ir.Stmt) error {
 		prev, shadowed := e.ivars[s.Var]
 		e.ivars[s.Var] = &iv
 		for iv = lo; iv <= hi; iv += step {
+			if err := e.step(); err != nil {
+				return err
+			}
 			if err := e.stmts(s.Body); err != nil {
 				return err
 			}

@@ -137,6 +137,11 @@ func Seconds(s float64) string {
 	}
 }
 
+// Percent formats a ratio in [0,1] as a percentage.
+func Percent(ratio float64) string {
+	return fmt.Sprintf("%.1f%%", 100*ratio)
+}
+
 // Bytes formats a byte count with binary units.
 func Bytes(n int64) string {
 	switch {

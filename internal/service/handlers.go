@@ -1,0 +1,587 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/cache"
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/transform"
+	"repro/internal/verify"
+)
+
+// ProgramRequest names the program and machine a request targets.
+// Exactly one of Program (mini-language source) or Kernel (a built-in
+// from GET /v1/kernels) must be set.
+type ProgramRequest struct {
+	Program string `json:"program,omitempty"`
+	Kernel  string `json:"kernel,omitempty"`
+	// N sizes a built-in kernel; 0 means its default.
+	N int `json:"n,omitempty"`
+	// Machine is "origin" (default) or "exemplar"; Scale ≥ 2 shrinks
+	// its caches by that factor (the paper's scaled-machine study).
+	Machine string `json:"machine,omitempty"`
+	Scale   int    `json:"scale,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline,
+	// capped at the server's maximum.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	ProgramRequest
+	// Belady additionally replays the last-level access trace under
+	// Belady's optimal replacement vs LRU (Section 4.1's comparison).
+	Belady bool `json:"belady,omitempty"`
+}
+
+// PassOptions selects optimizer passes for POST /v1/optimize; omitting
+// the field entirely enables all passes.
+type PassOptions struct {
+	Fuse            bool `json:"fuse"`
+	ReduceStorage   bool `json:"reduce_storage"`
+	EliminateStores bool `json:"eliminate_stores"`
+}
+
+// OptimizeRequest is the body of POST /v1/optimize.
+type OptimizeRequest struct {
+	ProgramRequest
+	Passes *PassOptions `json:"passes,omitempty"`
+	// Verify is the per-checkpoint verification mode: "off" (default),
+	// "structural" or "differential".
+	Verify string `json:"verify,omitempty"`
+	// Tol is the relative tolerance for differential verification.
+	Tol float64 `json:"tol,omitempty"`
+}
+
+// ChannelBalance is one memory-hierarchy channel of a balance report.
+type ChannelBalance struct {
+	Name           string  `json:"name"`
+	Bytes          int64   `json:"bytes"`
+	ProgramBalance float64 `json:"program_balance"` // bytes per flop demanded
+	MachineBalance float64 `json:"machine_balance"` // bytes per flop supplied
+	Ratio          float64 `json:"ratio"`           // demand / supply
+}
+
+// CacheLevelStats is the simulated counters of one cache level.
+type CacheLevelStats struct {
+	Name         string  `json:"name"`
+	Reads        int64   `json:"reads"`
+	Writes       int64   `json:"writes"`
+	ReadMisses   int64   `json:"read_misses"`
+	WriteMisses  int64   `json:"write_misses"`
+	Writebacks   int64   `json:"writebacks"`
+	HitRatio     float64 `json:"hit_ratio"`
+	TrafficBytes int64   `json:"traffic_bytes"`
+}
+
+// BalanceSummary is the JSON form of a balance.Report.
+type BalanceSummary struct {
+	Program             string            `json:"program"`
+	Machine             string            `json:"machine"`
+	Flops               int64             `json:"flops"`
+	Channels            []ChannelBalance  `json:"channels"`
+	Bottleneck          string            `json:"bottleneck"`
+	MaxRatio            float64           `json:"max_ratio"`
+	CPUUtilizationBound float64           `json:"cpu_utilization_bound"`
+	PredictedSeconds    float64           `json:"predicted_seconds"`
+	EffectiveBWMBs      float64           `json:"effective_bw_mbs"`
+	CacheLevels         []CacheLevelStats `json:"cache_levels"`
+	Text                string            `json:"text"` // human-readable rendering
+}
+
+// ReplayStats is one replacement policy's result in a Belady run.
+type ReplayStats struct {
+	Misses     int64   `json:"misses"`
+	Writebacks int64   `json:"writebacks"`
+	MissRatio  float64 `json:"miss_ratio"`
+}
+
+// BeladyComparison contrasts LRU with Belady's optimal replacement on
+// the identical last-level access trace.
+type BeladyComparison struct {
+	Level    string      `json:"level"`
+	Accesses int         `json:"accesses"`
+	LRU      ReplayStats `json:"lru"`
+	Belady   ReplayStats `json:"belady"`
+	// MissReduction is 1 - belady/lru misses: how much an optimal
+	// policy could save over LRU.
+	MissReduction float64 `json:"miss_reduction"`
+}
+
+// AnalyzeResponse is the body of a successful POST /v1/analyze.
+type AnalyzeResponse struct {
+	Cached  bool              `json:"cached"`
+	Balance *BalanceSummary   `json:"balance"`
+	Belady  *BeladyComparison `json:"belady,omitempty"`
+}
+
+// Verification reports the verified pipeline's outcome, including
+// PR 1's graceful degradation (skipped passes, mode downgrades).
+type Verification struct {
+	Mode        string               `json:"mode"`
+	Checkpoints int                  `json:"checkpoints"`
+	Skipped     []report.SkippedPass `json:"skipped,omitempty"`
+	Notes       []string             `json:"notes,omitempty"`
+	Text        string               `json:"text"`
+}
+
+// OptimizeResponse is the body of a successful POST /v1/optimize.
+type OptimizeResponse struct {
+	Cached       bool            `json:"cached"`
+	Optimized    string          `json:"optimized"` // optimized program source
+	Actions      []string        `json:"actions"`
+	Verification *Verification   `json:"verification"`
+	Before       *BalanceSummary `json:"before"`
+	After        *BalanceSummary `json:"after"`
+	Speedup      float64         `json:"speedup"`
+}
+
+// ErrorResponse is the JSON error envelope for all non-2xx statuses.
+type ErrorResponse struct {
+	Error       string   `json:"error"`
+	Diagnostics []string `json:"diagnostics,omitempty"`
+}
+
+// httpError carries a status code with the message up to the handler.
+type httpError struct {
+	code  int
+	msg   string
+	diags []string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// execStatus maps a pipeline execution error to a status: deadline and
+// cancellation mean the service cut the request off (504); everything
+// else is a property of the submitted program (422).
+func execStatus(err error) int {
+	if errors.Is(err, exec.ErrCanceled) || errors.Is(err, sim.ErrCanceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		writeJSON(w, he.code, ErrorResponse{Error: he.msg, Diagnostics: he.diags})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) failExec(w http.ResponseWriter, err error) {
+	writeJSON(w, execStatus(err), ErrorResponse{Error: err.Error()})
+}
+
+// decode reads the JSON body into v, enforcing the body-size cap and
+// rejecting unknown fields (they are usually typos of real options).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.fail(w, &httpError{code: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)})
+			return false
+		}
+		s.fail(w, badRequest("invalid JSON request: %v", err))
+		return false
+	}
+	return true
+}
+
+// requestCtx derives the per-request deadline: the client's timeout_ms
+// when given, the server default otherwise, never above the maximum.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) limits() exec.Limits { return exec.Limits{MaxSteps: s.cfg.MaxSteps} }
+
+// resolveProgram turns the request into an IR program plus a canonical
+// source identifier for cache keying.
+func (s *Server) resolveProgram(req *ProgramRequest) (*ir.Program, string, error) {
+	switch {
+	case req.Program != "" && req.Kernel != "":
+		return nil, "", badRequest("set exactly one of \"program\" and \"kernel\", not both")
+	case req.Program != "":
+		p, err := lang.Parse(req.Program)
+		if err != nil {
+			return nil, "", &httpError{code: http.StatusBadRequest,
+				msg: "program does not parse", diags: []string{err.Error()}}
+		}
+		return p, "src:" + req.Program, nil
+	case req.Kernel != "":
+		p, n, err := buildKernel(req.Kernel, req.N)
+		if err != nil {
+			return nil, "", badRequest("%v", err)
+		}
+		return p, fmt.Sprintf("kernel:%s:n=%d", req.Kernel, n), nil
+	default:
+		return nil, "", badRequest("set one of \"program\" (source) or \"kernel\" (a built-in name)")
+	}
+}
+
+func resolveMachine(name string, scale int) (machine.Spec, error) {
+	var spec machine.Spec
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "origin", "origin2000":
+		spec = machine.Origin2000()
+	case "exemplar":
+		spec = machine.Exemplar()
+	default:
+		return spec, badRequest("unknown machine %q (want origin or exemplar)", name)
+	}
+	if scale < 0 {
+		return spec, badRequest("scale must be non-negative, got %d", scale)
+	}
+	if scale > 1 {
+		spec = machine.Scaled(spec, scale)
+	}
+	return spec, nil
+}
+
+func summarize(rep *balance.Report) *BalanceSummary {
+	b := &BalanceSummary{
+		Program:             rep.Program,
+		Machine:             rep.Machine,
+		Flops:               rep.Flops,
+		Bottleneck:          rep.Bottleneck,
+		MaxRatio:            rep.MaxRatio,
+		CPUUtilizationBound: rep.CPUUtilizationBound,
+		PredictedSeconds:    rep.Time.Total,
+		EffectiveBWMBs:      rep.EffectiveBW / machine.MB,
+		Text:                rep.String(),
+	}
+	for i, name := range rep.ChannelNames {
+		b.Channels = append(b.Channels, ChannelBalance{
+			Name:           name,
+			Bytes:          rep.ChannelBytes[i],
+			ProgramBalance: rep.ProgramBalance[i],
+			MachineBalance: rep.MachineBalance[i],
+			Ratio:          rep.Ratios[i],
+		})
+	}
+	for i, name := range rep.LevelNames {
+		st := rep.LevelStats[i]
+		var hr float64
+		if acc := st.Reads + st.Writes; acc > 0 {
+			hr = float64(st.Hits()) / float64(acc)
+		}
+		b.CacheLevels = append(b.CacheLevels, CacheLevelStats{
+			Name:         name,
+			Reads:        st.Reads,
+			Writes:       st.Writes,
+			ReadMisses:   st.ReadMisses,
+			WriteMisses:  st.WriteMisses,
+			Writebacks:   st.Writebacks,
+			HitRatio:     hr,
+			TrafficBytes: st.Traffic(),
+		})
+	}
+	return b
+}
+
+// analyzeKey is the content address of an analyze result: every input
+// that can change the answer, nothing that cannot.
+type analyzeKey struct {
+	Endpoint string
+	Source   string
+	Machine  string
+	Belady   bool
+	MaxSteps int64
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	begin := time.Now()
+	p, sourceID, err := s.resolveProgram(&req.ProgramRequest)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	spec, err := resolveMachine(req.Machine, req.Scale)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.stageSeconds.With("parse").Observe(time.Since(begin).Seconds())
+
+	key, err := cache.Key(analyzeKey{
+		Endpoint: "analyze", Source: sourceID, Machine: spec.Name,
+		Belady: req.Belady, MaxSteps: s.cfg.MaxSteps,
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if v, ok := s.cache.Get(key); ok {
+		s.cacheHits.Inc()
+		w.Header().Set("X-Cache", "hit")
+		resp := *v.(*AnalyzeResponse) // shallow copy; cached values are immutable
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
+	s.cacheMisses.Inc()
+	w.Header().Set("X-Cache", "miss")
+
+	release, err := s.acquire(ctx)
+	if err != nil {
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
+			Error: "timed out waiting for a worker: " + err.Error()})
+		return
+	}
+	defer release()
+
+	mbegin := time.Now()
+	rep, err := balance.MeasureCtx(ctx, p, spec, s.limits())
+	s.stageSeconds.With("measure").Observe(time.Since(mbegin).Seconds())
+	if err != nil {
+		s.failExec(w, err)
+		return
+	}
+	resp := &AnalyzeResponse{Balance: summarize(rep)}
+
+	if req.Belady {
+		rbegin := time.Now()
+		cmp, err := s.beladyCompare(ctx, p, spec)
+		s.stageSeconds.With("replay").Observe(time.Since(rbegin).Seconds())
+		if err != nil {
+			s.failExec(w, err)
+			return
+		}
+		resp.Belady = cmp
+	}
+
+	s.cache.Put(key, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// beladyCompare records the program's access stream at the machine's
+// last cache level and replays it under LRU and Belady's optimal
+// replacement.
+func (s *Server) beladyCompare(ctx context.Context, p *ir.Program, spec machine.Spec) (*BeladyComparison, error) {
+	cfg := spec.Caches[len(spec.Caches)-1]
+	cfg.Policy = sim.WriteBack // replay requires write-back, write-allocate
+	cfg.NoWriteAllocate = false
+	rec, err := sim.NewRecorder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := exec.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cp.RunCtx(ctx, rec, s.limits()); err != nil {
+		return nil, err
+	}
+	t := rec.Trace()
+	lru, err := sim.ReplayLRUCtx(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := sim.ReplayBeladyCtx(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	stats := func(st sim.Stats) ReplayStats {
+		rs := ReplayStats{Misses: st.Misses(), Writebacks: st.Writebacks}
+		if acc := st.Reads + st.Writes; acc > 0 {
+			rs.MissRatio = float64(st.Misses()) / float64(acc)
+		}
+		return rs
+	}
+	cmp := &BeladyComparison{
+		Level:    cfg.Name,
+		Accesses: t.Len(),
+		LRU:      stats(lru),
+		Belady:   stats(opt),
+	}
+	if lru.Misses() > 0 {
+		cmp.MissReduction = 1 - float64(opt.Misses())/float64(lru.Misses())
+	}
+	return cmp, nil
+}
+
+// optimizeKey is the content address of an optimize result.
+type optimizeKey struct {
+	Endpoint string
+	Source   string
+	Machine  string
+	Passes   transform.Options
+	Verify   string
+	Tol      float64
+	MaxSteps int64
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	begin := time.Now()
+	p, sourceID, err := s.resolveProgram(&req.ProgramRequest)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	spec, err := resolveMachine(req.Machine, req.Scale)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	mode, err := verify.ParseMode(req.Verify)
+	if err != nil {
+		s.fail(w, badRequest("%v", err))
+		return
+	}
+	opts := transform.All()
+	if req.Passes != nil {
+		opts = transform.Options{
+			Fuse:            req.Passes.Fuse,
+			ReduceStorage:   req.Passes.ReduceStorage,
+			EliminateStores: req.Passes.EliminateStores,
+		}
+	}
+	s.stageSeconds.With("parse").Observe(time.Since(begin).Seconds())
+
+	key, err := cache.Key(optimizeKey{
+		Endpoint: "optimize", Source: sourceID, Machine: spec.Name,
+		Passes: opts, Verify: mode.String(), Tol: req.Tol, MaxSteps: s.cfg.MaxSteps,
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if v, ok := s.cache.Get(key); ok {
+		s.cacheHits.Inc()
+		w.Header().Set("X-Cache", "hit")
+		resp := *v.(*OptimizeResponse)
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
+	s.cacheMisses.Inc()
+	w.Header().Set("X-Cache", "miss")
+
+	release, err := s.acquire(ctx)
+	if err != nil {
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
+			Error: "timed out waiting for a worker: " + err.Error()})
+		return
+	}
+	defer release()
+
+	obegin := time.Now()
+	q, outcome, err := transform.OptimizeVerifiedCtx(ctx, p, transform.Config{
+		Options: opts, Verify: mode, Tol: req.Tol, ExecLimits: s.limits(),
+	})
+	s.stageSeconds.With("optimize").Observe(time.Since(obegin).Seconds())
+	if outcome != nil {
+		for _, sk := range outcome.SkippedReport() {
+			s.passFailures.With(sk.Pass).Inc()
+		}
+	}
+	if err != nil {
+		s.failExec(w, err)
+		return
+	}
+
+	mbegin := time.Now()
+	before, err := balance.MeasureCtx(ctx, p, spec, s.limits())
+	if err != nil {
+		s.failExec(w, err)
+		return
+	}
+	after, err := balance.MeasureCtx(ctx, q, spec, s.limits())
+	s.stageSeconds.With("measure").Observe(time.Since(mbegin).Seconds())
+	if err != nil {
+		s.failExec(w, err)
+		return
+	}
+
+	resp := &OptimizeResponse{
+		Optimized: q.String(),
+		Actions:   make([]string, 0, len(outcome.Actions)),
+		Verification: &Verification{
+			Mode:        outcome.Mode.String(),
+			Checkpoints: outcome.Checkpoints,
+			Skipped:     outcome.SkippedReport(),
+			Notes:       outcome.Notes,
+			Text: report.Degradation(outcome.Mode.String(), outcome.Checkpoints,
+				outcome.SkippedReport(), outcome.Notes).String(),
+		},
+		Before:  summarize(before),
+		After:   summarize(after),
+		Speedup: balance.Speedup(before, after),
+	}
+	for _, a := range outcome.Actions {
+		resp.Actions = append(resp.Actions, a.String())
+	}
+
+	s.cache.Put(key, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"kernels": Kernels()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.cache.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.cfg.Workers,
+		"cache": map[string]any{
+			"len": st.Len, "capacity": st.Capacity,
+			"hits": st.Hits, "misses": st.Misses, "evictions": st.Evictions,
+			"hit_ratio": st.HitRatio(),
+		},
+	})
+}

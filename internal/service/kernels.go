@@ -1,0 +1,89 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/kernels"
+)
+
+// KernelInfo describes one named built-in program the service can
+// analyze without the client sending source.
+type KernelInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	DefaultN    int    `json:"default_n"`
+	MaxN        int    `json:"max_n"`
+
+	build func(n int) (*ir.Program, error)
+}
+
+// kernelTable is the registry of built-ins. Size caps keep a single
+// request's footprint bounded (the exec step budget bounds its time);
+// 2-D and 3-D kernels get smaller caps because their work and storage
+// grow superlinearly in n.
+var kernelTable = func() map[string]KernelInfo {
+	ok := func(f func(n int) *ir.Program) func(int) (*ir.Program, error) {
+		return func(n int) (*ir.Program, error) { return f(n), nil }
+	}
+	list := []KernelInfo{
+		{Name: "sec21-write", Description: "Section 2.1 read-modify-write sweep", DefaultN: 100_000, MaxN: 4 << 20, build: ok(kernels.Sec21Write)},
+		{Name: "sec21-read", Description: "Section 2.1 pure reduction", DefaultN: 100_000, MaxN: 4 << 20, build: ok(kernels.Sec21Read)},
+		{Name: "sec21", Description: "Section 2.1 write+read pair (fusion candidate)", DefaultN: 100_000, MaxN: 4 << 20, build: ok(kernels.Sec21Pair)},
+		{Name: "fig6a", Description: "Figure 6(a) original four-loop program", DefaultN: 64, MaxN: 1024, build: ok(kernels.Fig6Original)},
+		{Name: "fig6b", Description: "Figure 6(b) hand-fused form", DefaultN: 64, MaxN: 1024, build: ok(kernels.Fig6Fused)},
+		{Name: "fig6c", Description: "Figure 6(c) shrunk and peeled form", DefaultN: 64, MaxN: 1024, build: ok(kernels.Fig6ShrunkPeeled)},
+		{Name: "fig7", Description: "Figure 7(a) update+sum program", DefaultN: 100_000, MaxN: 4 << 20, build: ok(kernels.Fig7Original)},
+		{Name: "fig8", Description: "Figure 8 store-elimination workload", DefaultN: 100_000, MaxN: 4 << 20, build: ok(kernels.Fig8Workload)},
+		{Name: "conv", Description: "three-point convolution filter (Figure 1)", DefaultN: 100_000, MaxN: 4 << 20, build: ok(kernels.Convolution)},
+		{Name: "dmxpy", Description: "Linpack dmxpy matrix-vector kernel (Figure 1)", DefaultN: 128, MaxN: 1024, build: ok(kernels.Dmxpy)},
+		{Name: "matmul", Description: "matrix multiply in j-k-i order (Figure 1)", DefaultN: 64, MaxN: 384, build: ok(kernels.MatmulJKI)},
+		{Name: "fft", Description: "radix-2 FFT (n must be a power of two)", DefaultN: 1024, MaxN: 1 << 16, build: kernels.FFT},
+		{Name: "sp", Description: "SP-like ADI solver proxy", DefaultN: 16, MaxN: 64, build: ok(kernels.SP)},
+		{Name: "sweep3d", Description: "Sweep3D-like wavefront transport sweep", DefaultN: 32, MaxN: 256,
+			build: func(n int) (*ir.Program, error) { return kernels.Sweep3D(n, 6), nil }},
+	}
+	for _, name := range kernels.StrideKernelNames {
+		name := name
+		list = append(list, KernelInfo{
+			Name:        "stride-" + name,
+			Description: fmt.Sprintf("Figure 3 unit-stride kernel %s", name),
+			DefaultN:    100_000, MaxN: 4 << 20,
+			build: func(n int) (*ir.Program, error) { return kernels.StrideKernel(name, n) },
+		})
+	}
+	m := make(map[string]KernelInfo, len(list))
+	for _, k := range list {
+		m[k.Name] = k
+	}
+	return m
+}()
+
+// Kernels lists the built-in programs, sorted by name.
+func Kernels() []KernelInfo {
+	out := make([]KernelInfo, 0, len(kernelTable))
+	for _, k := range kernelTable {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// buildKernel instantiates a named kernel at size n (0 = its default).
+// The effective size is returned so cache keys canonicalize "n omitted"
+// and "n = default" to the same entry.
+func buildKernel(name string, n int) (*ir.Program, int, error) {
+	k, ok := kernelTable[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("unknown kernel %q (GET /v1/kernels lists the built-ins)", name)
+	}
+	if n == 0 {
+		n = k.DefaultN
+	}
+	if n < 2 || n > k.MaxN {
+		return nil, 0, fmt.Errorf("kernel %q size n=%d outside [2,%d]", name, n, k.MaxN)
+	}
+	p, err := k.build(n)
+	return p, n, err
+}

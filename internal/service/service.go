@@ -1,0 +1,220 @@
+// Package service implements bwserved: an HTTP/JSON API over the
+// repository's bandwidth-analysis pipeline. A request names a program
+// (mini-language source or a built-in kernel) and a machine model; the
+// service answers with balance tables, optimization reports, and
+// simulated cache statistics.
+//
+// The subsystem has four load-bearing parts:
+//
+//   - a bounded worker pool: at most Config.Workers analyses run
+//     concurrently, every request carries a context deadline, and the
+//     deadline is threaded down into internal/exec's interpreter loops
+//     and internal/sim's trace replay, so a hostile or huge program is
+//     cut off promptly (ErrCanceled) instead of wedging a worker;
+//   - a content-addressed LRU result cache (internal/cache): the
+//     pipeline is a pure function of source + machine + options, so
+//     identical requests are answered from cache;
+//   - telemetry (internal/telemetry): Prometheus text-format counters
+//     and histograms on GET /metrics, plus structured JSON request
+//     logging;
+//   - graceful shutdown: the http.Server built by cmd/bwserved drains
+//     connections; handlers observe cancellation via their contexts.
+//
+// Endpoints: POST /v1/analyze, POST /v1/optimize, GET /v1/kernels,
+// GET /healthz, GET /metrics.
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/telemetry"
+)
+
+// Config tunes the service. Zero fields take the documented defaults.
+type Config struct {
+	// Workers caps concurrently executing analyses (default
+	// GOMAXPROCS). Requests beyond it queue until a worker frees or
+	// their deadline expires.
+	Workers int
+	// CacheEntries is the LRU result-cache capacity (default 256;
+	// negative disables caching).
+	CacheEntries int
+	// DefaultTimeout is the per-request deadline when the client sends
+	// none (default 15s); MaxTimeout caps client-requested deadlines
+	// (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes caps the request body (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxSteps is the exec step budget per program run (default 200
+	// million loop iterations; negative disables). It bounds total work
+	// even when a program makes progress fast enough to dodge the
+	// deadline-based cutoff.
+	MaxSteps int64
+	// LogWriter receives structured JSON request logs (nil discards).
+	LogWriter io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 15 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 200_000_000
+	}
+	if c.MaxSteps < 0 {
+		c.MaxSteps = 0 // unlimited
+	}
+	return c
+}
+
+// Server is the bwserved service state. Create with New; it is safe
+// for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	reg   *telemetry.Registry
+	log   *telemetry.Logger
+	sem   chan struct{}
+	start time.Time
+
+	requests     *telemetry.CounterVec // {endpoint, code}
+	cacheHits    *telemetry.Counter
+	cacheMisses  *telemetry.Counter
+	passFailures *telemetry.CounterVec   // {pass}
+	stageSeconds *telemetry.HistogramVec // {stage}
+	workersBusy  *telemetry.Gauge
+	queueDepth   *telemetry.Gauge
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := telemetry.NewRegistry()
+	s := &Server{
+		cfg:   cfg,
+		cache: cache.New(cfg.CacheEntries),
+		reg:   reg,
+		log:   telemetry.NewLogger(cfg.LogWriter),
+		sem:   make(chan struct{}, cfg.Workers),
+		start: time.Now(),
+
+		requests: reg.NewCounterVec("bwserved_requests_total",
+			"HTTP requests by endpoint and status code.", "endpoint", "code"),
+		cacheHits: reg.NewCounter("bwserved_cache_hits_total",
+			"Requests answered from the content-addressed result cache."),
+		cacheMisses: reg.NewCounter("bwserved_cache_misses_total",
+			"Requests that had to run the analysis pipeline."),
+		passFailures: reg.NewCounterVec("bwserved_pass_failures_total",
+			"Optimizer passes skipped by the verified pipeline, by pass name.", "pass"),
+		stageSeconds: reg.NewHistogramVec("bwserved_stage_seconds",
+			"Latency by pipeline stage.", telemetry.DefaultLatencyBuckets, "stage"),
+		workersBusy: reg.NewGauge("bwserved_workers_busy",
+			"Worker-pool slots currently executing an analysis."),
+		queueDepth: reg.NewGauge("bwserved_queue_depth",
+			"Requests waiting for a worker-pool slot."),
+	}
+	return s
+}
+
+// Registry exposes the metrics registry (for embedding the service
+// into a larger process).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// CacheStats returns a snapshot of the result cache's counters.
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/optimize", s.instrument("/v1/optimize", s.handleOptimize))
+	mux.HandleFunc("GET /v1/kernels", s.instrument("/v1/kernels", s.handleKernels))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes must not perturb request metrics
+	return mux
+}
+
+// acquire claims a worker-pool slot, waiting until one frees or ctx is
+// done. The returned release function is idempotent.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	s.queueDepth.Add(1)
+	defer s.queueDepth.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		s.workersBusy.Add(1)
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				s.workersBusy.Add(-1)
+				<-s.sem
+			})
+		}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting, latency
+// observation and structured logging.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		h(rec, r)
+		dur := time.Since(begin)
+		s.requests.With(endpoint, itoa(rec.status)).Inc()
+		s.stageSeconds.With("request").Observe(dur.Seconds())
+		s.log.Log(map[string]any{
+			"method": r.Method,
+			"path":   endpoint,
+			"status": rec.status,
+			"dur_ms": float64(dur.Microseconds()) / 1000,
+			"remote": r.RemoteAddr,
+			"cache":  rec.Header().Get("X-Cache"),
+		})
+	}
+}
+
+func itoa(code int) string {
+	// Tiny, allocation-free int→string for status codes.
+	if code >= 100 && code < 1000 {
+		return string([]byte{byte('0' + code/100), byte('0' + code/10%10), byte('0' + code%10)})
+	}
+	return "???"
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Mirror live cache stats into gauges lazily at scrape time.
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}

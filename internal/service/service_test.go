@@ -1,0 +1,394 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func TestAnalyzeKernel(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"kernel": "sec21", "n": 4096,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Cached {
+		t.Fatal("first request claims cached")
+	}
+	if ar.Balance == nil || ar.Balance.Flops <= 0 {
+		t.Fatalf("balance missing or empty: %+v", ar.Balance)
+	}
+	if len(ar.Balance.Channels) == 0 || len(ar.Balance.CacheLevels) == 0 {
+		t.Fatalf("channels/cache levels missing: %+v", ar.Balance)
+	}
+	if ar.Balance.Bottleneck == "" {
+		t.Fatal("no bottleneck reported")
+	}
+}
+
+func TestAnalyzeSourceProgram(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := `
+program tiny
+const N = 1024
+array a[N]
+array b[N]
+loop L1 {
+  for i = 0, N - 1 {
+    b[i] = a[i] * 2.0 + 1.0
+  }
+}
+`
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"program": src})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestCacheHitVsMiss asserts the second identical request is served
+// from the cache, via the cache-hit counter — not wall clock.
+func TestCacheHitVsMiss(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := map[string]any{"kernel": "conv", "n": 4096}
+
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("miss request: status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", got)
+	}
+	st := s.CacheStats()
+	if st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("after miss: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hit request: status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second request X-Cache = %q, want hit", got)
+	}
+	var ar AnalyzeResponse
+	json.Unmarshal(body, &ar)
+	if !ar.Cached {
+		t.Fatal("second response not marked cached")
+	}
+	st = s.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("after hit: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+
+	// A request differing only in kernel size is a distinct entry.
+	resp, _ = postJSON(t, ts.URL+"/v1/analyze", map[string]any{"kernel": "conv", "n": 8192})
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("different size X-Cache = %q, want miss", got)
+	}
+}
+
+// TestRequestTimeout asserts a request exceeding its deadline returns
+// 504 and that the worker slot is reclaimed (a follow-up succeeds on a
+// 1-worker server).
+func TestRequestTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"kernel": "matmul", "n": 384, "timeout_ms": 30,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		t.Fatalf("error envelope missing: %s", body)
+	}
+
+	// The single worker must be free again for a small request.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"kernel": "sec21", "n": 256})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("follow-up status %d: %s", resp.StatusCode, body)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker slot not reclaimed after timeout")
+	}
+	if busy := s.workersBusy.Value(); busy != 0 {
+		t.Fatalf("workersBusy = %v after requests drained", busy)
+	}
+}
+
+// TestMalformedProgram asserts a syntax error yields 400 with parse
+// diagnostics in the envelope.
+func TestMalformedProgram(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"program": "program broken\nloop L1 for i = 0 to { oops",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Diagnostics) == 0 || !strings.Contains(er.Diagnostics[0], "lang:") {
+		t.Fatalf("parse diagnostics missing: %+v", er)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"neither program nor kernel", map[string]any{}, http.StatusBadRequest},
+		{"both program and kernel", map[string]any{"program": "x", "kernel": "conv"}, http.StatusBadRequest},
+		{"unknown kernel", map[string]any{"kernel": "nope"}, http.StatusBadRequest},
+		{"oversize kernel", map[string]any{"kernel": "conv", "n": 1 << 30}, http.StatusBadRequest},
+		{"unknown machine", map[string]any{"kernel": "conv", "machine": "cray"}, http.StatusBadRequest},
+		{"unknown field", map[string]any{"kernel": "conv", "bogus": true}, http.StatusBadRequest},
+		{"oversize body", map[string]any{"program": strings.Repeat("x", 512)}, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/analyze", tc.body)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, body)
+			}
+		})
+	}
+}
+
+func TestOptimizeEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/optimize", map[string]any{
+		"kernel": "sec21", "n": 4096, "verify": "differential",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var or OptimizeResponse
+	if err := json.Unmarshal(body, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.Optimized == "" || len(or.Actions) == 0 {
+		t.Fatalf("optimized program or actions missing: %+v", or)
+	}
+	if or.Verification == nil || or.Verification.Mode != "differential" {
+		t.Fatalf("verification block wrong: %+v", or.Verification)
+	}
+	if or.Speedup <= 0 {
+		t.Fatalf("speedup = %v", or.Speedup)
+	}
+	if or.Before == nil || or.After == nil {
+		t.Fatal("before/after balance missing")
+	}
+	// Fusion + store elimination must reduce memory traffic on sec21.
+	if or.After.PredictedSeconds >= or.Before.PredictedSeconds {
+		t.Fatalf("no predicted improvement: before %v after %v",
+			or.Before.PredictedSeconds, or.After.PredictedSeconds)
+	}
+}
+
+func TestAnalyzeBelady(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"kernel": "sec21", "n": 4096, "belady": true, "machine": "exemplar", "scale": 64,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Belady == nil || ar.Belady.Accesses == 0 {
+		t.Fatalf("belady comparison missing: %+v", ar.Belady)
+	}
+	if ar.Belady.Belady.Misses > ar.Belady.LRU.Misses {
+		t.Fatalf("optimal beat by LRU: %+v", ar.Belady)
+	}
+}
+
+func TestKernelsAndHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/kernels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kr struct {
+		Kernels []KernelInfo `json:"kernels"`
+	}
+	json.NewDecoder(resp.Body).Decode(&kr)
+	resp.Body.Close()
+	if len(kr.Kernels) < 10 {
+		t.Fatalf("only %d kernels listed", len(kr.Kernels))
+	}
+	for _, k := range kr.Kernels {
+		if k.Name == "" || k.DefaultN == 0 || k.MaxN == 0 {
+			t.Fatalf("incomplete kernel info: %+v", k)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var hr map[string]any
+	json.NewDecoder(resp.Body).Decode(&hr)
+	if hr["status"] != "ok" {
+		t.Fatalf("healthz body: %v", hr)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := map[string]any{"kernel": "conv", "n": 1024}
+	postJSON(t, ts.URL+"/v1/analyze", req)
+	postJSON(t, ts.URL+"/v1/analyze", req) // cache hit
+	postJSON(t, ts.URL+"/v1/analyze", map[string]any{"kernel": "nope"})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	b.ReadFrom(resp.Body)
+	out := b.String()
+	for _, want := range []string{
+		`bwserved_requests_total{endpoint="/v1/analyze",code="200"} 2`,
+		`bwserved_requests_total{endpoint="/v1/analyze",code="400"} 1`,
+		`bwserved_cache_hits_total 1`,
+		`bwserved_cache_misses_total 1`,
+		"# TYPE bwserved_stage_seconds histogram",
+		"bwserved_stage_seconds_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStructuredLog asserts request logging emits JSON lines with the
+// expected fields.
+func TestStructuredLog(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	_, ts := newTestServer(t, Config{LogWriter: w})
+	postJSON(t, ts.URL+"/v1/analyze", map[string]any{"kernel": "conv", "n": 1024})
+
+	mu.Lock()
+	defer mu.Unlock()
+	line := strings.TrimSpace(buf.String())
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("log line not JSON: %q", line)
+	}
+	if entry["path"] != "/v1/analyze" || entry["status"] != float64(200) || entry["cache"] != "miss" {
+		t.Fatalf("log entry: %v", entry)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestConcurrentAnalyze hammers the service from many goroutines; run
+// under -race it proves the worker pool, cache and metrics are
+// race-free.
+func TestConcurrentAnalyze(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, CacheEntries: 8})
+	kernels := []string{"sec21", "conv", "fig7", "sec21-read"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				body, _ := json.Marshal(map[string]any{
+					"kernel": kernels[(g+i)%len(kernels)], "n": 1024,
+				})
+				resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					var b bytes.Buffer
+					b.ReadFrom(resp.Body)
+					errs <- fmt.Errorf("status %d: %s", resp.StatusCode, b.String())
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.CacheStats()
+	if st.Hits+st.Misses != 64 {
+		t.Fatalf("cache lookups = %d, want 64", st.Hits+st.Misses)
+	}
+	if st.Misses < int64(len(kernels)) {
+		t.Fatalf("misses = %d, want at least one per distinct kernel", st.Misses)
+	}
+	if busy := s.workersBusy.Value(); busy != 0 {
+		t.Fatalf("workersBusy = %v after drain", busy)
+	}
+}

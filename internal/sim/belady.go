@@ -1,6 +1,18 @@
 package sim
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is returned (wrapped) when a trace replay is abandoned
+// because its context was canceled or its deadline expired.
+var ErrCanceled = errors.New("sim: replay canceled")
+
+// replayPollMask sets how often the replay loop polls its context:
+// every replayPollMask+1 line accesses.
+const replayPollMask = 0x3FFF
 
 // Belady (MIN) replacement support. Burger, Goodman and Kägi (ISCA'96)
 // bounded the benefit of smarter cache management by simulating SPEC
@@ -69,18 +81,33 @@ func (r *Recorder) Trace() *Trace { return &r.trace }
 // (including final writebacks of dirty lines, matching
 // Hierarchy.Flush accounting).
 func ReplayBelady(t *Trace) (Stats, error) {
-	return replay(t, true)
+	return replay(context.Background(), t, true)
 }
 
 // ReplayLRU replays the trace through the same single level under LRU,
 // for an apples-to-apples comparison on the identical trace.
 func ReplayLRU(t *Trace) (Stats, error) {
-	return replay(t, false)
+	return replay(context.Background(), t, false)
+}
+
+// ReplayBeladyCtx is ReplayBelady with cancellation: the replay loop
+// polls ctx periodically and abandons the trace with an error wrapping
+// ErrCanceled once ctx is done.
+func ReplayBeladyCtx(ctx context.Context, t *Trace) (Stats, error) {
+	return replay(ctx, t, true)
+}
+
+// ReplayLRUCtx is ReplayLRU with cancellation.
+func ReplayLRUCtx(ctx context.Context, t *Trace) (Stats, error) {
+	return replay(ctx, t, false)
 }
 
 const never = int(^uint(0) >> 1) // sentinel next-use for "no future use"
 
-func replay(t *Trace, belady bool) (Stats, error) {
+func replay(ctx context.Context, t *Trace, belady bool) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := t.cfg
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
@@ -114,6 +141,11 @@ func replay(t *Trace, belady bool) (Stats, error) {
 	var st Stats
 
 	for i, addr := range t.lines {
+		if i&replayPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Stats{}, fmt.Errorf("%w after %d of %d accesses: %v", ErrCanceled, i, len(t.lines), err)
+			}
+		}
 		write := t.writes[i]
 		if write {
 			st.Writes++

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -174,5 +176,28 @@ func TestBeladyMonotoneInWaysProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestReplayCtxCanceled(t *testing.T) {
+	// A trace long enough to cross several poll points.
+	r, err := NewRecorder(cfg1(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200_000; i++ {
+		r.Load(int64(i)*32, 8)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ReplayBeladyCtx(ctx, r.Trace()); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("belady replay err = %v, want ErrCanceled", err)
+	}
+	if _, err := ReplayLRUCtx(ctx, r.Trace()); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("lru replay err = %v, want ErrCanceled", err)
+	}
+	// A live context replays normally.
+	if _, err := ReplayBeladyCtx(context.Background(), r.Trace()); err != nil {
+		t.Fatalf("live replay failed: %v", err)
 	}
 }

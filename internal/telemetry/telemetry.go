@@ -1,0 +1,417 @@
+// Package telemetry provides the observability primitives of the
+// bwserved service: a metrics registry exposing Prometheus
+// text-format counters, gauges and histograms, and a structured
+// (JSON-lines) request logger. It has no external dependencies — the
+// exposition format is simple enough to emit directly, and keeping the
+// repo dependency-free is a project constraint.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds a set of named metrics and renders them in
+// Prometheus text exposition format. Metric families are rendered in
+// registration order; labeled children in sorted label order.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+type familyKind int
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name with its help text and labeled children.
+type family struct {
+	name    string
+	help    string
+	kind    familyKind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]metric // key: joined label values
+}
+
+type metric interface {
+	write(w io.Writer, fam *family, labelValues []string)
+}
+
+func (r *Registry) newFamily(name, help string, kind familyKind, buckets []float64, labels []string) *family {
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: labels, buckets: buckets,
+		children: map[string]metric{},
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, existing := range r.families {
+		if existing.name == name {
+			panic(fmt.Sprintf("telemetry: metric %q registered twice", name))
+		}
+	}
+	r.families = append(r.families, f)
+	return f
+}
+
+const labelSep = "\x00"
+
+// child returns (creating if needed) the labeled child for the given
+// label values.
+func (f *family) child(values []string, make func() metric) metric {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.children[key]
+	if !ok {
+		m = make()
+		f.children[key] = m
+	}
+	return m
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Add increases the counter by v (v must be non-negative).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("telemetry: counter decreased")
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) write(w io.Writer, fam *family, lv []string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, renderLabels(fam.labels, lv), formatValue(c.Value()))
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by v (negative to decrease).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, fam *family, lv []string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, renderLabels(fam.labels, lv), formatValue(g.Value()))
+}
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // upper bounds, ascending
+	counts  []uint64  // per-bucket (non-cumulative) counts
+	sum     float64
+	count   uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	// Falls into the implicit +Inf bucket only.
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+func (h *Histogram) write(w io.Writer, fam *family, lv []string) {
+	h.mu.Lock()
+	buckets := append([]float64(nil), h.buckets...)
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+
+	labelsLe := append(append([]string(nil), fam.labels...), "le")
+	cum := uint64(0)
+	for i, ub := range buckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name,
+			renderLabels(labelsLe, append(append([]string(nil), lv...), formatValue(ub))), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name,
+		renderLabels(labelsLe, append(append([]string(nil), lv...), "+Inf")), count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, renderLabels(fam.labels, lv), formatValue(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", fam.name, renderLabels(fam.labels, lv), count)
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ fam *family }
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ fam *family }
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ fam *family }
+
+// NewCounter registers an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.newFamily(name, help, kindCounter, nil, nil)
+	return f.child(nil, func() metric { return &Counter{} }).(*Counter)
+}
+
+// NewGauge registers an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.newFamily(name, help, kindGauge, nil, nil)
+	return f.child(nil, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// NewHistogram registers an unlabeled histogram with the given ascending
+// bucket upper bounds.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	f := r.newFamily(name, help, kindHistogram, checkBuckets(buckets), nil)
+	return f.child(nil, func() metric { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// NewCounterVec registers a counter family with the given label names.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.newFamily(name, help, kindCounter, nil, labels)}
+}
+
+// NewGaugeVec registers a gauge family with the given label names.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.newFamily(name, help, kindGauge, nil, labels)}
+}
+
+// NewHistogramVec registers a histogram family with the given buckets
+// and label names.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{fam: r.newFamily(name, help, kindHistogram, checkBuckets(buckets), labels)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (cv *CounterVec) With(values ...string) *Counter {
+	return cv.fam.child(values, func() metric { return &Counter{} }).(*Counter)
+}
+
+// With returns the gauge for the given label values.
+func (gv *GaugeVec) With(values ...string) *Gauge {
+	return gv.fam.child(values, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// With returns the histogram for the given label values.
+func (hv *HistogramVec) With(values ...string) *Histogram {
+	return hv.fam.child(values, func() metric { return newHistogram(hv.fam.buckets) }).(*Histogram)
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{buckets: buckets, counts: make([]uint64, len(buckets))}
+}
+
+func checkBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic("telemetry: histogram needs at least one bucket")
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic("telemetry: histogram buckets not ascending")
+	}
+	return append([]float64(nil), buckets...)
+}
+
+// DefaultLatencyBuckets covers sub-millisecond cache hits through
+// multi-second analyses, in seconds.
+var DefaultLatencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// WriteText renders every registered metric in Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range families {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]metric, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		for i, m := range children {
+			var lv []string
+			if keys[i] != "" || len(f.labels) > 0 {
+				lv = strings.Split(keys[i], labelSep)
+			}
+			m.write(w, f, lv)
+		}
+	}
+	return nil
+}
+
+// renderLabels formats a label set as {k="v",...}, or "" when empty.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// integers without an exponent, everything else in shortest form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Logger writes structured JSON-lines records, one object per event,
+// with an RFC 3339 timestamp added under "ts". It is safe for
+// concurrent use; a nil Logger discards everything, so call sites need
+// no guards.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // test hook
+}
+
+// NewLogger returns a logger writing to w (nil w yields a discarding
+// logger).
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w, now: time.Now}
+}
+
+// Log writes one record. Fields are rendered in sorted key order so
+// log lines are stable and grep-able.
+func (l *Logger) Log(fields map[string]any) {
+	if l == nil {
+		return
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(`{"ts":"`)
+	b.WriteString(l.now().UTC().Format(time.RFC3339Nano))
+	b.WriteByte('"')
+	for _, k := range keys {
+		b.WriteByte(',')
+		b.WriteString(fmt.Sprintf("%q:", k))
+		switch v := fields[k].(type) {
+		case string:
+			b.WriteString(fmt.Sprintf("%q", v))
+		case int:
+			b.WriteString(fmt.Sprintf("%d", v))
+		case int64:
+			b.WriteString(fmt.Sprintf("%d", v))
+		case float64:
+			b.WriteString(formatValue(v))
+		case bool:
+			b.WriteString(fmt.Sprintf("%t", v))
+		case error:
+			b.WriteString(fmt.Sprintf("%q", v.Error()))
+		default:
+			b.WriteString(fmt.Sprintf("%q", fmt.Sprint(v)))
+		}
+	}
+	b.WriteString("}\n")
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, b.String())
+}

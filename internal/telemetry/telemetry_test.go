@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGaugeText(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "Total requests.")
+	g := r.NewGauge("workers_busy", "Busy workers.")
+	c.Inc()
+	c.Add(2)
+	g.Set(5)
+	g.Add(-2)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total Total requests.",
+		"# TYPE requests_total counter",
+		"requests_total 3",
+		"# TYPE workers_busy gauge",
+		"workers_busy 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVecLabels(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("http_requests_total", "Requests by endpoint and code.", "endpoint", "code")
+	cv.With("/v1/analyze", "200").Add(4)
+	cv.With("/v1/analyze", "400").Inc()
+	cv.With("/v1/optimize", "200").Inc()
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`http_requests_total{endpoint="/v1/analyze",code="200"} 4`,
+		`http_requests_total{endpoint="/v1/analyze",code="400"} 1`,
+		`http_requests_total{endpoint="/v1/optimize",code="200"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Same label values return the same counter.
+	if cv.With("/v1/analyze", "200").Value() != 4 {
+		t.Fatal("With did not return the existing child")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		`latency_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("weird_total", "Escaping.", "v")
+	cv.With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), `weird_total{v="a\"b\\c\n"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c")
+	hv := r.NewHistogramVec("h_seconds", "h", []float64{1}, "stage")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				hv.With("parse").Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Value())
+	}
+	if hv.With("parse").Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", hv.With("parse").Count())
+	}
+}
+
+func TestLoggerJSONLines(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b)
+	l.now = func() time.Time { return time.Date(2000, 1, 2, 3, 4, 5, 0, time.UTC) }
+	l.Log(map[string]any{"path": "/v1/analyze", "status": 200, "dur_ms": 1.5, "cache": "hit"})
+	got := b.String()
+	want := `{"ts":"2000-01-02T03:04:05Z","cache":"hit","dur_ms":1.5,"path":"/v1/analyze","status":200}` + "\n"
+	if got != want {
+		t.Fatalf("log line:\n got %q\nwant %q", got, want)
+	}
+	// A nil logger discards without panicking.
+	var nl *Logger
+	nl.Log(map[string]any{"x": 1})
+}

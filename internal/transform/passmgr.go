@@ -1,12 +1,15 @@
 package transform
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/exec"
 	"repro/internal/fusion"
 	"repro/internal/ir"
 	"repro/internal/liveness"
+	"repro/internal/report"
 	"repro/internal/verify"
 )
 
@@ -45,6 +48,10 @@ type Config struct {
 	// MaxPassSteps bounds the committed transformations per pass;
 	// non-positive means DefaultMaxPassSteps.
 	MaxPassSteps int
+	// ExecLimits bounds every program execution the pipeline performs
+	// (the differential baseline run and each checkpoint's verification
+	// run). The zero value imposes no limit.
+	ExecLimits exec.Limits
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +117,24 @@ type Outcome struct {
 	Notes []string
 }
 
+// SkippedReport converts the structured skip list into the report
+// package's rows, for rendering with report.Degradation. Both bwopt and
+// the bwserved service present degradation this way.
+func (o *Outcome) SkippedReport() []report.SkippedPass {
+	out := make([]report.SkippedPass, 0, len(o.Skipped))
+	for _, pe := range o.Skipped {
+		where := pe.Nest
+		if pe.Array != "" {
+			if where != "" {
+				where += "/"
+			}
+			where += pe.Array
+		}
+		out = append(out, report.SkippedPass{Pass: pe.Pass, Where: where, Cause: pe.Cause.Error()})
+	}
+	return out
+}
+
 // panicCause wraps a recovered panic value so PassError can tell
 // contained panics apart from ordinary errors.
 type panicCause struct{ val any }
@@ -120,32 +145,50 @@ func (p *panicCause) Error() string { return fmt.Sprintf("panic: %v", p.val) }
 // committing one checkpoint at a time.
 type manager struct {
 	cfg      Config
+	ctx      context.Context
 	cur      *ir.Program  // last known-good program
 	baseline *exec.Result // reference result of the input, for differential mode
 	out      *Outcome
 	steps    int             // checkpoints committed by the current pass
 	blocked  map[string]bool // (pass,nest,array) steps that already failed once
+	stop     bool            // the run was canceled; abandon remaining work
 }
 
-func newManager(p *ir.Program, cfg Config) *manager {
+func newManager(ctx context.Context, p *ir.Program, cfg Config) *manager {
 	cfg = cfg.withDefaults()
 	m := &manager{
 		cfg:     cfg,
+		ctx:     ctx,
 		cur:     p.Clone(),
 		out:     &Outcome{Mode: cfg.Verify},
 		blocked: map[string]bool{},
 	}
 	if cfg.Verify >= verify.ModeDifferential {
-		ref, err := exec.Run(p, nil)
-		if err != nil {
+		ref, err := exec.RunCtx(ctx, p, nil, cfg.ExecLimits)
+		switch {
+		case err == nil:
+			m.baseline = ref
+		case errors.Is(err, exec.ErrCanceled):
+			m.stop = true
+			m.note("pipeline canceled during baseline run")
+		default:
 			m.cfg.Verify = verify.ModeStructural
 			m.out.Mode = verify.ModeStructural
 			m.note("differential baseline run failed (%v); downgraded to structural verification", err)
-		} else {
-			m.baseline = ref
 		}
 	}
 	return m
+}
+
+// canceled reports (and latches) whether the run's context is done.
+func (m *manager) canceled() bool {
+	if m.stop {
+		return true
+	}
+	if m.ctx.Err() != nil {
+		m.stop = true
+	}
+	return m.stop
 }
 
 // OptimizeVerified runs the paper's compiler strategy under the
@@ -157,10 +200,23 @@ func newManager(p *ir.Program, cfg Config) *manager {
 // what was applied and what degraded. The error is non-nil only when
 // the input program itself is invalid.
 func OptimizeVerified(p *ir.Program, cfg Config) (*ir.Program, *Outcome, error) {
+	return OptimizeVerifiedCtx(context.Background(), p, cfg)
+}
+
+// OptimizeVerifiedCtx is OptimizeVerified with cancellation threaded
+// through the pipeline: the manager polls ctx between checkpoints, and
+// every execution it performs (the differential baseline and each
+// verification run) aborts promptly when ctx is done. On cancellation
+// it returns the last known-good program, the partial Outcome, and an
+// error wrapping exec.ErrCanceled.
+func OptimizeVerifiedCtx(ctx context.Context, p *ir.Program, cfg Config) (*ir.Program, *Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
 		return nil, &Outcome{Mode: cfg.Verify}, fmt.Errorf("transform: input program invalid: %w", err)
 	}
-	m := newManager(p, cfg)
+	m := newManager(ctx, p, cfg)
 	if m.cfg.Fuse {
 		m.fusePass()
 	}
@@ -169,6 +225,9 @@ func OptimizeVerified(p *ir.Program, cfg Config) (*ir.Program, *Outcome, error) 
 	}
 	if m.cfg.EliminateStores {
 		m.storeElimPass()
+	}
+	if m.canceled() {
+		return m.cur, m.out, fmt.Errorf("transform: pipeline canceled: %w", exec.ErrCanceled)
 	}
 	if err := m.cur.Validate(); err != nil {
 		// Unreachable in normal operation: every checkpoint was
@@ -222,7 +281,7 @@ func (m *manager) check(next *ir.Program) error {
 		return err
 	}
 	if m.baseline != nil && m.cfg.Verify >= verify.ModeDifferential {
-		if err := verify.DifferentialAgainst(m.baseline, next, m.cfg.Tol); err != nil {
+		if err := verify.DifferentialAgainstCtx(m.ctx, m.baseline, next, m.cfg.Tol, m.cfg.ExecLimits); err != nil {
 			return err
 		}
 	}
@@ -236,6 +295,9 @@ func (m *manager) check(next *ir.Program) error {
 // blacklisted so fixpoint loops do not retry it, and false is
 // returned.
 func (m *manager) runStep(pass, nest, array string, fn stepFn) bool {
+	if m.canceled() {
+		return false
+	}
 	key := pass + "\x00" + nest + "\x00" + array
 	if m.blocked[key] {
 		return false
@@ -250,6 +312,13 @@ func (m *manager) runStep(pass, nest, array string, fn stepFn) bool {
 		return false // not applicable; no checkpoint
 	}
 	if err := m.check(next); err != nil {
+		// A canceled verification run says nothing about the step:
+		// abandon the pipeline without recording a spurious skip.
+		if errors.Is(err, exec.ErrCanceled) {
+			m.stop = true
+			m.note("pipeline canceled during verification of pass %s", pass)
+			return false
+		}
 		m.blocked[key] = true
 		m.skip(pass, nest, array, err)
 		return false
@@ -286,7 +355,7 @@ func (m *manager) storagePass() {
 	const pass = "reduce-storage"
 	m.steps = 0
 	iters := 0
-	for changed := true; changed; {
+	for changed := true; changed && !m.canceled(); {
 		if iters++; iters > m.cfg.MaxFixpointIters {
 			m.skip(pass, "", "", fmt.Errorf("fixpoint iteration budget (%d scans) exhausted before convergence", m.cfg.MaxFixpointIters))
 			return
@@ -346,7 +415,7 @@ func (m *manager) storeElimPass() {
 	const pass = "store-elim"
 	m.steps = 0
 	iters := 0
-	for changed := true; changed; {
+	for changed := true; changed && !m.canceled(); {
 		if iters++; iters > m.cfg.MaxFixpointIters {
 			m.skip(pass, "", "", fmt.Errorf("fixpoint iteration budget (%d scans) exhausted before convergence", m.cfg.MaxFixpointIters))
 			return

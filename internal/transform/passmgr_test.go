@@ -1,6 +1,7 @@
 package transform
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -43,7 +44,7 @@ func mustRun(t *testing.T, p *ir.Program) *exec.Result {
 // known-good program untouched.
 func TestPanickingPassIsContained(t *testing.T) {
 	p := twoTemps(8)
-	m := newManager(p, Config{Verify: verify.ModeStructural})
+	m := newManager(context.Background(), p, Config{Verify: verify.ModeStructural})
 	before := m.cur.String()
 	ok := m.runStep("boom", "l1", "t1", func(cur *ir.Program) (*ir.Program, []Action, error) {
 		panic("injected fault")
@@ -83,7 +84,7 @@ func TestPanickingPassIsContained(t *testing.T) {
 // broken program and checks it is rejected and rolled back.
 func TestInvalidResultIsRolledBack(t *testing.T) {
 	p := twoTemps(8)
-	m := newManager(p, Config{Verify: verify.ModeStructural})
+	m := newManager(context.Background(), p, Config{Verify: verify.ModeStructural})
 	ok := m.runStep("bad", "", "", func(cur *ir.Program) (*ir.Program, []Action, error) {
 		q := cur.Clone()
 		// Reference an undeclared array: fails Validate inside Structural.
@@ -110,7 +111,7 @@ func TestInvalidResultIsRolledBack(t *testing.T) {
 func TestDivergentResultIsRolledBack(t *testing.T) {
 	p := twoTemps(8)
 	want := mustRun(t, p)
-	m := newManager(p, Config{Verify: verify.ModeDifferential})
+	m := newManager(context.Background(), p, Config{Verify: verify.ModeDifferential})
 	ok := m.runStep("wrong", "", "", func(cur *ir.Program) (*ir.Program, []Action, error) {
 		q := cur.Clone()
 		// Change the printed expression: observably different.

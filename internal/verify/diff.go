@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -86,18 +87,32 @@ func CompareResults(ref, got *exec.Result, tol float64) error {
 // ReadInput statement consumes the interpreter's seeded pseudo-input
 // stream, so the two programs observe identical external data.
 func Differential(orig, xform *ir.Program, tol float64) error {
-	ref, err := exec.Run(orig, nil)
+	return DifferentialCtx(context.Background(), orig, xform, tol, exec.Limits{})
+}
+
+// DifferentialCtx is Differential with cancellation and a step budget
+// threaded into both runs. It returns an error wrapping
+// exec.ErrCanceled (or exec.ErrStepBudget) when a run is cut short, so
+// callers can distinguish an abandoned check from a real divergence.
+func DifferentialCtx(ctx context.Context, orig, xform *ir.Program, tol float64, lim exec.Limits) error {
+	ref, err := exec.RunCtx(ctx, orig, nil, lim)
 	if err != nil {
 		return fmt.Errorf("verify: reference run failed: %w", err)
 	}
-	return DifferentialAgainst(ref, xform, tol)
+	return DifferentialAgainstCtx(ctx, ref, xform, tol, lim)
 }
 
 // DifferentialAgainst compares a transformed program against an
 // already-computed reference result, so a pipeline verifying many
 // checkpoints runs the original only once.
 func DifferentialAgainst(ref *exec.Result, xform *ir.Program, tol float64) error {
-	got, err := exec.Run(xform, nil)
+	return DifferentialAgainstCtx(context.Background(), ref, xform, tol, exec.Limits{})
+}
+
+// DifferentialAgainstCtx is DifferentialAgainst with cancellation and a
+// step budget threaded into the transformed run.
+func DifferentialAgainstCtx(ctx context.Context, ref *exec.Result, xform *ir.Program, tol float64, lim exec.Limits) error {
+	got, err := exec.RunCtx(ctx, xform, nil, lim)
 	if err != nil {
 		return fmt.Errorf("verify: transformed run failed: %w", err)
 	}
