@@ -3,20 +3,27 @@
 //
 // Usage:
 //
-//	bwbench [-quick] [-experiment all|<name>]
+//	bwbench [-quick] [-json] [-experiment all|<name>]
 //
 // Run bwbench -h for the full experiment list (it is derived from the
 // experiments table below, so the two cannot drift apart).
 //
 // Each experiment prints the same rows/series the paper reports,
 // with a footnote quoting the paper's measured values for comparison.
+// With -json, the same results are emitted as one machine-readable
+// JSON document instead: per experiment its name, wall time in
+// nanoseconds, and every table's headers, rows and notes (the rows
+// carry the traffic/balance/bandwidth numbers the text tables show).
+// That is the format the BENCH_*.json trajectory artifacts use.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -28,88 +35,154 @@ var experiments = []string{
 	"sp-util", "ablation", "conflicts", "regroup", "belady", "future", "interchange", "regbalance", "stream", "cachebench",
 }
 
+// jsonTable is one result table in -json output, mirroring
+// report.Table's exported fields with stable JSON names.
+type jsonTable struct {
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers,omitempty"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// jsonResult is one experiment's machine-readable outcome.
+type jsonResult struct {
+	Experiment string      `json:"experiment"`
+	ElapsedNS  int64       `json:"elapsed_ns"`
+	Tables     []jsonTable `json:"tables,omitempty"`
+	// Text carries experiments that report prose rather than a table
+	// (fig7's transformation walkthrough).
+	Text string `json:"text,omitempty"`
+}
+
+// jsonOutput is the top-level -json document.
+type jsonOutput struct {
+	Config  string       `json:"config"` // "default" or "quick"
+	Results []jsonResult `json:"results"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "small workloads with cache-scaled machines (seconds instead of minutes)")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
 	which := flag.String("experiment", "all",
 		"which experiment to run: all, or one of "+strings.Join(experiments, ", "))
 	flag.Parse()
 
 	cfg := core.Default()
+	cfgName := "default"
 	if *quick {
 		cfg = core.Quick()
+		cfgName = "quick"
 	}
 
-	run := func(name string) error {
+	// Each experiment returns its tables (or prose) instead of printing,
+	// so text and JSON modes render the identical results.
+	run := func(name string) ([]*report.Table, string, error) {
 		switch name {
 		case "sec2.1":
-			return table(core.Sec21(cfg))
+			return tables(core.Sec21(cfg))
 		case "fig1":
-			return table(core.Fig1(cfg))
+			return tables(core.Fig1(cfg))
 		case "fig2":
-			return table(core.Fig2(cfg))
+			return tables(core.Fig2(cfg))
 		case "fig3":
-			return table(core.Fig3(cfg))
+			return tables(core.Fig3(cfg))
 		case "fig4":
-			return table(core.Fig4())
+			return tables(core.Fig4())
 		case "fig5":
 			max := 256
 			if *quick {
 				max = 64
 			}
-			return table(core.Fig5(max))
+			return tables(core.Fig5(max))
 		case "fig6":
-			return table(core.Fig6(cfg))
+			return tables(core.Fig6(cfg))
 		case "fig7":
 			s, err := core.Fig7(cfg)
 			if err != nil {
-				return err
+				return nil, "", err
 			}
-			fmt.Println(s)
-			return nil
+			return nil, s, nil
 		case "fig8":
-			return table(core.Fig8(cfg))
+			return tables(core.Fig8(cfg))
 		case "sp-util":
-			return table(core.SPUtilization(cfg))
+			return tables(core.SPUtilization(cfg))
 		case "ablation":
-			return table(core.ModelAblation(cfg))
+			return tables(core.ModelAblation(cfg))
 		case "conflicts":
-			return table(core.ConflictStudy(cfg))
+			return tables(core.ConflictStudy(cfg))
 		case "regroup":
-			return table(core.RegroupStudy(cfg))
+			return tables(core.RegroupStudy(cfg))
 		case "belady":
-			return table(core.BeladyStudy(cfg))
+			return tables(core.BeladyStudy(cfg))
 		case "future":
-			return table(core.FutureBalanceStudy(cfg))
+			return tables(core.FutureBalanceStudy(cfg))
 		case "interchange":
-			return table(core.InterchangeStudy(cfg))
+			return tables(core.InterchangeStudy(cfg))
 		case "regbalance":
-			return table(core.RegisterBalanceStudy(cfg))
+			return tables(core.RegisterBalanceStudy(cfg))
 		case "stream":
-			return streamTable()
+			return []*report.Table{streamTable()}, "", nil
 		case "cachebench":
-			return cacheBenchTable()
+			return []*report.Table{cacheBenchTable()}, "", nil
 		default:
-			return fmt.Errorf("unknown experiment %q (want one of %v or all)", name, experiments)
+			return nil, "", fmt.Errorf("unknown experiment %q (want one of %v or all)", name, experiments)
 		}
 	}
 
+	names := []string{*which}
 	if *which == "all" {
-		for _, name := range experiments {
-			if err := run(name); err != nil {
-				fatal(err)
+		names = experiments
+	}
+
+	var out jsonOutput
+	out.Config = cfgName
+	for _, name := range names {
+		begin := time.Now()
+		ts, text, err := run(name)
+		elapsed := time.Since(begin)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			res := jsonResult{Experiment: name, ElapsedNS: elapsed.Nanoseconds(), Text: text}
+			for _, t := range ts {
+				res.Tables = append(res.Tables, jsonTable{
+					Title: t.Title, Headers: t.Headers, Rows: t.Rows, Notes: t.Notes,
+				})
 			}
+			out.Results = append(out.Results, res)
+			continue
+		}
+		for _, t := range ts {
+			fmt.Print(t)
+		}
+		if text != "" {
+			fmt.Println(text)
+		}
+		if *which == "all" {
 			fmt.Println()
 		}
-		return
 	}
-	if err := run(*which); err != nil {
-		fatal(err)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&out); err != nil {
+			fatal(err)
+		}
 	}
 }
 
-// streamTable prints the STREAM calibration of both machine models —
+// tables adapts the core experiment signature (one table + error).
+func tables(t *report.Table, err error) ([]*report.Table, string, error) {
+	if err != nil {
+		return nil, "", err
+	}
+	return []*report.Table{t}, "", nil
+}
+
+// streamTable builds the STREAM calibration of both machine models —
 // the paper's source for the Origin2000's ~300 MB/s machine balance.
-func streamTable() error {
+func streamTable() *report.Table {
 	t := &report.Table{
 		Title:   "STREAM calibration of the machine models",
 		Headers: []string{"machine", "copy", "scale", "add", "triad", "nominal"},
@@ -121,13 +194,12 @@ func streamTable() error {
 			report.MBs(r.Triad), report.MBs(s.MemoryBandwidth()))
 	}
 	t.AddNote("the paper quotes ~300 MB/s STREAM bandwidth for the Origin2000")
-	fmt.Print(t)
-	return nil
+	return t
 }
 
-// cacheBenchTable prints the CacheBench-style working-set sweep of the
+// cacheBenchTable builds the CacheBench-style working-set sweep of the
 // Origin2000 model, exposing the register, L1-L2 and memory plateaus.
-func cacheBenchTable() error {
+func cacheBenchTable() *report.Table {
 	s := machine.Origin2000()
 	t := &report.Table{
 		Title:   "CacheBench calibration of the Origin2000 model",
@@ -137,16 +209,7 @@ func cacheBenchTable() error {
 		t.AddRow(report.Bytes(p.WorkingSet), report.MBs(p.Bandwidth))
 	}
 	t.AddNote("plateaus at the register, L1-L2 and memory channel bandwidths")
-	fmt.Print(t)
-	return nil
-}
-
-func table(t *report.Table, err error) error {
-	if err != nil {
-		return err
-	}
-	fmt.Print(t)
-	return nil
+	return t
 }
 
 func fatal(err error) {

@@ -12,34 +12,38 @@
 // pass is verified (structurally, or also differentially against the
 // original program's observable results) before acceptance; a failing
 // or panicking pass is rolled back and skipped, and a verification
-// report is printed. With -passes, the named passes run in order and
-// the final program is checked once against the requested mode.
+// report is printed.
 //
 // Without -passes, the paper's full strategy runs (fuse → storage
-// reduction → store elimination). With -passes, the named passes run in
-// order instead; each spec is one of:
+// reduction → store elimination). With -passes, the named passes from
+// the transform registry run in order instead, and any pass that fails
+// is a fatal error rather than a recorded skip (an explicit pipeline
+// is a request, not a strategy to degrade). Each spec is one of:
 //
 //	pipeline                      the full strategy
 //	fuse                          bandwidth-minimal loop fusion
+//	reduce-storage                array contraction + shrinking (alias: shrink)
+//	store-elim                    dead writeback elimination (alias: storeelim)
 //	interchange:<nest>:<var>      swap <var>'s loop with its inner loop
 //	distribute:<nest>             split the nest's loop by dependence
-//	peel-first:<nest>:<var>       peel the first iteration
+//	peel-first:<nest>:<var>       peel the first iteration (alias: peel)
 //	peel-last:<nest>:<var>        peel the last iteration
 //	simplify                      fold statically decidable guards
 //	unrolljam:<nest>:<var>:<k>    unroll-and-jam by factor k
 //	scalarize:<nest>              register-promote repeated elements
 //	regroup:<a>+<b>[+...]         interleave the named arrays
+//
+// The registry (internal/transform.Passes) is the source of truth; the
+// same specs drive bwsim -passes and the bwserved "pipeline" request
+// field.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/balance"
-	"repro/internal/ir"
 	"repro/internal/lang"
 	"repro/internal/machine"
 	"repro/internal/report"
@@ -57,6 +61,10 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bwopt [flags] program.bw\n")
 		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nregistered passes:\n")
+		for _, pi := range transform.Passes() {
+			fmt.Fprintf(os.Stderr, "  %-28s %s\n", pi.Usage, pi.Help)
+		}
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -78,29 +86,22 @@ func main() {
 		fatal(err)
 	}
 
-	var q *ir.Program
-	var actions []transform.Action
-	var outcome *transform.Outcome
-	if *passes != "" {
-		q, actions, err = runPasses(p, *passes)
-		if err == nil {
-			err = finalCheck(p, q, mode, *tol)
-		}
-	} else {
-		opt := transform.All()
-		if *fusionOnly {
-			opt = transform.FusionOnly()
-		}
-		q, outcome, err = transform.OptimizeVerified(p, transform.Config{
-			Options: opt, Verify: mode, Tol: *tol,
-		})
-		if outcome != nil {
-			actions = outcome.Actions
-		}
+	opt := transform.All()
+	if *fusionOnly {
+		opt = transform.FusionOnly()
+	}
+	q, outcome, err := transform.OptimizeVerified(p, transform.Config{
+		Options: opt, Pipeline: *passes, Verify: mode, Tol: *tol,
+	})
+	if err == nil && *passes != "" && len(outcome.Skipped) > 0 {
+		// Strict mode for explicit pipelines: the user asked for these
+		// passes specifically, so a rolled-back step is an error.
+		err = outcome.Skipped[0]
 	}
 	if err != nil {
 		fatal(err)
 	}
+	actions := outcome.Actions
 
 	fmt.Println("--- optimized program ---")
 	fmt.Println(q)
@@ -112,7 +113,7 @@ func main() {
 		fmt.Println(" ", a)
 	}
 
-	if mode != verify.ModeOff && outcome != nil {
+	if mode != verify.ModeOff {
 		fmt.Print(report.Degradation(outcome.Mode.String(), outcome.Checkpoints, outcome.SkippedReport(), outcome.Notes))
 	}
 
@@ -155,100 +156,6 @@ func main() {
 				i, before.Result.Prints[i], after.Result.Prints[i])
 		}
 	}
-}
-
-// finalCheck verifies the output of an explicit -passes run against the
-// requested mode: structural verification of the result, plus a
-// differential comparison with the original program when asked.
-func finalCheck(orig, xform *ir.Program, mode verify.Mode, tol float64) error {
-	if mode >= verify.ModeStructural {
-		if err := verify.Structural(xform); err != nil {
-			return err
-		}
-	}
-	if mode >= verify.ModeDifferential {
-		if err := verify.Differential(orig, xform, tol); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// runPasses applies a comma-separated pass list in order.
-func runPasses(p *ir.Program, specs string) (*ir.Program, []transform.Action, error) {
-	cur := p
-	var log []transform.Action
-	note := func(pass, detail string) {
-		log = append(log, transform.Action{Pass: pass, Note: detail})
-	}
-	for _, spec := range strings.Split(specs, ",") {
-		parts := strings.Split(strings.TrimSpace(spec), ":")
-		var err error
-		switch parts[0] {
-		case "pipeline":
-			var acts []transform.Action
-			cur, acts, err = transform.Optimize(cur, transform.All())
-			log = append(log, acts...)
-		case "fuse":
-			var acts []transform.Action
-			cur, acts, err = transform.Optimize(cur, transform.FusionOnly())
-			log = append(log, acts...)
-		case "interchange":
-			if len(parts) != 3 {
-				return nil, nil, fmt.Errorf("interchange:<nest>:<var>")
-			}
-			cur, err = transform.Interchange(cur, parts[1], parts[2])
-			note("interchange", spec)
-		case "distribute":
-			if len(parts) != 2 {
-				return nil, nil, fmt.Errorf("distribute:<nest>")
-			}
-			cur, err = transform.Distribute(cur, parts[1])
-			note("distribute", spec)
-		case "peel-first", "peel-last":
-			if len(parts) != 3 {
-				return nil, nil, fmt.Errorf("%s:<nest>:<var>", parts[0])
-			}
-			if parts[0] == "peel-first" {
-				cur, err = transform.PeelFirst(cur, parts[1], parts[2])
-			} else {
-				cur, err = transform.PeelLast(cur, parts[1], parts[2])
-			}
-			note(parts[0], spec)
-		case "simplify":
-			var folded int
-			cur, folded = transform.SimplifyGuards(cur)
-			note("simplify", fmt.Sprintf("%d guards folded", folded))
-		case "unrolljam":
-			if len(parts) != 4 {
-				return nil, nil, fmt.Errorf("unrolljam:<nest>:<var>:<factor>")
-			}
-			var k int
-			if k, err = strconv.Atoi(parts[3]); err == nil {
-				cur, err = transform.UnrollJam(cur, parts[1], parts[2], k)
-			}
-			note("unrolljam", spec)
-		case "scalarize":
-			if len(parts) != 2 {
-				return nil, nil, fmt.Errorf("scalarize:<nest>")
-			}
-			var n int
-			cur, n, err = transform.ScalarizeIteration(cur, parts[1])
-			note("scalarize", fmt.Sprintf("%d element groups promoted", n))
-		case "regroup":
-			if len(parts) != 2 {
-				return nil, nil, fmt.Errorf("regroup:<a>+<b>[+...]")
-			}
-			cur, err = transform.RegroupArrays(cur, strings.Split(parts[1], "+"))
-			note("regroup", spec)
-		default:
-			return nil, nil, fmt.Errorf("unknown pass %q", parts[0])
-		}
-		if err != nil {
-			return nil, nil, fmt.Errorf("pass %q: %w", spec, err)
-		}
-	}
-	return cur, log, nil
 }
 
 func fatal(err error) {

@@ -12,9 +12,12 @@
 //
 //	POST /v1/analyze   balance report (+ optional Belady replay)
 //	POST /v1/optimize  verified optimizer pipeline, before/after balance
+//	                   (accepts "pipeline": an explicit pass string)
 //	GET  /v1/kernels   built-in kernel registry
+//	GET  /v1/passes    pass registry + cumulative pass/analysis stats
 //	GET  /healthz      liveness + cache stats
-//	GET  /metrics      Prometheus text-format metrics
+//	GET  /metrics      Prometheus text-format metrics (incl. analysis
+//	                   cache hit/miss/invalidation counters)
 //
 // Example:
 //

@@ -4,12 +4,21 @@
 // Usage:
 //
 //	bwsim [-machine origin|exemplar] [-scale N] [-print-ir] \
-//	      [-verify off|structural] program.bw
+//	      [-verify off|structural] [-passes spec[,spec...]] program.bw
 //
 // With -verify structural, the parsed program is checked by the deep IR
 // verifier (static bounds and shape consistency beyond the parser's
 // validation) before any measurement runs. Differential verification
-// needs a transformed/original pair and therefore lives in bwopt.
+// needs a transformed/original pair; without -passes it therefore lives
+// in bwopt, but with -passes bwsim has such a pair (the parsed program
+// and its transformed result) and verifies each checkpoint against the
+// original's observable output.
+//
+// With -passes, the named passes from the transform registry (the same
+// specs bwopt accepts: "pipeline", "fuse", "reduce-storage",
+// "interchange:<nest>:<var>", ...) run before measurement, so one
+// command answers "what would this pipeline do to my program's
+// bandwidth?". A pass that fails is a fatal error.
 //
 // The input file uses the language documented in internal/lang (see
 // also the examples/ directory). The balance report lists per-channel
@@ -27,6 +36,7 @@ import (
 	"repro/internal/balance"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/transform"
 	"repro/internal/verify"
 )
 
@@ -34,7 +44,8 @@ func main() {
 	machineName := flag.String("machine", "origin", "machine model: origin or exemplar")
 	scale := flag.Int("scale", 1, "divide cache capacities by this factor")
 	printIR := flag.Bool("print-ir", false, "echo the parsed program before the report")
-	verifyMode := flag.String("verify", "off", "pre-run verification: off or structural")
+	verifyMode := flag.String("verify", "off", "pre-run verification: off or structural (differential allowed with -passes)")
+	passes := flag.String("passes", "", "comma-separated pass specs to apply before measuring (same registry as bwopt)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bwsim [flags] program.bw\n")
 		flag.PrintDefaults()
@@ -58,13 +69,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if mode >= verify.ModeDifferential {
-		fatal(fmt.Errorf("differential verification compares two programs; use bwopt -verify differential"))
+	if mode >= verify.ModeDifferential && *passes == "" {
+		fatal(fmt.Errorf("differential verification compares two programs; use -passes here or bwopt -verify differential"))
 	}
 	if mode >= verify.ModeStructural {
 		if err := verify.Structural(p); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *passes != "" {
+		q, outcome, err := transform.OptimizeVerified(p, transform.Config{Pipeline: *passes, Verify: mode})
+		if err == nil && len(outcome.Skipped) > 0 {
+			err = outcome.Skipped[0]
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("--- passes applied ---")
+		if len(outcome.Actions) == 0 {
+			fmt.Println("(none applied)")
+		}
+		for _, a := range outcome.Actions {
+			fmt.Println(" ", a)
+		}
+		p = q
 	}
 
 	var spec machine.Spec

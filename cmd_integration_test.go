@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -181,6 +182,79 @@ func TestBwoptPassesFlag(t *testing.T) {
 	}
 	if out, err := runTool(t, bin, "-passes", "interchange:NoSuch:i", "testdata/fig7.bw"); err == nil {
 		t.Fatalf("bad pass target accepted:\n%s", out)
+	}
+}
+
+// TestBwbenchJSON checks the machine-readable output mode: one JSON
+// document whose results mirror what the text tables report.
+func TestBwbenchJSON(t *testing.T) {
+	bin := buildTool(t, "cmd/bwbench")
+	out, err := runTool(t, bin, "-quick", "-json", "-experiment", "sec2.1")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	var doc struct {
+		Config  string `json:"config"`
+		Results []struct {
+			Experiment string `json:"experiment"`
+			ElapsedNS  int64  `json:"elapsed_ns"`
+			Tables     []struct {
+				Title   string     `json:"title"`
+				Headers []string   `json:"headers"`
+				Rows    [][]string `json:"rows"`
+			} `json:"tables"`
+			Text string `json:"text"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Config != "quick" {
+		t.Fatalf("config = %q, want quick", doc.Config)
+	}
+	if len(doc.Results) != 1 || doc.Results[0].Experiment != "sec2.1" {
+		t.Fatalf("results: %+v", doc.Results)
+	}
+	r := doc.Results[0]
+	if r.ElapsedNS <= 0 {
+		t.Fatalf("elapsed_ns = %d", r.ElapsedNS)
+	}
+	if len(r.Tables) == 0 || len(r.Tables[0].Rows) == 0 || len(r.Tables[0].Headers) == 0 {
+		t.Fatalf("tables empty: %+v", r.Tables)
+	}
+
+	// fig7 reports prose, which must land in the text field.
+	out, err = runTool(t, bin, "-quick", "-json", "-experiment", "fig7")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("fig7 JSON: %v\n%s", err, out)
+	}
+	if len(doc.Results) != 1 || !strings.Contains(doc.Results[0].Text, "store") {
+		t.Fatalf("fig7 text missing: %+v", doc.Results)
+	}
+}
+
+// TestBwsimPassesFlag drives bwsim's optimize-then-measure mode.
+func TestBwsimPassesFlag(t *testing.T) {
+	bin := buildTool(t, "cmd/bwsim")
+	out, err := runTool(t, bin, "-passes", "pipeline", "testdata/fig7.bw")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"passes applied", "store-elim", "bottleneck"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// With -passes, differential verification has its program pair.
+	out, err = runTool(t, bin, "-verify", "differential", "-passes", "fuse", "testdata/fig7.bw")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if out, err := runTool(t, bin, "-passes", "warp", "testdata/fig7.bw"); err == nil {
+		t.Fatalf("unknown pass accepted:\n%s", out)
 	}
 }
 

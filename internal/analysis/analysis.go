@@ -1,0 +1,428 @@
+// Package analysis provides the program-versioned analysis manager
+// that the optimizer pipeline, the CLIs and the bwserved service share.
+//
+// Ding & Kennedy's transformations are all consumers of the same few
+// analyses — cross-nest dependence info (internal/deps), array liveness
+// (internal/liveness), the fusion hyper-graph (internal/fusion) and the
+// per-nest reuse classification that storage reduction and store
+// elimination key on. Recomputing them from scratch at every pipeline
+// step makes repeated optimization (and any future search over fusion
+// partitions or pass orders) needlessly expensive.
+//
+// The Manager memoizes analysis results keyed on an IR generation
+// counter, in the style of LLVM's new pass manager:
+//
+//   - analyses are registered by name ("deps", "liveness",
+//     "fusion-graph", "reuse-classes", "nest-index") with a compute
+//     function;
+//   - Get returns the cached result while the program version is
+//     unchanged, recomputing on miss;
+//   - SetProgram installs the next program version after a committed
+//     transformation and invalidates every cached analysis not in the
+//     pass's declared preserved set;
+//   - every request/hit/miss/invalidation and each compute's wall time
+//     is counted per analysis, so callers can report cache
+//     effectiveness (transform.Outcome, bwserved /metrics).
+//
+// Preservation declarations are trusted, so they must be conservative:
+// declaring an analysis preserved when the mutation can change its
+// result is a soundness bug. The transform package's property and fuzz
+// tests check every declared set by comparing cached results against
+// fresh recomputation after each committed pass.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/deps"
+	"repro/internal/fusion"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Canonical names of the built-in analyses.
+const (
+	// DepsName is the cross-nest dependence summary (*deps.Info).
+	DepsName = "deps"
+	// LivenessName is the nest-level array liveness (*liveness.Info).
+	LivenessName = "liveness"
+	// FusionGraphName is the fusion hyper-graph (*fusion.Graph). Its
+	// compute requests DepsName through the manager, so building it on
+	// a version whose dependence info is already cached costs no second
+	// dependence analysis.
+	FusionGraphName = "fusion-graph"
+	// ReuseClassesName is the per-(nest, array) reuse classification
+	// (liveness.Class), cached per key under one analysis name.
+	ReuseClassesName = "reuse-classes"
+	// NestIndexName maps nest labels to their indices
+	// (map[string]int). Passes that rewrite loop bodies in place
+	// (contraction, shrinking, store elimination, interchange, peeling,
+	// unroll-and-jam, scalarization, regrouping, guard simplification)
+	// preserve it; fusion and distribution, which create and destroy
+	// nests, do not.
+	NestIndexName = "nest-index"
+)
+
+// Analysis is one registered whole-program analysis. Compute receives
+// the owning manager so an analysis can request the analyses it depends
+// on (and share their cached results) instead of recomputing them.
+type Analysis struct {
+	Name    string
+	Help    string
+	Compute func(m *Manager, p *ir.Program) (any, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Analysis{}
+	regOrder []string
+)
+
+// Register adds an analysis to the global registry. Registering a
+// duplicate name panics: it is a programmer error, caught at init.
+func Register(a Analysis) {
+	if a.Name == "" || a.Compute == nil {
+		panic("analysis: Register needs a name and a compute function")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[a.Name]; ok {
+		panic(fmt.Sprintf("analysis: %q registered twice", a.Name))
+	}
+	registry[a.Name] = a
+	regOrder = append(regOrder, a.Name)
+}
+
+// Names lists the registered analyses, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := append([]string(nil), regOrder...)
+	sort.Strings(out)
+	return out
+}
+
+func lookup(name string) (Analysis, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	a, ok := registry[name]
+	return a, ok
+}
+
+func init() {
+	Register(Analysis{
+		Name: DepsName,
+		Help: "cross-nest dependence summary with fusion-preventing constraints",
+		Compute: func(_ *Manager, p *ir.Program) (any, error) {
+			return deps.Analyze(p)
+		},
+	})
+	Register(Analysis{
+		Name: LivenessName,
+		Help: "nest-level array liveness (first/last read and write per array)",
+		Compute: func(_ *Manager, p *ir.Program) (any, error) {
+			return liveness.Analyze(p)
+		},
+	})
+	Register(Analysis{
+		Name: FusionGraphName,
+		Help: "fusion hyper-graph: one node per nest, one hyper-edge per array",
+		Compute: func(m *Manager, p *ir.Program) (any, error) {
+			inf, err := m.Deps()
+			if err != nil {
+				return nil, err
+			}
+			return fusion.BuildWith(p, inf)
+		},
+	})
+	Register(Analysis{
+		Name: ReuseClassesName,
+		Help: "per-(nest, array) element live-range classification",
+		Compute: func(_ *Manager, _ *ir.Program) (any, error) {
+			return &reuseClasses{classes: map[reuseKey]liveness.Class{}}, nil
+		},
+	})
+	Register(Analysis{
+		Name: NestIndexName,
+		Help: "nest label to index map",
+		Compute: func(_ *Manager, p *ir.Program) (any, error) {
+			idx := make(map[string]int, len(p.Nests))
+			for i, n := range p.Nests {
+				idx[n.Label] = i
+			}
+			return idx, nil
+		},
+	})
+}
+
+// Preserved is the set of analyses a pass declares it keeps valid
+// across the program mutations it commits.
+type Preserved struct {
+	all   bool
+	names map[string]bool
+}
+
+// PreserveNone invalidates every cached analysis (the conservative
+// default).
+func PreserveNone() Preserved { return Preserved{} }
+
+// PreserveAll keeps every cached analysis valid. Only correct for
+// steps that do not change the program at all.
+func PreserveAll() Preserved { return Preserved{all: true} }
+
+// Preserve keeps exactly the named analyses valid.
+func Preserve(names ...string) Preserved {
+	if len(names) == 0 {
+		return Preserved{}
+	}
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return Preserved{names: m}
+}
+
+// Has reports whether the named analysis survives invalidation.
+func (pr Preserved) Has(name string) bool { return pr.all || pr.names[name] }
+
+// AnalysisStats counts one analysis's cache traffic and compute time.
+// Requests = Hits + Misses; a miss runs the compute function. Seconds
+// accumulates compute wall time (for an analysis that requests other
+// analyses, their compute time is included in both).
+type AnalysisStats struct {
+	Requests      uint64  `json:"requests"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Invalidations uint64  `json:"invalidations"`
+	Seconds       float64 `json:"seconds"`
+}
+
+// Stats is a per-analysis snapshot of the manager's counters.
+type Stats map[string]AnalysisStats
+
+// Total aggregates the per-analysis counters.
+func (s Stats) Total() AnalysisStats {
+	var t AnalysisStats
+	for _, st := range s {
+		t.Requests += st.Requests
+		t.Hits += st.Hits
+		t.Misses += st.Misses
+		t.Invalidations += st.Invalidations
+		t.Seconds += st.Seconds
+	}
+	return t
+}
+
+// reuseKey addresses one classification inside the reuse-classes
+// analysis.
+type reuseKey struct {
+	Nest  int
+	Array string
+}
+
+// reuseClasses is the lazily filled value of the reuse-classes
+// analysis. Entries are computed per key on first request and share
+// the holder's lifetime: invalidating the analysis drops them all.
+type reuseClasses struct {
+	classes map[reuseKey]liveness.Class
+}
+
+// Manager memoizes analysis results against one program version. It is
+// safe for concurrent use, though the optimizer drives it from a single
+// goroutine; computes run outside the lock so a slow analysis does not
+// block unrelated stat reads.
+type Manager struct {
+	mu      sync.Mutex
+	prog    *ir.Program
+	gen     uint64
+	nocache bool
+	cached  map[string]any
+	stats   map[string]*AnalysisStats
+}
+
+// NewManager returns a caching manager for the given program version.
+func NewManager(p *ir.Program) *Manager {
+	return &Manager{
+		prog:   p,
+		cached: map[string]any{},
+		stats:  map[string]*AnalysisStats{},
+	}
+}
+
+// NewUncached returns a manager that recomputes on every request —
+// the differential baseline for cache-correctness testing and a
+// debugging escape hatch. Counters still accumulate (every request is
+// a miss).
+func NewUncached(p *ir.Program) *Manager {
+	m := NewManager(p)
+	m.nocache = true
+	return m
+}
+
+// Program returns the current program version.
+func (m *Manager) Program() *ir.Program {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.prog
+}
+
+// Generation returns the IR generation counter: 0 for the input
+// program, incremented by every SetProgram.
+func (m *Manager) Generation() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen
+}
+
+func (m *Manager) statsFor(name string) *AnalysisStats {
+	st, ok := m.stats[name]
+	if !ok {
+		st = &AnalysisStats{}
+		m.stats[name] = st
+	}
+	return st
+}
+
+// Get returns the named analysis result for the current program
+// version, computing and caching it on miss.
+func (m *Manager) Get(name string) (any, error) {
+	a, ok := lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown analysis %q (registered: %v)", name, Names())
+	}
+	m.mu.Lock()
+	st := m.statsFor(name)
+	st.Requests++
+	if !m.nocache {
+		if v, ok := m.cached[name]; ok {
+			st.Hits++
+			m.mu.Unlock()
+			return v, nil
+		}
+	}
+	st.Misses++
+	p := m.prog
+	gen := m.gen
+	m.mu.Unlock()
+
+	begin := time.Now()
+	v, err := a.Compute(m, p)
+	sec := time.Since(begin).Seconds()
+
+	m.mu.Lock()
+	m.statsFor(name).Seconds += sec
+	// Only cache when the program has not moved on under us.
+	if err == nil && !m.nocache && gen == m.gen {
+		m.cached[name] = v
+	}
+	m.mu.Unlock()
+	return v, err
+}
+
+// SetProgram installs the next program version (after a committed
+// transformation), bumps the generation counter, and invalidates every
+// cached analysis the committing pass did not declare preserved.
+func (m *Manager) SetProgram(p *ir.Program, preserved Preserved) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.prog = p
+	m.gen++
+	for name := range m.cached {
+		if preserved.Has(name) {
+			continue
+		}
+		delete(m.cached, name)
+		m.statsFor(name).Invalidations++
+	}
+}
+
+// Stats returns a snapshot of the per-analysis counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(Stats, len(m.stats))
+	for name, st := range m.stats {
+		out[name] = *st
+	}
+	return out
+}
+
+// Deps returns the cached dependence summary.
+func (m *Manager) Deps() (*deps.Info, error) {
+	v, err := m.Get(DepsName)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*deps.Info), nil
+}
+
+// Liveness returns the cached nest-level liveness.
+func (m *Manager) Liveness() (*liveness.Info, error) {
+	v, err := m.Get(LivenessName)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*liveness.Info), nil
+}
+
+// FusionGraph returns the cached fusion hyper-graph.
+func (m *Manager) FusionGraph() (*fusion.Graph, error) {
+	v, err := m.Get(FusionGraphName)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*fusion.Graph), nil
+}
+
+// NestIndex returns the cached nest label → index map.
+func (m *Manager) NestIndex() (map[string]int, error) {
+	v, err := m.Get(NestIndexName)
+	if err != nil {
+		return nil, err
+	}
+	return v.(map[string]int), nil
+}
+
+// ReuseClass returns the cached classification of the array's element
+// live-range shape in the given nest, computing it on first request
+// for the current program version. Unlike the whole-program analyses,
+// reuse classes are keyed per (nest, array); they share the
+// reuse-classes name for preservation and stats.
+func (m *Manager) ReuseClass(nest int, array string) liveness.Class {
+	key := reuseKey{Nest: nest, Array: array}
+	m.mu.Lock()
+	st := m.statsFor(ReuseClassesName)
+	st.Requests++
+	rc, _ := m.cached[ReuseClassesName].(*reuseClasses)
+	if rc != nil && !m.nocache {
+		if cl, ok := rc.classes[key]; ok {
+			st.Hits++
+			m.mu.Unlock()
+			return cl
+		}
+	}
+	st.Misses++
+	p := m.prog
+	gen := m.gen
+	m.mu.Unlock()
+
+	begin := time.Now()
+	cl := liveness.Classify(p, nest, array)
+	sec := time.Since(begin).Seconds()
+
+	m.mu.Lock()
+	m.statsFor(ReuseClassesName).Seconds += sec
+	if !m.nocache && gen == m.gen {
+		rc, _ = m.cached[ReuseClassesName].(*reuseClasses)
+		if rc == nil {
+			rc = &reuseClasses{classes: map[reuseKey]liveness.Class{}}
+			m.cached[ReuseClassesName] = rc
+		}
+		rc.classes[key] = cl
+	}
+	m.mu.Unlock()
+	return cl
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/liveness"
+)
+
+func prog(t *testing.T) *ir.Program {
+	t.Helper()
+	p := kernels.Fig7Original(64)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("kernel invalid: %v", err)
+	}
+	return p
+}
+
+func TestManagerMemoizes(t *testing.T) {
+	m := NewManager(prog(t))
+	d1, err := m.Deps()
+	if err != nil {
+		t.Fatalf("deps: %v", err)
+	}
+	d2, err := m.Deps()
+	if err != nil {
+		t.Fatalf("deps again: %v", err)
+	}
+	if d1 != d2 {
+		t.Fatalf("second request did not return the cached *deps.Info")
+	}
+	st := m.Stats()[DepsName]
+	if st.Requests != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("deps stats = %+v, want 2 requests / 1 hit / 1 miss", st)
+	}
+}
+
+func TestFusionGraphSharesDeps(t *testing.T) {
+	m := NewManager(prog(t))
+	if _, err := m.FusionGraph(); err != nil {
+		t.Fatalf("fusion graph: %v", err)
+	}
+	// Building the graph requested deps through the manager; a later
+	// direct deps request must hit that cache.
+	if _, err := m.Deps(); err != nil {
+		t.Fatalf("deps: %v", err)
+	}
+	st := m.Stats()[DepsName]
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("deps stats after graph build = %+v, want 1 miss / 1 hit", st)
+	}
+}
+
+func TestSetProgramInvalidation(t *testing.T) {
+	p := prog(t)
+	m := NewManager(p)
+	if _, err := m.Deps(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Liveness(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NestIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.Generation(); g != 0 {
+		t.Fatalf("generation = %d before any SetProgram", g)
+	}
+
+	// A body-rewriting pass preserves only nest-index.
+	m.SetProgram(p.Clone(), Preserve(NestIndexName))
+	if g := m.Generation(); g != 1 {
+		t.Fatalf("generation = %d after SetProgram", g)
+	}
+	if _, err := m.NestIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats()[NestIndexName]; st.Hits != 1 || st.Invalidations != 0 {
+		t.Fatalf("nest-index stats = %+v, want preserved (1 hit, 0 invalidations)", st)
+	}
+	if _, err := m.Deps(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats()[DepsName]; st.Misses != 2 || st.Invalidations != 1 {
+		t.Fatalf("deps stats = %+v, want invalidated (2 misses, 1 invalidation)", st)
+	}
+	if st := m.Stats()[LivenessName]; st.Invalidations != 1 {
+		t.Fatalf("liveness stats = %+v, want 1 invalidation", st)
+	}
+
+	// PreserveNone drops everything; PreserveAll keeps everything.
+	if _, err := m.Deps(); err != nil { // re-cache
+		t.Fatal(err)
+	}
+	m.SetProgram(p.Clone(), PreserveAll())
+	if st := m.Stats()[DepsName]; st.Invalidations != 1 {
+		t.Fatalf("PreserveAll invalidated deps: %+v", st)
+	}
+	m.SetProgram(p.Clone(), PreserveNone())
+	if st := m.Stats()[DepsName]; st.Invalidations != 2 {
+		t.Fatalf("PreserveNone kept deps: %+v", st)
+	}
+}
+
+func TestUncachedAlwaysMisses(t *testing.T) {
+	m := NewUncached(prog(t))
+	for i := 0; i < 3; i++ {
+		if _, err := m.Liveness(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()[LivenessName]
+	if st.Requests != 3 || st.Misses != 3 || st.Hits != 0 {
+		t.Fatalf("uncached stats = %+v, want 3 requests / 3 misses / 0 hits", st)
+	}
+}
+
+func TestReuseClassKeying(t *testing.T) {
+	p := prog(t)
+	m := NewManager(p)
+	if len(p.Nests) == 0 || len(p.Arrays) == 0 {
+		t.Fatal("kernel has no nests or arrays")
+	}
+	arr := p.Arrays[0].Name
+	c1 := m.ReuseClass(0, arr)
+	c2 := m.ReuseClass(0, arr)
+	if c1.Kind != c2.Kind {
+		t.Fatalf("cached class differs: %v vs %v", c1.Kind, c2.Kind)
+	}
+	want := liveness.Classify(p, 0, arr)
+	if c1.Kind != want.Kind {
+		t.Fatalf("cached class %v != fresh classification %v", c1.Kind, want.Kind)
+	}
+	st := m.Stats()[ReuseClassesName]
+	if st.Requests != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("reuse-classes stats = %+v, want 2 requests / 1 hit / 1 miss", st)
+	}
+	// A different key computes separately.
+	m.ReuseClass(min(1, len(p.Nests)-1), arr+"_nonexistent")
+	st = m.Stats()[ReuseClassesName]
+	if st.Misses != 2 {
+		t.Fatalf("distinct key did not miss: %+v", st)
+	}
+	// Invalidation drops all keyed entries.
+	m.SetProgram(p.Clone(), PreserveNone())
+	m.ReuseClass(0, arr)
+	st = m.Stats()[ReuseClassesName]
+	if st.Misses != 3 {
+		t.Fatalf("invalidation kept keyed entries: %+v", st)
+	}
+}
+
+func TestGetUnknownAnalysis(t *testing.T) {
+	m := NewManager(prog(t))
+	if _, err := m.Get("no-such-analysis"); err == nil {
+		t.Fatal("unknown analysis did not error")
+	}
+}
+
+func TestStatsTotal(t *testing.T) {
+	s := Stats{
+		"a": {Requests: 2, Hits: 1, Misses: 1, Seconds: 0.5},
+		"b": {Requests: 3, Hits: 0, Misses: 3, Invalidations: 2, Seconds: 0.25},
+	}
+	tot := s.Total()
+	if tot.Requests != 5 || tot.Hits != 1 || tot.Misses != 4 || tot.Invalidations != 2 {
+		t.Fatalf("Total = %+v", tot)
+	}
+}

@@ -26,6 +26,13 @@ func Apply(p *ir.Program, parts Partition) (*ir.Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	return applyWith(p, g, parts)
+}
+
+// applyWith is Apply with the program's fusion graph supplied by the
+// caller, so graph-holding callers do not pay for a rebuild (and the
+// dependence analysis inside it).
+func applyWith(p *ir.Program, g *Graph, parts Partition) (*ir.Program, error) {
 	if err := g.Validate(parts); err != nil {
 		return nil, err
 	}
@@ -245,11 +252,18 @@ func FuseGreedily(p *ir.Program) (*ir.Program, Partition, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return FuseGreedilyFrom(p, g)
+}
+
+// FuseGreedilyFrom runs the recursive-bisection heuristic and applies
+// its partitioning, starting from an already-built fusion graph of the
+// same program (for callers holding the graph in an analysis cache).
+func FuseGreedilyFrom(p *ir.Program, g *Graph) (*ir.Program, Partition, error) {
 	parts, err := g.Heuristic()
 	if err != nil {
 		return nil, nil, err
 	}
-	fused, err := Apply(p, parts)
+	fused, err := applyWith(p, g, parts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -175,6 +175,14 @@ func Build(p *ir.Program) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	return BuildWith(p, inf)
+}
+
+// BuildWith constructs the fusion graph from a precomputed dependence
+// summary of the same program — the entry point for callers (like the
+// analysis manager) that already hold cached dependence info and must
+// not pay for a second analysis.
+func BuildWith(p *ir.Program, inf *deps.Info) (*Graph, error) {
 	labels := make([]string, len(p.Nests))
 	for i, n := range p.Nests {
 		labels[i] = n.Label

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/balance"
 	"repro/internal/cache"
 	"repro/internal/exec"
@@ -58,6 +59,11 @@ type PassOptions struct {
 type OptimizeRequest struct {
 	ProgramRequest
 	Passes *PassOptions `json:"passes,omitempty"`
+	// Pipeline is an explicit pass pipeline string from the transform
+	// registry (e.g. "fuse,reduce-storage,store-elim" or
+	// "interchange:n1:i"); see GET /v1/passes for the vocabulary. It is
+	// mutually exclusive with Passes.
+	Pipeline string `json:"pipeline,omitempty"`
 	// Verify is the per-checkpoint verification mode: "off" (default),
 	// "structural" or "differential".
 	Verify string `json:"verify,omitempty"`
@@ -146,6 +152,11 @@ type OptimizeResponse struct {
 	Before       *BalanceSummary `json:"before"`
 	After        *BalanceSummary `json:"after"`
 	Speedup      float64         `json:"speedup"`
+	// Passes and Analysis report the run's per-pass wall time and the
+	// analysis manager's cache counters (cached responses keep the
+	// stats of the run that produced them).
+	Passes   []transform.PassStat `json:"pass_stats,omitempty"`
+	Analysis analysis.Stats       `json:"analysis,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope for all non-2xx statuses.
@@ -451,6 +462,7 @@ type optimizeKey struct {
 	Source   string
 	Machine  string
 	Passes   transform.Options
+	Pipeline string
 	Verify   string
 	Tol      float64
 	MaxSteps int64
@@ -480,6 +492,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, badRequest("%v", err))
 		return
 	}
+	if req.Pipeline != "" && req.Passes != nil {
+		s.fail(w, badRequest("set at most one of \"passes\" and \"pipeline\""))
+		return
+	}
+	if req.Pipeline != "" {
+		if _, err := transform.ParsePipeline(req.Pipeline); err != nil {
+			s.fail(w, &httpError{code: http.StatusBadRequest,
+				msg: "pipeline does not parse", diags: []string{err.Error()}})
+			return
+		}
+	}
 	opts := transform.All()
 	if req.Passes != nil {
 		opts = transform.Options{
@@ -492,7 +515,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 	key, err := cache.Key(optimizeKey{
 		Endpoint: "optimize", Source: sourceID, Machine: spec.Name,
-		Passes: opts, Verify: mode.String(), Tol: req.Tol, MaxSteps: s.cfg.MaxSteps,
+		Passes: opts, Pipeline: req.Pipeline, Verify: mode.String(), Tol: req.Tol, MaxSteps: s.cfg.MaxSteps,
 	})
 	if err != nil {
 		s.fail(w, err)
@@ -519,14 +542,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 	obegin := time.Now()
 	q, outcome, err := transform.OptimizeVerifiedCtx(ctx, p, transform.Config{
-		Options: opts, Verify: mode, Tol: req.Tol, ExecLimits: s.limits(),
+		Options: opts, Pipeline: req.Pipeline, Verify: mode, Tol: req.Tol, ExecLimits: s.limits(),
 	})
 	s.stageSeconds.With("optimize").Observe(time.Since(obegin).Seconds())
-	if outcome != nil {
-		for _, sk := range outcome.SkippedReport() {
-			s.passFailures.With(sk.Pass).Inc()
-		}
-	}
+	s.recordOutcome(outcome)
 	if err != nil {
 		s.failExec(w, err)
 		return
@@ -556,9 +575,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			Text: report.Degradation(outcome.Mode.String(), outcome.Checkpoints,
 				outcome.SkippedReport(), outcome.Notes).String(),
 		},
-		Before:  summarize(before),
-		After:   summarize(after),
-		Speedup: balance.Speedup(before, after),
+		Before:   summarize(before),
+		After:    summarize(after),
+		Speedup:  balance.Speedup(before, after),
+		Passes:   outcome.Passes,
+		Analysis: outcome.Analysis,
 	}
 	for _, a := range outcome.Actions {
 		resp.Actions = append(resp.Actions, a.String())

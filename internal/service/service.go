@@ -21,7 +21,7 @@
 //     connections; handlers observe cancellation via their contexts.
 //
 // Endpoints: POST /v1/analyze, POST /v1/optimize, GET /v1/kernels,
-// GET /healthz, GET /metrics.
+// GET /v1/passes, GET /healthz, GET /metrics.
 package service
 
 import (
@@ -103,6 +103,19 @@ type Server struct {
 	stageSeconds *telemetry.HistogramVec // {stage}
 	workersBusy  *telemetry.Gauge
 	queueDepth   *telemetry.Gauge
+
+	// Analysis-cache and per-pass counters, accumulated from each
+	// optimize run's transform.Outcome (see recordOutcome).
+	analysisHits          *telemetry.CounterVec // {analysis}
+	analysisMisses        *telemetry.CounterVec // {analysis}
+	analysisInvalidations *telemetry.CounterVec // {analysis}
+	analysisSeconds       *telemetry.CounterVec // {analysis}
+	passSeconds           *telemetry.CounterVec // {pass}
+	passCheckpoints       *telemetry.CounterVec // {pass}
+
+	// passTotals backs GET /v1/passes with cumulative per-pass and
+	// per-analysis aggregates since process start.
+	passTotals passTotals
 }
 
 // New builds a Server from the config.
@@ -131,7 +144,21 @@ func New(cfg Config) *Server {
 			"Worker-pool slots currently executing an analysis."),
 		queueDepth: reg.NewGauge("bwserved_queue_depth",
 			"Requests waiting for a worker-pool slot."),
+
+		analysisHits: reg.NewCounterVec("bwserved_analysis_cache_hits_total",
+			"Analysis-manager cache hits by analysis name.", "analysis"),
+		analysisMisses: reg.NewCounterVec("bwserved_analysis_cache_misses_total",
+			"Analysis-manager cache misses (computes) by analysis name.", "analysis"),
+		analysisInvalidations: reg.NewCounterVec("bwserved_analysis_invalidations_total",
+			"Cached analyses invalidated by committed transformations, by analysis name.", "analysis"),
+		analysisSeconds: reg.NewCounterVec("bwserved_analysis_compute_seconds_total",
+			"Wall time spent computing analyses, by analysis name.", "analysis"),
+		passSeconds: reg.NewCounterVec("bwserved_pass_seconds_total",
+			"Wall time spent in optimizer passes (including verification), by pass name.", "pass"),
+		passCheckpoints: reg.NewCounterVec("bwserved_pass_checkpoints_total",
+			"Verified checkpoints committed by optimizer passes, by pass name.", "pass"),
 	}
+	s.passTotals.init()
 	return s
 }
 
@@ -148,6 +175,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/optimize", s.instrument("/v1/optimize", s.handleOptimize))
 	mux.HandleFunc("GET /v1/kernels", s.instrument("/v1/kernels", s.handleKernels))
+	mux.HandleFunc("GET /v1/passes", s.instrument("/v1/passes", s.handlePasses))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes must not perturb request metrics
 	return mux

@@ -392,3 +392,169 @@ func TestConcurrentAnalyze(t *testing.T) {
 		t.Fatalf("workersBusy = %v after drain", busy)
 	}
 }
+
+// TestPassesEndpoint checks GET /v1/passes: the full registry with the
+// default pipeline before any run, and cumulative pass/analysis totals
+// after an optimize.
+func TestPassesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	get := func() PassesResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/passes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var pr PassesResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+
+	pr := get()
+	if pr.DefaultPipeline != "fuse,reduce-storage,store-elim" {
+		t.Fatalf("default pipeline = %q", pr.DefaultPipeline)
+	}
+	byName := map[string]PassSummary{}
+	for _, p := range pr.Passes {
+		if p.Usage == "" || p.Help == "" {
+			t.Fatalf("pass %q missing usage/help", p.Name)
+		}
+		byName[p.Name] = p
+	}
+	for _, want := range []string{"fuse", "reduce-storage", "store-elim", "interchange"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("pass %q not listed", want)
+		}
+	}
+	if byName["fuse"].Runs != 0 {
+		t.Fatalf("fuse shows %d runs before any optimize", byName["fuse"].Runs)
+	}
+	if len(pr.Analyses) == 0 {
+		t.Fatal("no analyses listed")
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/optimize", map[string]any{"kernel": "sec21", "n": 4096})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: status %d: %s", resp.StatusCode, body)
+	}
+
+	pr = get()
+	var fuse PassSummary
+	for _, p := range pr.Passes {
+		if p.Name == "fuse" {
+			fuse = p
+		}
+	}
+	if fuse.Runs != 1 || fuse.Checkpoints == 0 {
+		t.Fatalf("fuse totals after optimize: %+v", fuse)
+	}
+	var reqs, hits uint64
+	for _, a := range pr.Analyses {
+		reqs += a.Requests
+		hits += a.Hits
+	}
+	if reqs == 0 || hits == 0 {
+		t.Fatalf("analysis totals after optimize: requests=%d hits=%d (%+v)", reqs, hits, pr.Analyses)
+	}
+}
+
+// TestOptimizeAnalysisMetrics is the service-level acceptance check:
+// after one POST /v1/optimize, /metrics reports nonzero analysis-cache
+// hits, and the response carries per-pass and per-analysis stats.
+func TestOptimizeAnalysisMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/optimize", map[string]any{"kernel": "sec21", "n": 4096})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var or OptimizeResponse
+	if err := json.Unmarshal(body, &or); err != nil {
+		t.Fatal(err)
+	}
+	if len(or.Passes) == 0 {
+		t.Fatalf("no pass_stats in response: %s", body)
+	}
+	if or.Passes[0].Pass != "fuse" {
+		t.Fatalf("first pass stat = %+v, want fuse", or.Passes[0])
+	}
+	tot := or.Analysis.Total()
+	if tot.Requests == 0 || tot.Hits == 0 {
+		t.Fatalf("analysis stats in response: %+v", or.Analysis)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var b bytes.Buffer
+	b.ReadFrom(mresp.Body)
+	out := b.String()
+	for _, family := range []string{
+		"bwserved_analysis_cache_hits_total",
+		"bwserved_analysis_cache_misses_total",
+		"bwserved_pass_seconds_total",
+		"bwserved_pass_checkpoints_total",
+	} {
+		if !strings.Contains(out, family) {
+			t.Fatalf("metrics missing family %q:\n%s", family, out)
+		}
+	}
+	// At least one analysis label must report a nonzero hit count.
+	nonzero := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "bwserved_analysis_cache_hits_total{") &&
+			!strings.HasSuffix(line, " 0") {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatalf("all analysis-cache hit counters are zero:\n%s", out)
+	}
+}
+
+// TestOptimizePipelineField exercises the explicit "pipeline" request
+// field and its validation.
+func TestOptimizePipelineField(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/optimize", map[string]any{
+		"kernel": "sec21", "n": 4096, "pipeline": "fuse,storeelim",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var or OptimizeResponse
+	if err := json.Unmarshal(body, &or); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(or.Passes))
+	for i, ps := range or.Passes {
+		names[i] = ps.Pass
+	}
+	if len(names) != 2 || names[0] != "fuse" || names[1] != "store-elim" {
+		t.Fatalf("pipeline ran %v, want [fuse store-elim]", names)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/optimize", map[string]any{
+		"kernel": "sec21", "pipeline": "warp",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad pipeline: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unknown pass") {
+		t.Fatalf("bad-pipeline error not diagnostic: %s", body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/optimize", map[string]any{
+		"kernel": "sec21", "pipeline": "fuse", "passes": map[string]any{"fuse": true},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("pipeline+passes: status %d: %s", resp.StatusCode, body)
+	}
+}

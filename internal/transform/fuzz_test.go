@@ -241,5 +241,21 @@ func FuzzOptimize(f *testing.F) {
 		if err := verify.CompareResults(want, got, 0); err != nil {
 			t.Fatalf("%v\n--- original ---\n%s--- optimized ---\n%s", err, p, q)
 		}
+		// The analysis cache must be invisible: rerunning with
+		// memoization disabled has to produce the same program and the
+		// same action log. A divergence means a pass over-declared its
+		// preserved analyses and consumed a stale result.
+		q2, out2, err := OptimizeVerified(p, Config{
+			Options: All(), Verify: verify.ModeDifferential, NoAnalysisCache: true,
+		})
+		if err != nil {
+			t.Fatalf("uncached pipeline failed: %v\n%s", err, p)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("cached and uncached pipelines disagree:\n--- cached ---\n%s--- uncached ---\n%s", q, q2)
+		}
+		if fmt.Sprint(out.Actions) != fmt.Sprint(out2.Actions) {
+			t.Fatalf("cached and uncached action logs disagree:\n%v\n%v", out.Actions, out2.Actions)
+		}
 	})
 }

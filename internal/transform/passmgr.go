@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/exec"
 	"repro/internal/fusion"
 	"repro/internal/ir"
@@ -30,11 +32,17 @@ const (
 )
 
 // Config controls the checkpointed pass manager: which passes run
-// (Options), how each accepted checkpoint is verified, and the
-// iteration budgets that keep a pathological input from hanging the
-// pipeline.
+// (Options or an explicit Pipeline string), how each accepted
+// checkpoint is verified, and the iteration budgets that keep a
+// pathological input from hanging the pipeline.
 type Config struct {
 	Options
+	// Pipeline, when non-empty, overrides Options with an explicit
+	// pass pipeline string (see ParsePipeline); "pipeline" expands to
+	// DefaultPipelineSpec. The empty string means "derive from
+	// Options", which for Options.All() reproduces the paper's default
+	// strategy exactly.
+	Pipeline string
 	// Verify selects per-checkpoint verification. Regardless of mode,
 	// every checkpoint must pass ir.Program.Validate before it replaces
 	// the last known-good program.
@@ -52,6 +60,12 @@ type Config struct {
 	// (the differential baseline run and each checkpoint's verification
 	// run). The zero value imposes no limit.
 	ExecLimits exec.Limits
+	// NoAnalysisCache makes the analysis manager recompute every
+	// analysis on every request instead of memoizing per program
+	// version. It exists as the differential baseline for the
+	// cache-correctness tests and as a debugging escape hatch; the
+	// optimizer's results must be identical either way.
+	NoAnalysisCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +111,23 @@ func (e *PassError) Error() string {
 
 func (e *PassError) Unwrap() error { return e.Cause }
 
+// PassStat records one pipeline pass's execution: wall time and how
+// many checkpoints it committed or rolled back. The service aggregates
+// these into /metrics and GET /v1/passes.
+type PassStat struct {
+	// Pass is the registry name ("fuse", "reduce-storage", ...).
+	Pass string `json:"pass"`
+	// Spec is the pipeline spec element that instantiated the pass
+	// (e.g. "interchange:n1:i"), when it differs from the name.
+	Spec string `json:"spec,omitempty"`
+	// Seconds is the pass's wall time, including verification runs.
+	Seconds float64 `json:"seconds"`
+	// Checkpoints counts the program states the pass committed.
+	Checkpoints int `json:"checkpoints"`
+	// Skipped counts the steps the pass rolled back.
+	Skipped int `json:"skipped"`
+}
+
 // Outcome is the degradation report of one pipeline run: what was
 // applied, what was skipped and why, and how many checkpoints were
 // verified and accepted.
@@ -115,6 +146,13 @@ type Outcome struct {
 	// Notes carries free-form degradation remarks (budget exhaustion,
 	// verification downgrades).
 	Notes []string
+	// Passes records per-pass wall time and checkpoint counts, in
+	// pipeline order.
+	Passes []PassStat
+	// Analysis snapshots the analysis manager's cache counters
+	// (requests, hits, misses, invalidations, compute seconds per
+	// analysis) for the run.
+	Analysis analysis.Stats
 }
 
 // SkippedReport converts the structured skip list into the report
@@ -142,17 +180,28 @@ type panicCause struct{ val any }
 func (p *panicCause) Error() string { return fmt.Sprintf("panic: %v", p.val) }
 
 // manager runs passes against a last-known-good program, verifying and
-// committing one checkpoint at a time.
+// committing one checkpoint at a time. Analyses are requested through
+// am, which memoizes them per program version; every committed
+// checkpoint advances the version and invalidates whatever the
+// committing pass did not declare preserved.
 type manager struct {
-	cfg      Config
-	ctx      context.Context
-	cur      *ir.Program  // last known-good program
-	baseline *exec.Result // reference result of the input, for differential mode
-	out      *Outcome
-	steps    int             // checkpoints committed by the current pass
-	blocked  map[string]bool // (pass,nest,array) steps that already failed once
-	stop     bool            // the run was canceled; abandon remaining work
+	cfg          Config
+	ctx          context.Context
+	cur          *ir.Program        // last known-good program
+	am           *analysis.Manager  // analysis cache over cur
+	curPreserved analysis.Preserved // preserved set of the running pass
+	baseline     *exec.Result       // reference result of the input, for differential mode
+	out          *Outcome
+	steps        int             // checkpoints committed by the current pass
+	blocked      map[string]bool // (pass,nest,array) steps that already failed once
+	stop         bool            // the run was canceled; abandon remaining work
 }
+
+// testPostCommit, when non-nil, runs after every committed checkpoint
+// with the manager in its post-commit state. The cache-correctness
+// property test hooks it to compare cached analyses against fresh
+// recomputation at each program version.
+var testPostCommit func(m *manager)
 
 func newManager(ctx context.Context, p *ir.Program, cfg Config) *manager {
 	cfg = cfg.withDefaults()
@@ -162,6 +211,11 @@ func newManager(ctx context.Context, p *ir.Program, cfg Config) *manager {
 		cur:     p.Clone(),
 		out:     &Outcome{Mode: cfg.Verify},
 		blocked: map[string]bool{},
+	}
+	if cfg.NoAnalysisCache {
+		m.am = analysis.NewUncached(m.cur)
+	} else {
+		m.am = analysis.NewManager(m.cur)
 	}
 	if cfg.Verify >= verify.ModeDifferential {
 		ref, err := exec.RunCtx(ctx, p, nil, cfg.ExecLimits)
@@ -191,14 +245,16 @@ func (m *manager) canceled() bool {
 	return m.stop
 }
 
-// OptimizeVerified runs the paper's compiler strategy under the
-// checkpointed pass manager. Each transformation step executes with
-// panic containment, its result is verified according to cfg.Verify,
-// and on any failure the pipeline rolls back to the last known-good
-// program, records the skip, and continues with the remaining passes.
-// The returned program is therefore always valid; the Outcome reports
-// what was applied and what degraded. The error is non-nil only when
-// the input program itself is invalid.
+// OptimizeVerified runs a pass pipeline under the checkpointed pass
+// manager. The pipeline comes from cfg.Pipeline when set, otherwise
+// from cfg.Options (the paper's compiler strategy when all options are
+// on). Each transformation step executes with panic containment, its
+// result is verified according to cfg.Verify, and on any failure the
+// pipeline rolls back to the last known-good program, records the
+// skip, and continues with the remaining passes. The returned program
+// is therefore always valid; the Outcome reports what was applied and
+// what degraded. The error is non-nil only when the input program
+// itself is invalid or the pipeline string does not parse.
 func OptimizeVerified(p *ir.Program, cfg Config) (*ir.Program, *Outcome, error) {
 	return OptimizeVerifiedCtx(context.Background(), p, cfg)
 }
@@ -213,19 +269,25 @@ func OptimizeVerifiedCtx(ctx context.Context, p *ir.Program, cfg Config) (*ir.Pr
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	spec := cfg.Pipeline
+	if spec == "" {
+		spec = cfg.Options.PipelineSpec()
+	}
+	pl, err := ParsePipeline(spec)
+	if err != nil {
+		return nil, &Outcome{Mode: cfg.Verify}, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, &Outcome{Mode: cfg.Verify}, fmt.Errorf("transform: input program invalid: %w", err)
 	}
 	m := newManager(ctx, p, cfg)
-	if m.cfg.Fuse {
-		m.fusePass()
+	for _, st := range pl.steps {
+		if m.canceled() {
+			break
+		}
+		m.runPass(st)
 	}
-	if m.cfg.ReduceStorage {
-		m.storagePass()
-	}
-	if m.cfg.EliminateStores {
-		m.storeElimPass()
-	}
+	m.out.Analysis = m.am.Stats()
 	if m.canceled() {
 		return m.cur, m.out, fmt.Errorf("transform: pipeline canceled: %w", exec.ErrCanceled)
 	}
@@ -235,6 +297,27 @@ func OptimizeVerifiedCtx(ctx context.Context, p *ir.Program, cfg Config) (*ir.Pr
 		return nil, m.out, fmt.Errorf("transform: pipeline produced invalid program: %w", err)
 	}
 	return m.cur, m.out, nil
+}
+
+// runPass executes one instantiated pipeline pass, installing its
+// declared preserved-analysis set for the commits it makes and
+// recording its wall time and checkpoint counts.
+func (m *manager) runPass(st pipelineStep) {
+	m.curPreserved = analysis.Preserve(st.info.Preserves...)
+	m.steps = 0
+	cp0, sk0 := m.out.Checkpoints, len(m.out.Skipped)
+	begin := time.Now()
+	st.run(m)
+	ps := PassStat{
+		Pass:        st.info.Name,
+		Seconds:     time.Since(begin).Seconds(),
+		Checkpoints: m.out.Checkpoints - cp0,
+		Skipped:     len(m.out.Skipped) - sk0,
+	}
+	if st.spec != st.info.Name {
+		ps.Spec = st.spec
+	}
+	m.out.Passes = append(m.out.Passes, ps)
 }
 
 func (m *manager) note(format string, args ...any) {
@@ -290,10 +373,11 @@ func (m *manager) check(next *ir.Program) error {
 
 // runStep executes one candidate transformation against the current
 // known-good program under panic containment, verifies the result, and
-// commits it as the new checkpoint. On failure the known-good program
-// is kept, the failure is recorded as a PassError, the step is
-// blacklisted so fixpoint loops do not retry it, and false is
-// returned.
+// commits it as the new checkpoint — advancing the analysis manager's
+// program version with the running pass's preserved set. On failure
+// the known-good program is kept, the failure is recorded as a
+// PassError, the step is blacklisted so fixpoint loops do not retry
+// it, and false is returned.
 func (m *manager) runStep(pass, nest, array string, fn stepFn) bool {
 	if m.canceled() {
 		return false
@@ -324,17 +408,37 @@ func (m *manager) runStep(pass, nest, array string, fn stepFn) bool {
 		return false
 	}
 	m.cur = next
+	m.am.SetProgram(next, m.curPreserved)
 	m.out.Actions = append(m.out.Actions, acts...)
 	m.out.Checkpoints++
 	m.steps++
+	if testPostCommit != nil {
+		testPostCommit(m)
+	}
 	return true
 }
 
-// fusePass runs bandwidth-minimal loop fusion as one checkpointed step.
+// stepPreserving runs one checkpointed step whose commit is known to
+// preserve a larger analysis set than the running pass's declaration.
+// The override applies only to this step; the pass-level set in the
+// registry stays the conservative floor for every other step.
+func (m *manager) stepPreserving(pres analysis.Preserved, pass, nest, array string, fn stepFn) bool {
+	prev := m.curPreserved
+	m.curPreserved = pres
+	defer func() { m.curPreserved = prev }()
+	return m.runStep(pass, nest, array, fn)
+}
+
+// fusePass runs bandwidth-minimal loop fusion as one checkpointed step,
+// reusing the cached fusion graph (and, through it, the cached
+// dependence summary) for the current program version.
 func (m *manager) fusePass() {
-	m.steps = 0
 	m.runStep("fuse", "", "", func(cur *ir.Program) (*ir.Program, []Action, error) {
-		fused, parts, err := fusion.FuseGreedily(cur)
+		g, err := m.am.FusionGraph()
+		if err != nil {
+			return nil, nil, err
+		}
+		fused, parts, err := fusion.FuseGreedilyFrom(cur, g)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -350,10 +454,11 @@ func (m *manager) fusePass() {
 // storagePass iterates array contraction and shrinking to a fixpoint:
 // contracting one array can make another transformable. Every accepted
 // transformation is its own verified checkpoint, and the fixpoint
-// carries an explicit iteration budget.
+// carries an explicit iteration budget. Liveness is requested once per
+// program version from the analysis cache, as is each candidate's
+// reuse classification.
 func (m *manager) storagePass() {
 	const pass = "reduce-storage"
-	m.steps = 0
 	iters := 0
 	for changed := true; changed && !m.canceled(); {
 		if iters++; iters > m.cfg.MaxFixpointIters {
@@ -365,7 +470,7 @@ func (m *manager) storagePass() {
 			return
 		}
 		changed = false
-		live, err := liveness.Analyze(m.cur)
+		live, err := m.am.Liveness()
 		if err != nil {
 			m.skip(pass, "", "", fmt.Errorf("liveness analysis failed: %w", err))
 			return
@@ -377,20 +482,25 @@ func (m *manager) storagePass() {
 				if live.LiveAfter(name, ni) || !usedOnlyIn(m.cur, ni, name) {
 					continue
 				}
-				cl := liveness.Classify(m.cur, ni, name)
+				cl := m.am.ReuseClass(ni, name)
 				switch cl.Kind {
 				case liveness.ScalarLike:
-					changed = m.runStep("contract", nest, name, func(cur *ir.Program) (*ir.Program, []Action, error) {
-						next, err := ContractArray(cur, ni, name)
-						if err != nil {
-							return nil, nil, nil // not contractible here
-						}
-						return next, []Action{{Pass: "contract", Nest: nest, Array: name,
-							Note: "array replaced by a scalar"}}, nil
-					})
+					// Contraction removes the array's declaration and
+					// rewrites only that array's references, so every
+					// surviving array's nest-level read/write span — the
+					// facts the liveness summary serves — is untouched.
+					changed = m.stepPreserving(analysis.Preserve(analysis.NestIndexName, analysis.LivenessName),
+						"contract", nest, name, func(cur *ir.Program) (*ir.Program, []Action, error) {
+							next, err := contractArrayCl(cur, ni, name, cl)
+							if err != nil {
+								return nil, nil, nil // not contractible here
+							}
+							return next, []Action{{Pass: "contract", Nest: nest, Array: name,
+								Note: "array replaced by a scalar"}}, nil
+						})
 				case liveness.CarryOne:
 					changed = m.runStep("shrink", nest, name, func(cur *ir.Program) (*ir.Program, []Action, error) {
-						next, err := ShrinkArray(cur, ni, name)
+						next, err := shrinkArrayCl(cur, ni, name, cl)
 						if err != nil {
 							return nil, nil, nil // not shrinkable here
 						}
@@ -410,10 +520,12 @@ func (m *manager) storagePass() {
 }
 
 // storeElimPass removes dead writebacks, one verified checkpoint per
-// eliminated array, under the same fixpoint budget.
+// eliminated array, under the same fixpoint budget. The liveness
+// summary is requested once per program version (not once per
+// candidate array, as the pre-manager code did), and candidate
+// filtering runs on the cached reuse classifications.
 func (m *manager) storeElimPass() {
 	const pass = "store-elim"
-	m.steps = 0
 	iters := 0
 	for changed := true; changed && !m.canceled(); {
 		if iters++; iters > m.cfg.MaxFixpointIters {
@@ -425,12 +537,34 @@ func (m *manager) storeElimPass() {
 			return
 		}
 		changed = false
+		live, err := m.am.Liveness()
+		if err != nil {
+			m.skip(pass, "", "", fmt.Errorf("liveness analysis failed: %w", err))
+			return
+		}
 		for ni := range m.cur.Nests {
 			nest := m.cur.Nests[ni].Label
 			for _, arr := range append([]*ir.Array(nil), m.cur.Arrays...) {
 				name := arr.Name
-				changed = m.runStep(pass, nest, name, func(cur *ir.Program) (*ir.Program, []Action, error) {
-					next, err := EliminateStores(cur, ni, name)
+				cl := m.am.ReuseClass(ni, name)
+				if cl.Kind != liveness.ForwardOnly && cl.Kind != liveness.ScalarLike {
+					continue // elimination provably inapplicable; skip without a step
+				}
+				if live.LiveAfter(name, ni) {
+					continue
+				}
+				// A forward-only elimination keeps the array's pre-store
+				// loads, so its nest-level read span — and every other
+				// array's — survives the rewrite; the liveness summary
+				// stays exact. A scalar-like elimination forwards every
+				// read and so removes the array's last loads while its
+				// declaration remains: liveness must recompute.
+				pres := analysis.Preserve(analysis.NestIndexName)
+				if cl.Kind == liveness.ForwardOnly {
+					pres = analysis.Preserve(analysis.NestIndexName, analysis.LivenessName)
+				}
+				changed = m.stepPreserving(pres, pass, nest, name, func(cur *ir.Program) (*ir.Program, []Action, error) {
+					next, err := eliminateStoresWith(cur, ni, name, cl, live)
 					if err != nil {
 						return nil, nil, nil // no eliminable stores here
 					}

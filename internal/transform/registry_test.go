@@ -1,0 +1,136 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePipelineAliases(t *testing.T) {
+	pl, err := ParsePipeline("storeelim, shrink ,peel:L0:i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"store-elim", "reduce-storage", "peel-first"}
+	if pl.Len() != len(want) {
+		t.Fatalf("got %d steps, want %d", pl.Len(), len(want))
+	}
+	for i, st := range pl.steps {
+		if st.info.Name != want[i] {
+			t.Errorf("step %d resolved to %q, want %q", i, st.info.Name, want[i])
+		}
+	}
+	// The spec element keeps the user's spelling for diagnostics.
+	if pl.steps[2].spec != "peel:L0:i" {
+		t.Errorf("step 2 spec = %q, want the original spelling", pl.steps[2].spec)
+	}
+}
+
+func TestParsePipelineExpandsDefault(t *testing.T) {
+	pl, err := ParsePipeline("simplify,pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"simplify", "fuse", "reduce-storage", "store-elim"}
+	if pl.Len() != len(want) {
+		t.Fatalf("got %d steps, want %d", pl.Len(), len(want))
+	}
+	for i, st := range pl.steps {
+		if st.info.Name != want[i] {
+			t.Errorf("step %d = %q, want %q", i, st.info.Name, want[i])
+		}
+	}
+}
+
+func TestParsePipelineSkipsEmptyElements(t *testing.T) {
+	pl, err := ParsePipeline(" , fuse, ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Len() != 1 || pl.steps[0].info.Name != "fuse" {
+		t.Fatalf("got %d steps (%+v), want just fuse", pl.Len(), pl.steps)
+	}
+	empty, err := ParsePipeline("")
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty spec: %d steps, err %v", empty.Len(), err)
+	}
+}
+
+func TestParsePipelineErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"warp", "unknown pass"},
+		{"pipeline:x", "pipeline takes no arguments"},
+		{"fuse:now", "takes no arguments"},
+		{"interchange:n1", "interchange:<nest>:<var>"},
+		{"unrolljam:n1:i:two", "unrolljam factor"},
+	}
+	for _, c := range cases {
+		_, err := ParsePipeline(c.spec)
+		if err == nil {
+			t.Errorf("spec %q: expected error", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("spec %q: error %q does not mention %q", c.spec, err, c.want)
+		}
+	}
+	// The unknown-pass diagnostic lists what is registered.
+	_, err := ParsePipeline("warp")
+	if !strings.Contains(err.Error(), "store-elim") {
+		t.Errorf("unknown-pass error does not list registered passes: %v", err)
+	}
+}
+
+func TestOptionsPipelineSpecRoundTrip(t *testing.T) {
+	if got := All().PipelineSpec(); got != DefaultPipelineSpec {
+		t.Errorf("All().PipelineSpec() = %q, want %q", got, DefaultPipelineSpec)
+	}
+	if got := FusionOnly().PipelineSpec(); got != "fuse" {
+		t.Errorf("FusionOnly().PipelineSpec() = %q", got)
+	}
+	if got := (Options{}).PipelineSpec(); got != "" {
+		t.Errorf("zero Options PipelineSpec() = %q, want empty", got)
+	}
+	// The derived spec must parse back to the same pass sequence.
+	pl, err := ParsePipeline(All().PipelineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := ParsePipeline(DefaultPipelineSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Len() != def.Len() {
+		t.Fatalf("round trip lost passes: %d vs %d", pl.Len(), def.Len())
+	}
+}
+
+func TestPassesListing(t *testing.T) {
+	ps := Passes()
+	if len(ps) == 0 {
+		t.Fatal("no registered passes")
+	}
+	seen := map[string]bool{}
+	for i, p := range ps {
+		if i > 0 && ps[i-1].Name >= p.Name {
+			t.Errorf("listing not sorted: %q before %q", ps[i-1].Name, p.Name)
+		}
+		seen[p.Name] = true
+		if p.Usage == "" || p.Help == "" {
+			t.Errorf("pass %q missing usage or help", p.Name)
+		}
+	}
+	for _, name := range strings.Split(DefaultPipelineSpec, ",") {
+		if !seen[name] {
+			t.Errorf("default pipeline pass %q not registered", name)
+		}
+	}
+	if _, ok := LookupPass("storeelim"); !ok {
+		t.Error("alias storeelim did not resolve")
+	}
+	if _, ok := LookupPass("no-such"); ok {
+		t.Error("unknown name resolved")
+	}
+}

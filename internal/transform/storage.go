@@ -75,7 +75,12 @@ func removeArrayDecl(p *ir.Program, name string) {
 // The array must be used only in the named nest and must be
 // ScalarLike there.
 func ContractArray(p *ir.Program, nestIdx int, array string) (*ir.Program, error) {
-	cl := liveness.Classify(p, nestIdx, array)
+	return contractArrayCl(p, nestIdx, array, liveness.Classify(p, nestIdx, array))
+}
+
+// contractArrayCl is ContractArray with the classification supplied by
+// the caller (the pass manager's analysis cache).
+func contractArrayCl(p *ir.Program, nestIdx int, array string, cl liveness.Class) (*ir.Program, error) {
 	if cl.Kind != liveness.ScalarLike {
 		return nil, fmt.Errorf("transform: %s is %s in nest %d (%s), cannot contract",
 			array, cl.Kind, nestIdx, cl.Reason)
@@ -176,7 +181,12 @@ func replaceAllRefs(ss []ir.Stmt, array string, repl func(read bool) (ir.Expr, *
 // a[N,N] → a2 (scalar) + a3[N] (buffer) in Figure 6(c). The array must
 // be used only in the named nest and classify as CarryOne.
 func ShrinkArray(p *ir.Program, nestIdx int, array string) (*ir.Program, error) {
-	cl := liveness.Classify(p, nestIdx, array)
+	return shrinkArrayCl(p, nestIdx, array, liveness.Classify(p, nestIdx, array))
+}
+
+// shrinkArrayCl is ShrinkArray with the classification supplied by the
+// caller (the pass manager's analysis cache).
+func shrinkArrayCl(p *ir.Program, nestIdx int, array string, cl liveness.Class) (*ir.Program, error) {
 	if cl.Kind != liveness.CarryOne {
 		return nil, fmt.Errorf("transform: %s is %s in nest %d (%s), cannot shrink",
 			array, cl.Kind, nestIdx, cl.Reason)
