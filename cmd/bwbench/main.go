@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	bwbench [-quick] [-json] [-experiment all|<name>]
+//	bwbench [-quick] [-json] [-experiment all|<name>] [-trace out.json]
 //
 // Run bwbench -h for the full experiment list (it is derived from the
 // experiments table below, so the two cannot drift apart).
@@ -15,9 +15,22 @@
 // nanoseconds, and every table's headers, rows and notes (the rows
 // carry the traffic/balance/bandwidth numbers the text tables show).
 // That is the format the BENCH_*.json trajectory artifacts use.
+//
+// The -json document also carries an "attribution" section: the
+// verified default pipeline is run on three representative kernels
+// (convolution, dmxpy, mm-jki at the active config's sizes) and each
+// run's per-pass wall times and analysis-cache counters are reported,
+// answering "where does optimization time go?" alongside the paper's
+// "what does optimization buy?".
+//
+// With -trace, the whole bench run is written as Chrome trace-event
+// JSON: one span per experiment, and — because the attribution runs
+// are context-traced — one span per pass attempt, analysis request
+// and verification inside them.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,9 +38,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/transform"
 )
 
 var experiments = []string{
@@ -54,10 +72,21 @@ type jsonResult struct {
 	Text string `json:"text,omitempty"`
 }
 
+// jsonAttribution is one kernel's verified-pipeline cost breakdown in
+// the -json "attribution" section: per-pass wall times plus the
+// analysis manager's cache counters for that run.
+type jsonAttribution struct {
+	Program   string               `json:"program"`
+	ElapsedNS int64                `json:"elapsed_ns"`
+	Passes    []transform.PassStat `json:"passes"`
+	Analysis  analysis.Stats       `json:"analysis"`
+}
+
 // jsonOutput is the top-level -json document.
 type jsonOutput struct {
-	Config  string       `json:"config"` // "default" or "quick"
-	Results []jsonResult `json:"results"`
+	Config      string            `json:"config"` // "default" or "quick"
+	Results     []jsonResult      `json:"results"`
+	Attribution []jsonAttribution `json:"attribution,omitempty"`
 }
 
 func main() {
@@ -65,6 +94,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
 	which := flag.String("experiment", "all",
 		"which experiment to run: all, or one of "+strings.Join(experiments, ", "))
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the bench run to this path")
 	flag.Parse()
 
 	cfg := core.Default()
@@ -134,12 +164,22 @@ func main() {
 		names = experiments
 	}
 
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New()
+	}
+
 	var out jsonOutput
 	out.Config = cfgName
 	for _, name := range names {
+		var span *trace.Span
+		if tr != nil {
+			span = tr.Start(nil, "experiment."+name)
+		}
 		begin := time.Now()
 		ts, text, err := run(name)
 		elapsed := time.Since(begin)
+		span.End()
 		if err != nil {
 			fatal(err)
 		}
@@ -164,12 +204,69 @@ func main() {
 		}
 	}
 	if *jsonOut {
+		out.Attribution = attribution(tr, cfg)
+	}
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bwbench: wrote %d spans to %s\n", tr.Len(), *traceOut)
+	}
+	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(&out); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// attribution runs the verified default pipeline on three
+// representative kernels at the active config's sizes and reports
+// where the optimization time went: per-pass wall times and the
+// analysis manager's cache counters. With tracing enabled each run is
+// a root span whose children are the pipeline's pass/analysis/verify
+// spans.
+func attribution(tr *trace.Tracer, cfg core.Config) []jsonAttribution {
+	progs := []struct {
+		name string
+		p    *ir.Program
+	}{
+		{"convolution", kernels.Convolution(cfg.ConvN)},
+		{"dmxpy", kernels.Dmxpy(cfg.DmxpyN)},
+		{"mm-jki", kernels.MatmulJKI(cfg.MMN)},
+	}
+	var attrs []jsonAttribution
+	for _, pr := range progs {
+		ctx := context.Background()
+		var span *trace.Span
+		if tr != nil {
+			span = tr.Start(nil, "attribution."+pr.name, trace.String("program", pr.p.Name))
+			ctx = trace.NewContext(ctx, span)
+		}
+		begin := time.Now()
+		_, outcome, err := core.OptimizeOutcome(ctx, pr.p)
+		elapsed := time.Since(begin)
+		span.End()
+		if err != nil {
+			fatal(err)
+		}
+		attrs = append(attrs, jsonAttribution{
+			Program:   pr.name,
+			ElapsedNS: elapsed.Nanoseconds(),
+			Passes:    outcome.Passes,
+			Analysis:  outcome.Analysis,
+		})
+	}
+	return attrs
 }
 
 // tables adapts the core experiment signature (one table + error).

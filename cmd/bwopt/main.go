@@ -6,7 +6,12 @@
 //
 //	bwopt [-fusion-only] [-machine origin|exemplar] [-scale N] \
 //	      [-verify off|structural|differential] [-tol T] \
-//	      [-passes spec[,spec...]] program.bw
+//	      [-passes spec[,spec...]] [-trace out.json] program.bw
+//
+// With -trace, the whole run is traced — one span per pass attempt,
+// per analysis-cache request, per verification phase and per simulated
+// execution — and written as Chrome trace-event JSON loadable in
+// chrome://tracing or https://ui.perfetto.dev.
 //
 // With -verify, the optimizer runs as a checkpointed pipeline: each
 // pass is verified (structurally, or also differentially against the
@@ -39,14 +44,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/balance"
+	"repro/internal/exec"
 	"repro/internal/lang"
 	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/trace"
 	"repro/internal/transform"
 	"repro/internal/verify"
 )
@@ -58,6 +66,7 @@ func main() {
 	passes := flag.String("passes", "", "comma-separated pass specs (see doc comment); overrides the default pipeline")
 	verifyMode := flag.String("verify", "off", "per-pass verification: off, structural or differential")
 	tol := flag.Float64("tol", verify.DefaultTol, "relative tolerance for differential verification")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the whole run to this path")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bwopt [flags] program.bw\n")
 		flag.PrintDefaults()
@@ -86,11 +95,20 @@ func main() {
 		fatal(err)
 	}
 
+	ctx := context.Background()
+	var tr *trace.Tracer
+	var root *trace.Span
+	if *traceOut != "" {
+		tr = trace.New()
+		root = tr.Start(nil, "bwopt", trace.String("input", flag.Arg(0)))
+		ctx = trace.NewContext(ctx, root)
+	}
+
 	opt := transform.All()
 	if *fusionOnly {
 		opt = transform.FusionOnly()
 	}
-	q, outcome, err := transform.OptimizeVerified(p, transform.Config{
+	q, outcome, err := transform.OptimizeVerifiedCtx(ctx, p, transform.Config{
 		Options: opt, Pipeline: *passes, Verify: mode, Tol: *tol,
 	})
 	if err == nil && *passes != "" && len(outcome.Skipped) > 0 {
@@ -130,13 +148,20 @@ func main() {
 		spec = machine.Scaled(spec, *scale)
 	}
 
-	before, err := balance.Measure(p, spec)
+	before, err := balance.MeasureCtx(ctx, p, spec, exec.Limits{})
 	if err != nil {
 		fatal(err)
 	}
-	after, err := balance.Measure(q, spec)
+	after, err := balance.MeasureCtx(ctx, q, spec, exec.Limits{})
 	if err != nil {
 		fatal(err)
+	}
+	if tr != nil {
+		root.End()
+		if err := writeTrace(tr, *traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bwopt: wrote %d spans to %s\n", tr.Len(), *traceOut)
 	}
 	fmt.Println("--- bandwidth report ---")
 	t := &report.Table{Headers: []string{"", "mem traffic", "predicted time", "effective bw"}}
@@ -156,6 +181,18 @@ func main() {
 				i, before.Result.Prints[i], after.Result.Prints[i])
 		}
 	}
+}
+
+func writeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -6,18 +6,27 @@
 //
 //	bwserved [-addr :8080] [-workers N] [-cache-entries N] \
 //	         [-timeout 15s] [-max-timeout 60s] [-max-body 1048576] \
-//	         [-max-steps 200000000] [-drain 10s] [-quiet]
+//	         [-max-steps 200000000] [-drain 10s] [-quiet] [-pprof]
 //
 // Endpoints:
 //
-//	POST /v1/analyze   balance report (+ optional Belady replay)
+//	POST /v1/analyze   balance report (+ optional Belady replay);
+//	                   "trace": true returns the span tree inline
 //	POST /v1/optimize  verified optimizer pipeline, before/after balance
-//	                   (accepts "pipeline": an explicit pass string)
+//	                   (accepts "pipeline": an explicit pass string and
+//	                   "trace": true for the inline span tree)
 //	GET  /v1/kernels   built-in kernel registry
 //	GET  /v1/passes    pass registry + cumulative pass/analysis stats
-//	GET  /healthz      liveness + cache stats
-//	GET  /metrics      Prometheus text-format metrics (incl. analysis
-//	                   cache hit/miss/invalidation counters)
+//	GET  /healthz      liveness, build info (Go version, start time,
+//	                   kernel/pass counts) + cache stats
+//	GET  /metrics      Prometheus text-format metrics (request and
+//	                   per-pass latency histograms, analysis cache
+//	                   hit/miss/invalidation counters)
+//	GET  /debug/pprof  net/http/pprof profiles (only with -pprof)
+//
+// Every response carries an X-Trace-Id header; the same ID appears as
+// "trace_id" in the JSON request log, so slow requests can be joined
+// to their log lines and inline traces.
 //
 // Example:
 //
@@ -53,6 +62,7 @@ func main() {
 	maxSteps := flag.Int64("max-steps", 200_000_000, "per-run loop-iteration budget (negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "connection-drain window on shutdown")
 	quiet := flag.Bool("quiet", false, "suppress request logs")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	var logw io.Writer = os.Stderr
@@ -67,6 +77,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MaxSteps:       *maxSteps,
 		LogWriter:      logw,
+		EnablePprof:    *pprofFlag,
 	})
 
 	hs := &http.Server{

@@ -4,7 +4,12 @@
 // Usage:
 //
 //	bwsim [-machine origin|exemplar] [-scale N] [-print-ir] \
-//	      [-verify off|structural] [-passes spec[,spec...]] program.bw
+//	      [-verify off|structural] [-passes spec[,spec...]] \
+//	      [-trace out.json] program.bw
+//
+// With -trace, the run (optional pass pipeline + measurement) is
+// traced and written as Chrome trace-event JSON loadable in
+// chrome://tracing or Perfetto.
 //
 // With -verify structural, the parsed program is checked by the deep IR
 // verifier (static bounds and shape consistency beyond the parser's
@@ -29,13 +34,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/balance"
+	"repro/internal/exec"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/trace"
 	"repro/internal/transform"
 	"repro/internal/verify"
 )
@@ -46,6 +54,7 @@ func main() {
 	printIR := flag.Bool("print-ir", false, "echo the parsed program before the report")
 	verifyMode := flag.String("verify", "off", "pre-run verification: off or structural (differential allowed with -passes)")
 	passes := flag.String("passes", "", "comma-separated pass specs to apply before measuring (same registry as bwopt)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run to this path")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bwsim [flags] program.bw\n")
 		flag.PrintDefaults()
@@ -78,8 +87,17 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	var tr *trace.Tracer
+	var root *trace.Span
+	if *traceOut != "" {
+		tr = trace.New()
+		root = tr.Start(nil, "bwsim", trace.String("input", flag.Arg(0)))
+		ctx = trace.NewContext(ctx, root)
+	}
+
 	if *passes != "" {
-		q, outcome, err := transform.OptimizeVerified(p, transform.Config{Pipeline: *passes, Verify: mode})
+		q, outcome, err := transform.OptimizeVerifiedCtx(ctx, p, transform.Config{Pipeline: *passes, Verify: mode})
 		if err == nil && len(outcome.Skipped) > 0 {
 			err = outcome.Skipped[0]
 		}
@@ -112,9 +130,24 @@ func main() {
 	if *printIR {
 		fmt.Println(p)
 	}
-	rep, err := balance.Measure(p, spec)
+	rep, err := balance.MeasureCtx(ctx, p, spec, exec.Limits{})
 	if err != nil {
 		fatal(err)
+	}
+	if tr != nil {
+		root.End()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bwsim: wrote %d spans to %s\n", tr.Len(), *traceOut)
 	}
 	fmt.Print(rep)
 	for i, v := range rep.Result.Prints {

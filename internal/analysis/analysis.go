@@ -32,6 +32,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/fusion"
 	"repro/internal/ir"
 	"repro/internal/liveness"
+	"repro/internal/trace"
 )
 
 // Canonical names of the built-in analyses.
@@ -135,7 +137,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return fusion.BuildWith(p, inf)
+			return fusion.BuildWithCtx(m.TraceContext(), p, inf)
 		},
 	})
 	Register(Analysis{
@@ -235,12 +237,13 @@ type reuseClasses struct {
 // goroutine; computes run outside the lock so a slow analysis does not
 // block unrelated stat reads.
 type Manager struct {
-	mu      sync.Mutex
-	prog    *ir.Program
-	gen     uint64
-	nocache bool
-	cached  map[string]any
-	stats   map[string]*AnalysisStats
+	mu       sync.Mutex
+	prog     *ir.Program
+	gen      uint64
+	nocache  bool
+	cached   map[string]any
+	stats    map[string]*AnalysisStats
+	traceCtx context.Context // parent for analysis spans; nil = untraced
 }
 
 // NewManager returns a caching manager for the given program version.
@@ -260,6 +263,30 @@ func NewUncached(p *ir.Program) *Manager {
 	m := NewManager(p)
 	m.nocache = true
 	return m
+}
+
+// SetTraceContext installs the context whose current trace span
+// becomes the parent of subsequent analysis spans. The pass manager
+// points it at each pass's span so analysis time is attributed to the
+// pass that requested it; code outside a traced pipeline never calls
+// this and pays nothing. The installed context is used only for span
+// parenting — cancellation does not flow through it.
+func (m *Manager) SetTraceContext(ctx context.Context) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.traceCtx = ctx
+}
+
+// TraceContext returns the installed trace context (never nil). An
+// analysis's compute function uses it to parent spans of the work it
+// delegates (the fusion-graph build, nested Get requests).
+func (m *Manager) TraceContext() context.Context {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.traceCtx == nil {
+		return context.Background()
+	}
+	return m.traceCtx
 }
 
 // Program returns the current program version.
@@ -296,10 +323,14 @@ func (m *Manager) Get(name string) (any, error) {
 	m.mu.Lock()
 	st := m.statsFor(name)
 	st.Requests++
+	tctx := m.traceCtx
 	if !m.nocache {
 		if v, ok := m.cached[name]; ok {
 			st.Hits++
 			m.mu.Unlock()
+			if tctx != nil {
+				trace.InstantCtx(tctx, "analysis."+name, trace.String("cache", "hit"))
+			}
 			return v, nil
 		}
 	}
@@ -308,9 +339,26 @@ func (m *Manager) Get(name string) (any, error) {
 	gen := m.gen
 	m.mu.Unlock()
 
+	var span *trace.Span
+	if tctx != nil {
+		var sctx context.Context
+		sctx, span = trace.StartSpan(tctx, "analysis."+name,
+			trace.String("cache", "miss"), trace.Int("generation", int64(gen)))
+		if span != nil {
+			// Nested analysis requests (fusion-graph → deps) and delegated
+			// work parent under this span while the compute runs.
+			m.SetTraceContext(sctx)
+			defer m.SetTraceContext(tctx)
+		}
+	}
 	begin := time.Now()
 	v, err := a.Compute(m, p)
 	sec := time.Since(begin).Seconds()
+	if err != nil {
+		span.End(trace.String("error", err.Error()))
+	} else {
+		span.End()
+	}
 
 	m.mu.Lock()
 	m.statsFor(name).Seconds += sec
@@ -327,15 +375,26 @@ func (m *Manager) Get(name string) (any, error) {
 // cached analysis the committing pass did not declare preserved.
 func (m *Manager) SetProgram(p *ir.Program, preserved Preserved) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	var dropped []string
 	m.prog = p
 	m.gen++
+	gen := m.gen
+	tctx := m.traceCtx
 	for name := range m.cached {
 		if preserved.Has(name) {
 			continue
 		}
 		delete(m.cached, name)
 		m.statsFor(name).Invalidations++
+		dropped = append(dropped, name)
+	}
+	m.mu.Unlock()
+	if tctx != nil {
+		sort.Strings(dropped)
+		for _, name := range dropped {
+			trace.InstantCtx(tctx, "analysis.invalidate",
+				trace.String("analysis", name), trace.Int("generation", int64(gen)))
+		}
 	}
 }
 
@@ -407,11 +466,21 @@ func (m *Manager) ReuseClass(nest int, array string) liveness.Class {
 	st.Misses++
 	p := m.prog
 	gen := m.gen
+	tctx := m.traceCtx
 	m.mu.Unlock()
 
+	var span *trace.Span
+	if tctx != nil {
+		// Hits stay silent here: reuse classes are requested per (nest,
+		// array) key inside fixpoint scans, far too hot for per-hit
+		// markers; the stats counters carry the hit rate.
+		_, span = trace.StartSpan(tctx, "analysis."+ReuseClassesName,
+			trace.String("cache", "miss"), trace.Int("nest", int64(nest)), trace.String("array", array))
+	}
 	begin := time.Now()
 	cl := liveness.Classify(p, nest, array)
 	sec := time.Since(begin).Seconds()
+	span.End(trace.String("class", cl.Kind.String()))
 
 	m.mu.Lock()
 	m.statsFor(ReuseClassesName).Seconds += sec

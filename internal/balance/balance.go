@@ -21,6 +21,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Report is the balance analysis of one program on one machine.
@@ -77,16 +78,34 @@ func MeasureCtx(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, span := trace.StartSpan(ctx, "balance.measure",
+		trace.String("program", p.Name), trace.String("machine", spec.Name))
 	h := spec.NewHierarchy()
 	// The closure-compiled engine is several times faster than the tree
 	// walker and differentially tested against it (internal/exec).
 	cp, err := exec.Compile(p)
 	if err != nil {
+		span.End(trace.String("error", err.Error()))
 		return nil, err
 	}
 	res, err := cp.RunCtx(ctx, h, lim)
 	if err != nil {
+		span.End(trace.String("error", err.Error()))
 		return nil, err
+	}
+	// Attribute the simulated cost per hierarchy level: the misses at
+	// each level are exactly the traffic the balance model charges to
+	// the channel below it.
+	if span != nil {
+		attrs := []trace.Attr{trace.Int("flops", h.Flops)}
+		for i := 0; i < h.Levels(); i++ {
+			st := h.LevelStats(i)
+			name := h.LevelConfig(i).Name
+			attrs = append(attrs,
+				trace.Int("misses."+name, st.Misses()),
+				trace.Int("writebacks."+name, st.Writebacks))
+		}
+		span.SetAttrs(attrs...)
 	}
 	channels := h.ChannelBytes()
 	memLines := h.LevelStats(h.Levels() - 1).Misses()
@@ -128,6 +147,7 @@ func MeasureCtx(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.
 	if r.MaxRatio > 1 {
 		r.CPUUtilizationBound = 1 / r.MaxRatio
 	}
+	span.End(trace.String("bottleneck", r.Bottleneck), trace.Int("memory_bytes", r.MemoryBytes))
 	return r, nil
 }
 

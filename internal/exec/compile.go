@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // Closure compiler: an alternative execution engine that compiles a
@@ -117,6 +118,8 @@ func (cp *Compiled) RunCtx(ctx context.Context, h Machine, lim Limits) (*Result,
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, span := trace.StartSpan(ctx, "exec.run", trace.String("program", cp.prog.Name),
+		trace.String("engine", "compiled"))
 	env := &cenv{
 		mach: h,
 		ctx:  ctx,
@@ -142,6 +145,7 @@ func (cp *Compiled) RunCtx(ctx context.Context, h Machine, lim Limits) (*Result,
 	}
 	env.ivars = make([]int64, maxIvars(cp.prog))
 	if err := cp.run(env); err != nil {
+		span.End(trace.Int("steps", env.steps), trace.String("error", err.Error()))
 		return nil, err
 	}
 	if h != nil {
@@ -154,6 +158,7 @@ func (cp *Compiled) RunCtx(ctx context.Context, h Machine, lim Limits) (*Result,
 		env.res.arrays[a.Name] = env.arrays[i].data
 	}
 	env.res.Flops = env.flops
+	span.End(trace.Int("steps", env.steps), trace.Int("flops", env.flops))
 	return env.res, nil
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // align is the allocation alignment (and inter-array padding) in bytes;
@@ -102,11 +103,14 @@ func RunCtx(ctx context.Context, p *ir.Program, h Machine, lim Limits) (*Result,
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, span := trace.StartSpan(ctx, "exec.run", trace.String("program", p.Name),
+		trace.String("engine", "interp"))
 	e := &interp{prog: p, mach: h, ctx: ctx, lim: lim,
 		res: &Result{Scalars: map[string]float64{}, arrays: map[string][]float64{}}}
 	e.layout()
 	for _, n := range p.Nests {
 		if err := e.stmts(n.Body); err != nil {
+			span.End(trace.Int("steps", e.steps), trace.String("error", err.Error()))
 			return nil, fmt.Errorf("exec: nest %s: %w", n.Label, err)
 		}
 	}
@@ -120,6 +124,7 @@ func RunCtx(ctx context.Context, p *ir.Program, h Machine, lim Limits) (*Result,
 		e.res.arrays[name] = arr.data
 	}
 	e.res.Flops = e.flops
+	span.End(trace.Int("steps", e.steps), trace.Int("flops", e.flops))
 	return e.res, nil
 }
 

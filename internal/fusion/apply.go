@@ -1,12 +1,14 @@
 package fusion
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/deps"
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // Apply rewrites the program according to a partitioning: nests inside
@@ -259,13 +261,23 @@ func FuseGreedily(p *ir.Program) (*ir.Program, Partition, error) {
 // its partitioning, starting from an already-built fusion graph of the
 // same program (for callers holding the graph in an analysis cache).
 func FuseGreedilyFrom(p *ir.Program, g *Graph) (*ir.Program, Partition, error) {
-	parts, err := g.Heuristic()
+	return FuseGreedilyFromCtx(context.Background(), p, g)
+}
+
+// FuseGreedilyFromCtx is FuseGreedilyFrom with trace spans parented at
+// ctx: one for the partitioning heuristic (with nested min-cut spans)
+// and one for the IR rewrite that realizes the chosen partitioning.
+func FuseGreedilyFromCtx(ctx context.Context, p *ir.Program, g *Graph) (*ir.Program, Partition, error) {
+	parts, err := g.HeuristicCtx(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
+	_, span := trace.StartSpan(ctx, "fusion.apply", trace.Int("partitions", int64(len(parts))))
 	fused, err := applyWith(p, g, parts)
 	if err != nil {
+		span.End(trace.String("error", err.Error()))
 		return nil, nil, err
 	}
+	span.End(trace.Int("nests", int64(len(fused.Nests))))
 	return fused, parts, nil
 }

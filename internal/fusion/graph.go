@@ -16,11 +16,13 @@
 package fusion
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/deps"
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // Graph is a fusion graph. Nodes are loops (top-level nests); Arrays
@@ -176,6 +178,22 @@ func Build(p *ir.Program) (*Graph, error) {
 		return nil, err
 	}
 	return BuildWith(p, inf)
+}
+
+// BuildWithCtx is BuildWith under a trace span parented at ctx, so the
+// pipeline trace attributes graph construction separately from the
+// dependence analysis feeding it.
+func BuildWithCtx(ctx context.Context, p *ir.Program, inf *deps.Info) (*Graph, error) {
+	_, span := trace.StartSpan(ctx, "fusion.build-graph", trace.Int("nests", int64(len(p.Nests))))
+	g, err := BuildWith(p, inf)
+	if err != nil {
+		span.End(trace.String("error", err.Error()))
+		return nil, err
+	}
+	span.End(trace.Int("arrays", int64(len(g.ArrayNames))),
+		trace.Int("deps", int64(len(g.depEdges))),
+		trace.Int("preventing", int64(len(g.preventing))))
+	return g, nil
 }
 
 // BuildWith constructs the fusion graph from a precomputed dependence

@@ -1,10 +1,12 @@
 package fusion
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/maxflow"
+	"repro/internal/trace"
 )
 
 // TwoPartition solves bandwidth-minimal two-partitioning exactly
@@ -26,6 +28,36 @@ import (
 // solely of array vertices and equals the set of arrays that must be
 // loaded twice.
 func (g *Graph) TwoPartition(s, t int) (Partition, []string, error) {
+	return g.TwoPartitionCtx(context.Background(), s, t)
+}
+
+// TwoPartitionCtx is TwoPartition under a trace span parented at ctx:
+// one span per min-cut solve, attributed with the terminal loops and
+// the arrays the cut doubles. The recursive-bisection heuristic runs
+// one of these per bisection step, which is exactly the per-cut cost
+// signal a fusion-partition search needs.
+func (g *Graph) TwoPartitionCtx(ctx context.Context, s, t int) (Partition, []string, error) {
+	_, span := trace.StartSpan(ctx, "fusion.maxflow-cut",
+		trace.String("s", g.label(s)), trace.String("t", g.label(t)),
+		trace.Int("nodes", int64(g.N)))
+	parts, cut, err := g.twoPartition(s, t)
+	if err != nil {
+		span.End(trace.String("error", err.Error()))
+		return nil, nil, err
+	}
+	span.End(trace.Int("cut_arrays", int64(len(cut))))
+	return parts, cut, nil
+}
+
+// label is a bounds-tolerant Labels accessor for trace attributes.
+func (g *Graph) label(v int) string {
+	if v >= 0 && v < len(g.Labels) {
+		return g.Labels[v]
+	}
+	return fmt.Sprintf("#%d", v)
+}
+
+func (g *Graph) twoPartition(s, t int) (Partition, []string, error) {
 	if err := g.checkNode(s); err != nil {
 		return nil, nil, err
 	}
@@ -177,22 +209,32 @@ func (g *Graph) depReachable(a, b int) bool {
 // for the two-partition case; a heuristic beyond it (the general
 // problem is NP-complete, Section 3.1.3).
 func (g *Graph) Heuristic() (Partition, error) {
+	return g.HeuristicCtx(context.Background())
+}
+
+// HeuristicCtx is Heuristic under a trace span parented at ctx, with
+// one child span per min-cut bisection (see TwoPartitionCtx).
+func (g *Graph) HeuristicCtx(ctx context.Context) (Partition, error) {
+	ctx, span := trace.StartSpan(ctx, "fusion.heuristic", trace.Int("nodes", int64(g.N)))
 	all := make([]int, g.N)
 	for i := range all {
 		all[i] = i
 	}
-	parts, err := g.bisect(all)
+	parts, err := g.bisect(ctx, all)
 	if err != nil {
+		span.End(trace.String("error", err.Error()))
 		return nil, err
 	}
 	parts.normalize()
 	if err := g.Validate(parts); err != nil {
+		span.End(trace.String("error", err.Error()))
 		return nil, fmt.Errorf("fusion: heuristic produced invalid partition: %w", err)
 	}
+	span.End(trace.Int("partitions", int64(len(parts))))
 	return parts, nil
 }
 
-func (g *Graph) bisect(set []int) (Partition, error) {
+func (g *Graph) bisect(ctx context.Context, set []int) (Partition, error) {
 	if len(set) == 0 {
 		return nil, nil
 	}
@@ -213,7 +255,7 @@ func (g *Graph) bisect(set []int) (Partition, error) {
 		}
 		s, t = t, s
 	}
-	two, _, err := sub.TwoPartition(s, t)
+	two, _, err := sub.TwoPartitionCtx(ctx, s, t)
 	if err != nil {
 		return nil, err
 	}
@@ -224,11 +266,11 @@ func (g *Graph) bisect(set []int) (Partition, error) {
 		}
 		return out
 	}
-	left, err := g.bisect(mapBack(two[0]))
+	left, err := g.bisect(ctx, mapBack(two[0]))
 	if err != nil {
 		return nil, err
 	}
-	right, err := g.bisect(mapBack(two[1]))
+	right, err := g.bisect(ctx, mapBack(two[1]))
 	if err != nil {
 		return nil, err
 	}

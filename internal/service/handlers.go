@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/transform"
 	"repro/internal/verify"
 )
@@ -37,6 +39,12 @@ type ProgramRequest struct {
 	// TimeoutMS overrides the server's default per-request deadline,
 	// capped at the server's maximum.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Trace, when true, returns the request's pipeline span tree inline
+	// in the response (the "trace" field): one span per pass attempt,
+	// analysis run, verification phase and simulated execution, with
+	// microsecond timings. Tracing is per-request and adds no cost to
+	// untraced requests.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // AnalyzeRequest is the body of POST /v1/analyze.
@@ -131,6 +139,10 @@ type AnalyzeResponse struct {
 	Cached  bool              `json:"cached"`
 	Balance *BalanceSummary   `json:"balance"`
 	Belady  *BeladyComparison `json:"belady,omitempty"`
+	// Trace is the request's span tree, present only when the request
+	// set "trace": true. Cached entries never store a trace; a traced
+	// cache hit reports the (short) hit path.
+	Trace []*trace.Node `json:"trace,omitempty"`
 }
 
 // Verification reports the verified pipeline's outcome, including
@@ -157,6 +169,9 @@ type OptimizeResponse struct {
 	// stats of the run that produced them).
 	Passes   []transform.PassStat `json:"pass_stats,omitempty"`
 	Analysis analysis.Stats       `json:"analysis,omitempty"`
+	// Trace is the request's span tree, present only when the request
+	// set "trace": true (see AnalyzeResponse.Trace).
+	Trace []*trace.Node `json:"trace,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope for all non-2xx statuses.
@@ -243,6 +258,20 @@ func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, co
 }
 
 func (s *Server) limits() exec.Limits { return exec.Limits{MaxSteps: s.cfg.MaxSteps} }
+
+// startRequestTrace builds a per-request tracer when the client asked
+// for one: the returned context carries the root span, so every traced
+// call downstream parents under it. Untraced requests get ctx back
+// unchanged and pay nothing. The root span is stamped with the ingress
+// trace ID, joining the inline tree to the request log line.
+func startRequestTrace(ctx context.Context, enabled bool, name string) (context.Context, *trace.Tracer, *trace.Span) {
+	if !enabled {
+		return ctx, nil, nil
+	}
+	tr := trace.New()
+	root := tr.Start(nil, name, trace.String("trace_id", TraceID(ctx)))
+	return trace.NewContext(ctx, root), tr, root
+}
 
 // resolveProgram turns the request into an IR program plus a canonical
 // source identifier for cache keying.
@@ -345,6 +374,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	ctx, tr, root := startRequestTrace(ctx, req.Trace, "v1.analyze")
 
 	begin := time.Now()
 	p, sourceID, err := s.resolveProgram(&req.ProgramRequest)
@@ -372,6 +402,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cache", "hit")
 		resp := *v.(*AnalyzeResponse) // shallow copy; cached values are immutable
 		resp.Cached = true
+		if tr != nil {
+			root.End(trace.String("cache", "hit"))
+			resp.Trace = tr.Tree()
+		}
 		writeJSON(w, http.StatusOK, &resp)
 		return
 	}
@@ -406,7 +440,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		resp.Belady = cmp
 	}
 
+	// Cache the trace-free response: a trace describes one request's
+	// execution, not the cacheable result.
 	s.cache.Put(key, resp)
+	if tr != nil {
+		root.End(trace.String("cache", "miss"))
+		out := *resp
+		out.Trace = tr.Tree()
+		writeJSON(w, http.StatusOK, &out)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -475,6 +518,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	ctx, tr, root := startRequestTrace(ctx, req.Trace, "v1.optimize")
 
 	begin := time.Now()
 	p, sourceID, err := s.resolveProgram(&req.ProgramRequest)
@@ -526,6 +570,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cache", "hit")
 		resp := *v.(*OptimizeResponse)
 		resp.Cached = true
+		if tr != nil {
+			root.End(trace.String("cache", "hit"))
+			resp.Trace = tr.Tree()
+		}
 		writeJSON(w, http.StatusOK, &resp)
 		return
 	}
@@ -585,7 +633,15 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		resp.Actions = append(resp.Actions, a.String())
 	}
 
+	// Cache the trace-free response (see handleAnalyze).
 	s.cache.Put(key, resp)
+	if tr != nil {
+		root.End(trace.String("cache", "miss"))
+		out := *resp
+		out.Trace = tr.Tree()
+		writeJSON(w, http.StatusOK, &out)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -597,8 +653,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.cache.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
+		"start_time":     s.start.UTC().Format(time.RFC3339),
 		"uptime_seconds": time.Since(s.start).Seconds(),
+		"go_version":     runtime.Version(),
 		"workers":        s.cfg.Workers,
+		"kernels":        len(Kernels()),
+		"passes":         len(transform.Passes()),
+		"pprof":          s.cfg.EnablePprof,
 		"cache": map[string]any{
 			"len": st.Len, "capacity": st.Capacity,
 			"hits": st.Hits, "misses": st.Misses, "evictions": st.Evictions,

@@ -67,6 +67,7 @@ func (s *Server) recordOutcome(out *transform.Outcome) {
 	for _, ps := range out.Passes {
 		s.passSeconds.With(ps.Pass).Add(ps.Seconds)
 		s.passCheckpoints.With(ps.Pass).Add(float64(ps.Checkpoints))
+		s.passDuration.With(ps.Pass).Observe(ps.Seconds)
 	}
 	for name, st := range out.Analysis {
 		s.analysisHits.With(name).Add(float64(st.Hits))

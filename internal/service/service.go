@@ -26,8 +26,11 @@ package service
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"io"
 	"net/http"
+	netpprof "net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
@@ -59,6 +62,11 @@ type Config struct {
 	MaxSteps int64
 	// LogWriter receives structured JSON request logs (nil discards).
 	LogWriter io.Writer
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/. Off by default: the profile endpoints expose
+	// internals and can themselves consume CPU, so operators opt in
+	// (bwserved -pprof).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -96,13 +104,15 @@ type Server struct {
 	sem   chan struct{}
 	start time.Time
 
-	requests     *telemetry.CounterVec // {endpoint, code}
-	cacheHits    *telemetry.Counter
-	cacheMisses  *telemetry.Counter
-	passFailures *telemetry.CounterVec   // {pass}
-	stageSeconds *telemetry.HistogramVec // {stage}
-	workersBusy  *telemetry.Gauge
-	queueDepth   *telemetry.Gauge
+	requests       *telemetry.CounterVec // {endpoint, code}
+	cacheHits      *telemetry.Counter
+	cacheMisses    *telemetry.Counter
+	passFailures   *telemetry.CounterVec   // {pass}
+	stageSeconds   *telemetry.HistogramVec // {stage}
+	requestSeconds *telemetry.HistogramVec // {endpoint}
+	passDuration   *telemetry.HistogramVec // {pass}
+	workersBusy    *telemetry.Gauge
+	queueDepth     *telemetry.Gauge
 
 	// Analysis-cache and per-pass counters, accumulated from each
 	// optimize run's transform.Outcome (see recordOutcome).
@@ -140,6 +150,11 @@ func New(cfg Config) *Server {
 			"Optimizer passes skipped by the verified pipeline, by pass name.", "pass"),
 		stageSeconds: reg.NewHistogramVec("bwserved_stage_seconds",
 			"Latency by pipeline stage.", telemetry.DefaultLatencyBuckets, "stage"),
+		requestSeconds: reg.NewHistogramVec("bwserved_request_seconds",
+			"End-to-end request latency by endpoint.", telemetry.DefaultLatencyBuckets, "endpoint"),
+		passDuration: reg.NewHistogramVec("bwserved_pass_duration_seconds",
+			"Per-run optimizer pass wall time (one observation per pass per run).",
+			telemetry.DefaultLatencyBuckets, "pass"),
 		workersBusy: reg.NewGauge("bwserved_workers_busy",
 			"Worker-pool slots currently executing an analysis."),
 		queueDepth: reg.NewGauge("bwserved_queue_depth",
@@ -178,6 +193,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/passes", s.instrument("/v1/passes", s.handlePasses))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes must not perturb request metrics
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
 	return mux
 }
 
@@ -212,23 +234,50 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// traceIDKey indexes the per-request trace ID in a request context.
+type traceIDKey struct{}
+
+// newTraceID returns a 16-hex-digit random request identifier.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceID returns the request's trace ID stamped at ingress, or "".
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
 // instrument wraps a handler with request counting, latency
-// observation and structured logging.
+// observation and structured logging. Every request is stamped with a
+// trace ID at ingress: returned in the X-Trace-Id response header,
+// carried in the request context (TraceID), and written to the JSON
+// request log — so a slow log line, a /metrics latency spike and an
+// inline span tree can all be joined on one identifier.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		id := newTraceID()
+		w.Header().Set("X-Trace-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), traceIDKey{}, id))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		begin := time.Now()
 		h(rec, r)
 		dur := time.Since(begin)
 		s.requests.With(endpoint, itoa(rec.status)).Inc()
 		s.stageSeconds.With("request").Observe(dur.Seconds())
+		s.requestSeconds.With(endpoint).Observe(dur.Seconds())
 		s.log.Log(map[string]any{
-			"method": r.Method,
-			"path":   endpoint,
-			"status": rec.status,
-			"dur_ms": float64(dur.Microseconds()) / 1000,
-			"remote": r.RemoteAddr,
-			"cache":  rec.Header().Get("X-Cache"),
+			"method":   r.Method,
+			"path":     endpoint,
+			"status":   rec.status,
+			"dur_ms":   float64(dur.Microseconds()) / 1000,
+			"remote":   r.RemoteAddr,
+			"cache":    rec.Header().Get("X-Cache"),
+			"trace_id": id,
 		})
 	}
 }

@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/trace"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -556,5 +559,168 @@ func TestOptimizePipelineField(t *testing.T) {
 	})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("pipeline+passes: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink: the request logger writes
+// after the response is sent, so tests must synchronize their reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestInlineTraceAndTraceID checks the request-tracing contract:
+// "trace": true returns the span tree inline with the request's trace
+// ID on the root, the same ID rides the X-Trace-Id header and the JSON
+// request log, and untraced requests stay trace-free.
+func TestInlineTraceAndTraceID(t *testing.T) {
+	logs := &syncBuffer{}
+	_, ts := newTestServer(t, Config{LogWriter: logs})
+
+	resp, body := postJSON(t, ts.URL+"/v1/optimize", map[string]any{
+		"kernel": "dmxpy", "n": 64, "trace": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Trace-Id")
+	if len(id) != 16 {
+		t.Fatalf("X-Trace-Id = %q, want 16 hex chars", id)
+	}
+	var or OptimizeResponse
+	if err := json.Unmarshal(body, &or); err != nil {
+		t.Fatal(err)
+	}
+	if len(or.Trace) == 0 {
+		t.Fatal("trace:true returned no inline span tree")
+	}
+	root := or.Trace[0]
+	if root.Name != "v1.optimize" {
+		t.Fatalf("root span = %q, want v1.optimize", root.Name)
+	}
+	if got := root.Attrs["trace_id"]; got != id {
+		t.Fatalf("root trace_id attr = %v, header = %q", got, id)
+	}
+	seen := map[string]bool{}
+	trace.Walk(or.Trace, func(n *trace.Node) { seen[n.Name] = true })
+	for _, want := range []string{"transform.optimize", "pass.fuse", "pass.reduce-storage", "pass.store-elim"} {
+		if !seen[want] {
+			t.Errorf("inline trace missing %s span", want)
+		}
+	}
+
+	// The request log line carries the same trace ID. The logger writes
+	// after the response is flushed, so poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(logs.String(), `"trace_id":"`+id+`"`) {
+		if time.Now().After(deadline) {
+			t.Fatalf("trace_id %s never appeared in request log:\n%s", id, logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A cache hit on the identical request still returns a (short) tree.
+	resp, body = postJSON(t, ts.URL+"/v1/optimize", map[string]any{
+		"kernel": "dmxpy", "n": 64, "trace": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hit status %d: %s", resp.StatusCode, body)
+	}
+	var hit OptimizeResponse
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("second identical request not served from cache")
+	}
+	if len(hit.Trace) == 0 || hit.Trace[0].Attrs["cache"] != "hit" {
+		t.Fatalf("cache-hit trace missing or unmarked: %+v", hit.Trace)
+	}
+	if id2 := resp.Header.Get("X-Trace-Id"); id2 == "" || id2 == id {
+		t.Fatalf("hit X-Trace-Id = %q, want fresh non-empty id (miss was %q)", id2, id)
+	}
+
+	// Untraced requests must not pay for or leak a span tree.
+	resp, body = postJSON(t, ts.URL+"/v1/optimize", map[string]any{
+		"kernel": "dmxpy", "n": 32,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("untraced status %d: %s", resp.StatusCode, body)
+	}
+	var plain OptimizeResponse
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Trace) != 0 {
+		t.Fatalf("untraced request returned %d trace roots", len(plain.Trace))
+	}
+}
+
+// TestHealthzBuildInfo checks the health endpoint's build/uptime
+// fields: Go version, start time, registry sizes, pprof flag.
+func TestHealthzBuildInfo(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr["go_version"] != runtime.Version() {
+		t.Errorf("go_version = %v, want %s", hr["go_version"], runtime.Version())
+	}
+	st, _ := hr["start_time"].(string)
+	if _, err := time.Parse(time.RFC3339, st); err != nil {
+		t.Errorf("start_time %q not RFC 3339: %v", st, err)
+	}
+	if up, ok := hr["uptime_seconds"].(float64); !ok || up < 0 {
+		t.Errorf("uptime_seconds = %v", hr["uptime_seconds"])
+	}
+	for _, k := range []string{"kernels", "passes", "workers"} {
+		if n, ok := hr[k].(float64); !ok || n <= 0 {
+			t.Errorf("%s = %v, want positive count", k, hr[k])
+		}
+	}
+	if pp, ok := hr["pprof"].(bool); !ok || pp {
+		t.Errorf("pprof = %v, want false without -pprof", hr["pprof"])
+	}
+}
+
+// TestPprofMount checks /debug/pprof is available exactly when
+// EnablePprof is set.
+func TestPprofMount(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof disabled: status %d, want 404", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Config{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof enabled: status %d, want 200", resp.StatusCode)
 	}
 }

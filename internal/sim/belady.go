@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // ErrCanceled is returned (wrapped) when a trace replay is abandoned
@@ -108,6 +110,22 @@ func replay(ctx context.Context, t *Trace, belady bool) (Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	policy := "lru"
+	if belady {
+		policy = "belady"
+	}
+	ctx, span := trace.StartSpan(ctx, "sim.replay",
+		trace.String("policy", policy), trace.Int("accesses", int64(t.Len())))
+	st, err := replayTrace(ctx, t, belady)
+	if err != nil {
+		span.End(trace.String("error", err.Error()))
+		return st, err
+	}
+	span.End(trace.Int("misses", st.Misses()), trace.Int("writebacks", st.Writebacks))
+	return st, nil
+}
+
+func replayTrace(ctx context.Context, t *Trace, belady bool) (Stats, error) {
 	cfg := t.cfg
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err

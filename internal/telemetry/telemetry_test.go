@@ -84,6 +84,85 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramBucketBoundary pins the inclusive-upper-bound contract:
+// an observation exactly equal to a bucket's le lands in that bucket,
+// not the next one.
+func TestHistogramBucketBoundary(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("b_seconds", "b", []float64{0.5, 1, 2})
+	// One value strictly below the lowest bound, one exactly on each
+	// bound, one above the highest. All chosen exactly representable in
+	// binary so the rendered sum is exact.
+	for _, v := range []float64{0.25, 0.5, 1, 2, 4} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`b_seconds_bucket{le="0.5"} 2`,
+		`b_seconds_bucket{le="1"} 3`,
+		`b_seconds_bucket{le="2"} 4`,
+		`b_seconds_bucket{le="+Inf"} 5`,
+		`b_seconds_sum 7.75`,
+		`b_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserveAndRender hammers one histogram from
+// eight goroutines while the registry renders concurrently; under
+// -race this checks Observe/WriteText synchronization, and the final
+// exposition checks no observation was lost or misbucketed.
+func TestHistogramConcurrentObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("c_seconds", "c", []float64{0.001, 0.01, 0.1, 1})
+	vals := []float64{0.0005, 0.005, 0.05, 0.5, 5}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(vals[(g+i)%len(vals)])
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WriteText(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+	// 500 consecutive indices cover each of the 5 values 100 times, so
+	// every value was observed exactly 800 times.
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`c_seconds_bucket{le="0.001"} 800`,
+		`c_seconds_bucket{le="0.01"} 1600`,
+		`c_seconds_bucket{le="0.1"} 2400`,
+		`c_seconds_bucket{le="1"} 3200`,
+		`c_seconds_bucket{le="+Inf"} 4000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestLabelEscaping(t *testing.T) {
 	r := NewRegistry()
 	cv := r.NewCounterVec("weird_total", "Escaping.", "v")

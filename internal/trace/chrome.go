@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event (the "JSON Object Format" of
+// the trace-event spec, loadable by chrome://tracing and Perfetto).
+// Spans export as complete ("X") events with microsecond timestamps.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level trace document.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func us(d record) (ts, dur float64) {
+	ts = float64(d.start.Nanoseconds()) / 1e3
+	dur = float64((d.end - d.start).Nanoseconds()) / 1e3
+	if dur < 0 {
+		dur = 0
+	}
+	return ts, dur
+}
+
+func attrArgs(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.val.Any()
+	}
+	return m
+}
+
+// lanes assigns each root span a Chrome thread id such that roots whose
+// time ranges overlap land on different lanes (greedy interval
+// coloring); children inherit their root's lane. Within one lane,
+// Chrome nests "X" events by time containment, which matches the
+// parent/child structure because a child's range is contained in its
+// parent's.
+func lanes(recs []record) map[int]int {
+	lane := make(map[int]int, len(recs)) // span id -> tid
+	type iv struct {
+		id         int
+		start, end int64
+	}
+	var roots []iv
+	for _, r := range recs {
+		if r.parent == 0 {
+			roots = append(roots, iv{r.id, r.start.Nanoseconds(), r.end.Nanoseconds()})
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].start < roots[j].start })
+	var laneEnd []int64 // per lane, the end time of its last root
+	for _, rt := range roots {
+		placed := false
+		for li := range laneEnd {
+			if laneEnd[li] <= rt.start {
+				laneEnd[li] = rt.end
+				lane[rt.id] = li + 1
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			laneEnd = append(laneEnd, rt.end)
+			lane[rt.id] = len(laneEnd)
+		}
+	}
+	// Children inherit; records are in start order per id, and a parent
+	// always has a smaller id than its children, so one forward pass
+	// resolves the whole forest.
+	for _, r := range recs {
+		if r.parent != 0 {
+			lane[r.id] = lane[r.parent]
+		}
+	}
+	return lane
+}
+
+// WriteChromeTrace renders every span as Chrome trace-event JSON. The
+// output loads directly into chrome://tracing or https://ui.perfetto.dev.
+// A nil tracer writes an empty (but valid) trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	recs := t.snapshot()
+	lane := lanes(recs)
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: 1, TID: 0,
+			Args: map[string]any{"name": "bwbalance pipeline"}},
+	}}
+	for _, r := range recs {
+		ts, dur := us(r)
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: r.name, Cat: "pipeline", Ph: "X",
+			TS: ts, Dur: dur, PID: 1, TID: lane[r.id],
+			Args: attrArgs(r.attrs),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}
+
+// Node is one span in the tree form of a trace — the shape bwserved
+// returns inline when a request sets "trace": true.
+type Node struct {
+	Name     string         `json:"name"`
+	StartUS  float64        `json:"start_us"`
+	DurUS    float64        `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*Node        `json:"children,omitempty"`
+}
+
+// Tree returns the span forest (roots in start order). A nil tracer
+// returns nil.
+func (t *Tracer) Tree() []*Node {
+	recs := t.snapshot()
+	nodes := make(map[int]*Node, len(recs))
+	var roots []*Node
+	for _, r := range recs {
+		ts, dur := us(r)
+		n := &Node{Name: r.name, StartUS: ts, DurUS: dur, Attrs: attrArgs(r.attrs)}
+		nodes[r.id] = n
+		if p, ok := nodes[r.parent]; ok {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// Walk visits every node of the tree depth-first (for tests and
+// validators).
+func Walk(nodes []*Node, fn func(*Node)) {
+	for _, n := range nodes {
+		fn(n)
+		Walk(n.Children, fn)
+	}
+}

@@ -1,0 +1,39 @@
+package transform
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+// BenchmarkOptimize is the tracing-disabled baseline: a plain context
+// takes the one-ctx-lookup fast path in every instrumented callsite,
+// so this must stay within noise of the pre-instrumentation pipeline.
+func BenchmarkOptimize(b *testing.B) {
+	p := kernels.Dmxpy(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := OptimizeVerifiedCtx(context.Background(), p, Config{Options: All(), Verify: verify.ModeStructural}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeTraced measures the same pipeline with a live
+// tracer, bounding the cost of full span collection.
+func BenchmarkOptimizeTraced(b *testing.B) {
+	p := kernels.Dmxpy(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := trace.New()
+		root := tr.Start(nil, "bench")
+		ctx := trace.NewContext(context.Background(), root)
+		if _, _, err := OptimizeVerifiedCtx(ctx, p, Config{Options: All(), Verify: verify.ModeStructural}); err != nil {
+			b.Fatal(err)
+		}
+		root.End()
+	}
+}

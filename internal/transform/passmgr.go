@@ -12,6 +12,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/liveness"
 	"repro/internal/report"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -187,6 +188,8 @@ func (p *panicCause) Error() string { return fmt.Sprintf("panic: %v", p.val) }
 type manager struct {
 	cfg          Config
 	ctx          context.Context
+	passCtx      context.Context    // ctx positioned at the running pass's span
+	stepCtx      context.Context    // ctx positioned at the running step's span
 	cur          *ir.Program        // last known-good program
 	am           *analysis.Manager  // analysis cache over cur
 	curPreserved analysis.Preserved // preserved set of the running pass
@@ -208,6 +211,8 @@ func newManager(ctx context.Context, p *ir.Program, cfg Config) *manager {
 	m := &manager{
 		cfg:     cfg,
 		ctx:     ctx,
+		passCtx: ctx,
+		stepCtx: ctx,
 		cur:     p.Clone(),
 		out:     &Outcome{Mode: cfg.Verify},
 		blocked: map[string]bool{},
@@ -217,18 +222,24 @@ func newManager(ctx context.Context, p *ir.Program, cfg Config) *manager {
 	} else {
 		m.am = analysis.NewManager(m.cur)
 	}
+	m.am.SetTraceContext(ctx)
 	if cfg.Verify >= verify.ModeDifferential {
-		ref, err := exec.RunCtx(ctx, p, nil, cfg.ExecLimits)
+		bctx, bspan := trace.StartSpan(ctx, "transform.baseline")
+		ref, err := exec.RunCtx(bctx, p, nil, cfg.ExecLimits)
 		switch {
 		case err == nil:
 			m.baseline = ref
+			bspan.End()
 		case errors.Is(err, exec.ErrCanceled):
 			m.stop = true
 			m.note("pipeline canceled during baseline run")
+			bspan.End(trace.String("error", err.Error()))
 		default:
 			m.cfg.Verify = verify.ModeStructural
 			m.out.Mode = verify.ModeStructural
 			m.note("differential baseline run failed (%v); downgraded to structural verification", err)
+			bspan.End(trace.String("error", err.Error()),
+				trace.String("verdict", "downgraded-to-structural"))
 		}
 	}
 	return m
@@ -280,6 +291,8 @@ func OptimizeVerifiedCtx(ctx context.Context, p *ir.Program, cfg Config) (*ir.Pr
 	if err := p.Validate(); err != nil {
 		return nil, &Outcome{Mode: cfg.Verify}, fmt.Errorf("transform: input program invalid: %w", err)
 	}
+	ctx, span := trace.StartSpan(ctx, "transform.optimize",
+		trace.String("program", p.Name), trace.String("pipeline", spec))
 	m := newManager(ctx, p, cfg)
 	for _, st := range pl.steps {
 		if m.canceled() {
@@ -288,6 +301,8 @@ func OptimizeVerifiedCtx(ctx context.Context, p *ir.Program, cfg Config) (*ir.Pr
 		m.runPass(st)
 	}
 	m.out.Analysis = m.am.Stats()
+	span.End(trace.Int("checkpoints", int64(m.out.Checkpoints)),
+		trace.Int("skipped", int64(len(m.out.Skipped))))
 	if m.canceled() {
 		return m.cur, m.out, fmt.Errorf("transform: pipeline canceled: %w", exec.ErrCanceled)
 	}
@@ -306,6 +321,12 @@ func (m *manager) runPass(st pipelineStep) {
 	m.curPreserved = analysis.Preserve(st.info.Preserves...)
 	m.steps = 0
 	cp0, sk0 := m.out.Checkpoints, len(m.out.Skipped)
+	pctx, span := trace.StartSpan(m.ctx, "pass."+st.info.Name)
+	if span != nil && st.spec != st.info.Name {
+		span.SetAttrs(trace.String("spec", st.spec))
+	}
+	m.passCtx = pctx
+	m.am.SetTraceContext(pctx)
 	begin := time.Now()
 	st.run(m)
 	ps := PassStat{
@@ -317,6 +338,7 @@ func (m *manager) runPass(st pipelineStep) {
 	if st.spec != st.info.Name {
 		ps.Spec = st.spec
 	}
+	span.End(trace.Int("checkpoints", int64(ps.Checkpoints)), trace.Int("skipped", int64(ps.Skipped)))
 	m.out.Passes = append(m.out.Passes, ps)
 }
 
@@ -354,17 +376,19 @@ func (m *manager) skip(pass, nest, array string, cause error) {
 }
 
 // check verifies a candidate checkpoint according to the configured
-// mode. ir.Program.Validate is the unconditional floor.
-func (m *manager) check(next *ir.Program) error {
+// mode. ir.Program.Validate is the unconditional floor. ctx carries
+// both cancellation and the trace position of the step under
+// verification, so the verify spans nest inside the step's span.
+func (m *manager) check(ctx context.Context, next *ir.Program) error {
 	if m.cfg.Verify >= verify.ModeStructural {
-		if err := verify.Structural(next); err != nil {
+		if err := verify.StructuralCtx(ctx, next); err != nil {
 			return err
 		}
 	} else if err := next.Validate(); err != nil {
 		return err
 	}
 	if m.baseline != nil && m.cfg.Verify >= verify.ModeDifferential {
-		if err := verify.DifferentialAgainstCtx(m.ctx, m.baseline, next, m.cfg.Tol, m.cfg.ExecLimits); err != nil {
+		if err := verify.DifferentialAgainstCtx(ctx, m.baseline, next, m.cfg.Tol, m.cfg.ExecLimits); err != nil {
 			return err
 		}
 	}
@@ -386,25 +410,38 @@ func (m *manager) runStep(pass, nest, array string, fn stepFn) bool {
 	if m.blocked[key] {
 		return false
 	}
+	attrs := make([]trace.Attr, 0, 2)
+	if nest != "" {
+		attrs = append(attrs, trace.String("nest", nest))
+	}
+	if array != "" {
+		attrs = append(attrs, trace.String("array", array))
+	}
+	sctx, span := trace.StartSpan(m.passCtx, "step."+pass, attrs...)
+	m.stepCtx = sctx
 	next, acts, err := protect(m.cur, fn)
 	if err != nil {
 		m.blocked[key] = true
 		m.skip(pass, nest, array, err)
+		span.End(trace.String("verdict", "rolled-back"), trace.String("error", err.Error()))
 		return false
 	}
 	if next == nil {
-		return false // not applicable; no checkpoint
+		span.End(trace.String("verdict", "skipped")) // not applicable here
+		return false                                 // not applicable; no checkpoint
 	}
-	if err := m.check(next); err != nil {
+	if err := m.check(sctx, next); err != nil {
 		// A canceled verification run says nothing about the step:
 		// abandon the pipeline without recording a spurious skip.
 		if errors.Is(err, exec.ErrCanceled) {
 			m.stop = true
 			m.note("pipeline canceled during verification of pass %s", pass)
+			span.End(trace.String("verdict", "canceled"))
 			return false
 		}
 		m.blocked[key] = true
 		m.skip(pass, nest, array, err)
+		span.End(trace.String("verdict", "rolled-back"), trace.String("error", err.Error()))
 		return false
 	}
 	m.cur = next
@@ -412,6 +449,7 @@ func (m *manager) runStep(pass, nest, array string, fn stepFn) bool {
 	m.out.Actions = append(m.out.Actions, acts...)
 	m.out.Checkpoints++
 	m.steps++
+	span.End(trace.String("verdict", "committed"))
 	if testPostCommit != nil {
 		testPostCommit(m)
 	}
@@ -438,7 +476,7 @@ func (m *manager) fusePass() {
 		if err != nil {
 			return nil, nil, err
 		}
-		fused, parts, err := fusion.FuseGreedilyFrom(cur, g)
+		fused, parts, err := fusion.FuseGreedilyFromCtx(m.stepCtx, cur, g)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // DefaultTol is the relative tolerance used by differential checks
@@ -112,9 +113,32 @@ func DifferentialAgainst(ref *exec.Result, xform *ir.Program, tol float64) error
 // DifferentialAgainstCtx is DifferentialAgainst with cancellation and a
 // step budget threaded into the transformed run.
 func DifferentialAgainstCtx(ctx context.Context, ref *exec.Result, xform *ir.Program, tol float64, lim exec.Limits) error {
+	ctx, span := trace.StartSpan(ctx, "verify.differential")
 	got, err := exec.RunCtx(ctx, xform, nil, lim)
 	if err != nil {
+		span.End(trace.String("error", err.Error()))
 		return fmt.Errorf("verify: transformed run failed: %w", err)
 	}
-	return CompareResults(ref, got, tol)
+	err = CompareResults(ref, got, tol)
+	if err != nil {
+		span.End(trace.String("verdict", "diverged"), trace.String("error", err.Error()))
+		return err
+	}
+	span.End(trace.String("verdict", "equivalent"))
+	return nil
+}
+
+// StructuralCtx runs the deep structural verifier under a trace span
+// parented at ctx. The check itself has no cancellation points (it is
+// pure static analysis, microseconds of work); the context exists only
+// to attribute its cost in the pipeline trace.
+func StructuralCtx(ctx context.Context, p *ir.Program) error {
+	_, span := trace.StartSpan(ctx, "verify.structural")
+	err := Structural(p)
+	if err != nil {
+		span.End(trace.String("verdict", "rejected"), trace.String("error", err.Error()))
+		return err
+	}
+	span.End(trace.String("verdict", "ok"))
+	return nil
 }
