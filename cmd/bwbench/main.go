@@ -4,9 +4,24 @@
 // Usage:
 //
 //	bwbench [-quick] [-json] [-experiment all|<name>] [-trace out.json]
+//	bwbench [-quick] -record [-record-dir .] [-repeats 3]
+//	bwbench [-quick] -baseline BENCH_1.json -check \
+//	        [-threshold-time 0.20] [-threshold-balance 0.01]
 //
 // Run bwbench -h for the full experiment list (it is derived from the
 // experiments table below, so the two cannot drift apart).
+//
+// The second and third forms are the perfwatch trajectory (see
+// internal/perfwatch): -record collects a schema-versioned benchmark
+// record — per-kernel optimize/measure wall times (median of -repeats),
+// measured vs model-predicted balance per memory level, per-pass
+// attribution, environment metadata — and writes it to the next free
+// BENCH_<n>.json. -check collects the same record in memory and
+// compares it against -baseline with noise-aware per-family thresholds,
+// printing a regression table and exiting with status 2 when any
+// metric regressed beyond threshold. The two compose: -record -check
+// writes the record and checks it in one collection. Baseline and
+// current must use the same -quick setting.
 //
 // Each experiment prints the same rows/series the paper reports,
 // with a footnote quoting the paper's measured values for comparison.
@@ -43,6 +58,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/kernels"
 	"repro/internal/machine"
+	"repro/internal/perfwatch"
 	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/transform"
@@ -84,7 +100,11 @@ type jsonAttribution struct {
 
 // jsonOutput is the top-level -json document.
 type jsonOutput struct {
-	Config      string            `json:"config"` // "default" or "quick"
+	Config string `json:"config"` // "default" or "quick"
+	// Env records where the numbers were collected (Go version,
+	// GOMAXPROCS, CPU count, git ref), so documents from different
+	// machines are comparable — or visibly not.
+	Env         perfwatch.Env     `json:"env"`
 	Results     []jsonResult      `json:"results"`
 	Attribution []jsonAttribution `json:"attribution,omitempty"`
 }
@@ -95,6 +115,13 @@ func main() {
 	which := flag.String("experiment", "all",
 		"which experiment to run: all, or one of "+strings.Join(experiments, ", "))
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the bench run to this path")
+	record := flag.Bool("record", false, "collect a benchmark record and write it to the next free BENCH_<n>.json")
+	recordDir := flag.String("record-dir", ".", "directory BENCH_<n>.json records are written to")
+	baseline := flag.String("baseline", "", "baseline BENCH_<n>.json for -check")
+	check := flag.Bool("check", false, "collect a benchmark record and fail (exit 2) if it regressed vs -baseline")
+	repeats := flag.Int("repeats", 3, "optimizer repeats per kernel for -record/-check (median is compared)")
+	thTime := flag.Float64("threshold-time", 0.20, "tolerated relative wall-time increase for -check")
+	thBalance := flag.Float64("threshold-balance", 0.01, "tolerated relative balance increase for -check")
 	flag.Parse()
 
 	cfg := core.Default()
@@ -102,6 +129,17 @@ func main() {
 	if *quick {
 		cfg = core.Quick()
 		cfgName = "quick"
+	}
+
+	if *record || *check {
+		os.Exit(recordAndCheck(cfgName, cfg, recordOpts{
+			record: *record, recordDir: *recordDir,
+			baseline: *baseline, check: *check,
+			repeats: *repeats,
+			thresholds: perfwatch.Thresholds{
+				Time: *thTime, Balance: *thBalance,
+			},
+		}))
 	}
 
 	// Each experiment returns its tables (or prose) instead of printing,
@@ -171,6 +209,7 @@ func main() {
 
 	var out jsonOutput
 	out.Config = cfgName
+	out.Env = perfwatch.CaptureEnv()
 	for _, name := range names {
 		var span *trace.Span
 		if tr != nil {
@@ -227,6 +266,67 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// recordOpts carries the -record/-check flag set.
+type recordOpts struct {
+	record     bool
+	recordDir  string
+	baseline   string
+	check      bool
+	repeats    int
+	thresholds perfwatch.Thresholds
+}
+
+// recordAndCheck implements the perfwatch modes: one collection feeds
+// both -record (persist the trajectory point) and -check (compare it
+// against the baseline). Returns the process exit code: 0 clean, 1 on
+// operational errors, 2 on a detected regression.
+func recordAndCheck(cfgName string, cfg core.Config, opts recordOpts) int {
+	if opts.check && opts.baseline == "" {
+		fmt.Fprintln(os.Stderr, "bwbench: -check needs -baseline BENCH_<n>.json")
+		return 1
+	}
+	rec, err := perfwatch.Collect(context.Background(), cfgName, cfg, opts.repeats)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bwbench:", err)
+		return 1
+	}
+	if opts.record {
+		path, err := perfwatch.NextRecordPath(opts.recordDir)
+		if err == nil {
+			err = perfwatch.Write(path, rec)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bwbench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "bwbench: recorded %d kernels to %s\n", len(rec.Kernels), path)
+	}
+	if !opts.check {
+		return 0
+	}
+	base, err := perfwatch.Read(opts.baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bwbench:", err)
+		return 1
+	}
+	findings, notes, err := perfwatch.Detect(base, rec, opts.thresholds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bwbench:", err)
+		return 1
+	}
+	rows := make([]report.RegressionRow, 0, len(findings))
+	for _, f := range findings {
+		rows = append(rows, f.Row())
+	}
+	fmt.Print(report.Regression(rows, notes))
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "bwbench: %d metric(s) regressed beyond threshold vs %s\n",
+			len(findings), opts.baseline)
+		return 2
+	}
+	return 0
 }
 
 // attribution runs the verified default pipeline on three

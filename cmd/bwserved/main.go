@@ -6,7 +6,8 @@
 //
 //	bwserved [-addr :8080] [-workers N] [-cache-entries N] \
 //	         [-timeout 15s] [-max-timeout 60s] [-max-body 1048576] \
-//	         [-max-steps 200000000] [-drain 10s] [-quiet] [-pprof]
+//	         [-max-steps 200000000] [-drain 10s] [-quiet] [-pprof] \
+//	         [-sample-every 2s] [-history-samples 512]
 //
 // Endpoints:
 //
@@ -21,7 +22,13 @@
 //	                   kernel/pass counts) + cache stats
 //	GET  /metrics      Prometheus text-format metrics (request and
 //	                   per-pass latency histograms, analysis cache
-//	                   hit/miss/invalidation counters)
+//	                   hit/miss/invalidation counters, result-cache
+//	                   entry/eviction gauges)
+//	GET  /v1/history   ring-buffered time series of the live metrics
+//	                   (request rate/latency, cache hit rate, pass
+//	                   cost, worker occupancy), sampled -sample-every
+//	GET  /debug/dash   single-file live dashboard: inline SVG
+//	                   sparklines over /v1/history, no external assets
 //	GET  /debug/pprof  net/http/pprof profiles (only with -pprof)
 //
 // Every response carries an X-Trace-Id header; the same ID appears as
@@ -63,6 +70,8 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "connection-drain window on shutdown")
 	quiet := flag.Bool("quiet", false, "suppress request logs")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	sampleEvery := flag.Duration("sample-every", 2*time.Second, "live-history sampling interval (0 disables /v1/history sampling)")
+	historySamples := flag.Int("history-samples", 512, "live-history ring-buffer capacity per series")
 	flag.Parse()
 
 	var logw io.Writer = os.Stderr
@@ -70,14 +79,16 @@ func main() {
 		logw = nil
 	}
 	srv := service.New(service.Config{
-		Workers:        *workers,
-		CacheEntries:   *cacheEntries,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxBodyBytes:   *maxBody,
-		MaxSteps:       *maxSteps,
-		LogWriter:      logw,
-		EnablePprof:    *pprofFlag,
+		Workers:         *workers,
+		CacheEntries:    *cacheEntries,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxBodyBytes:    *maxBody,
+		MaxSteps:        *maxSteps,
+		LogWriter:       logw,
+		EnablePprof:     *pprofFlag,
+		SampleInterval:  *sampleEvery,
+		HistoryCapacity: *historySamples,
 	})
 
 	hs := &http.Server{
@@ -108,6 +119,12 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "bwserved: shutdown:", err)
+		os.Exit(1)
+	}
+	// After the last request drains: stop the history sampler and
+	// flush the JSON-lines request log to stable storage.
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "bwserved: close:", err)
 		os.Exit(1)
 	}
 }

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -233,6 +234,104 @@ func TestBwbenchJSON(t *testing.T) {
 	}
 	if len(doc.Results) != 1 || !strings.Contains(doc.Results[0].Text, "store") {
 		t.Fatalf("fig7 text missing: %+v", doc.Results)
+	}
+}
+
+// TestBwbenchRecordCheck drives the perfwatch trajectory end to end:
+// record a baseline, re-check cleanly against it, then check against a
+// tampered baseline that makes the current run look ≥20% worse and
+// expect the regression exit code. The clean check runs with a huge
+// time threshold so only the deterministic balance columns decide it;
+// the tampered check halves the baseline's balance columns, which is a
+// deterministic injected regression.
+func TestBwbenchRecordCheck(t *testing.T) {
+	bin := buildTool(t, "cmd/bwbench")
+	dir := t.TempDir()
+
+	out, err := runTool(t, bin, "-quick", "-record", "-record-dir", dir, "-repeats", "1")
+	if err != nil {
+		t.Fatalf("record: %v\n%s", err, out)
+	}
+	rec := filepath.Join(dir, "BENCH_1.json")
+	b, err := os.ReadFile(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema int    `json:"schema"`
+		Config string `json:"config"`
+		Env    struct {
+			GoVersion  string `json:"go_version"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+			NumCPU     int    `json:"num_cpu"`
+		} `json:"env"`
+		Kernels []struct {
+			Kernel           string `json:"kernel"`
+			MedianOptimizeNS int64  `json:"median_optimize_ns"`
+			Levels           []struct {
+				Channel  string  `json:"channel"`
+				Measured float64 `json:"measured_bytes_per_flop"`
+			} `json:"levels"`
+		} `json:"kernels"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, b)
+	}
+	if doc.Schema != 1 || doc.Config != "quick" || len(doc.Kernels) != 3 {
+		t.Fatalf("bad record: %+v", doc)
+	}
+	if doc.Env.GoVersion == "" || doc.Env.GOMAXPROCS < 1 || doc.Env.NumCPU < 1 {
+		t.Fatalf("record missing environment metadata: %+v", doc.Env)
+	}
+	for _, k := range doc.Kernels {
+		if k.MedianOptimizeNS <= 0 || len(k.Levels) == 0 {
+			t.Fatalf("bad kernel sample: %+v", k)
+		}
+	}
+
+	// Clean re-check: unchanged code, so balance is identical and the
+	// run exits zero (time threshold opened wide against CI jitter).
+	out, err = runTool(t, bin, "-quick", "-baseline", rec, "-check",
+		"-repeats", "1", "-threshold-time", "10")
+	if err != nil {
+		t.Fatalf("clean check failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "within threshold") {
+		t.Fatalf("clean check output:\n%s", out)
+	}
+
+	// Injected regression: halve the baseline's balance columns so the
+	// fresh run shows a +100% increase.
+	var raw map[string]any
+	if err := json.Unmarshal(b, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range raw["kernels"].([]any) {
+		for _, lv := range k.(map[string]any)["levels"].([]any) {
+			m := lv.(map[string]any)
+			m["measured_bytes_per_flop"] = m["measured_bytes_per_flop"].(float64) * 0.5
+			m["ratio"] = m["ratio"].(float64) * 0.5
+		}
+	}
+	tb, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpath := filepath.Join(dir, "tampered.json")
+	if err := os.WriteFile(tpath, tb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runTool(t, bin, "-quick", "-baseline", tpath, "-check",
+		"-repeats", "1", "-threshold-time", "10")
+	if err == nil {
+		t.Fatalf("tampered check passed:\n%s", out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+		t.Fatalf("want exit code 2, got %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "balance:") || !strings.Contains(out, "+100.0%") {
+		t.Fatalf("regression table missing findings:\n%s", out)
 	}
 }
 

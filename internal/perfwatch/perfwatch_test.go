@@ -1,0 +1,125 @@
+package perfwatch
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tinyConfig keeps Collect fast: the kernel panel only reads the three
+// size fields below.
+func tinyConfig() core.Config {
+	cfg := core.Quick()
+	cfg.ConvN = 2_000
+	cfg.DmxpyN = 24
+	cfg.MMN = 16
+	return cfg
+}
+
+func TestCollectRecordRoundTrip(t *testing.T) {
+	rec, err := Collect(context.Background(), "quick", tinyConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != SchemaVersion || rec.Config != "quick" || rec.Machine == "" {
+		t.Fatalf("bad record header: %+v", rec)
+	}
+	if len(rec.Kernels) != 3 {
+		t.Fatalf("want 3 kernels, got %d", len(rec.Kernels))
+	}
+	for _, k := range rec.Kernels {
+		if len(k.OptimizeNS) != 3 {
+			t.Fatalf("%s: want 3 repeats, got %d", k.Kernel, len(k.OptimizeNS))
+		}
+		if k.MedianOptimizeNS <= 0 || k.MeasureNS <= 0 {
+			t.Fatalf("%s: non-positive wall times: %+v", k.Kernel, k)
+		}
+		if len(k.Levels) == 0 {
+			t.Fatalf("%s: no balance levels", k.Kernel)
+		}
+		for _, lv := range k.Levels {
+			if lv.Measured < 0 || lv.Model <= 0 {
+				t.Fatalf("%s %s: bad balance %+v", k.Kernel, lv.Channel, lv)
+			}
+		}
+		if len(k.Passes) == 0 {
+			t.Fatalf("%s: no pass attribution", k.Kernel)
+		}
+		if len(k.Analysis) == 0 {
+			t.Fatalf("%s: no analysis stats", k.Kernel)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	if err := Write(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Config != rec.Config || len(back.Kernels) != len(rec.Kernels) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	// An unchanged re-collection must pass its own baseline: the
+	// deterministic balance columns are identical and wall times sit
+	// well inside the time threshold on a warm machine — this is the
+	// "-check exits zero on an unchanged re-run" contract.
+	again, err := Collect(context.Background(), "quick", tinyConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Detect(rec, again, Thresholds{Time: 1000}) // time family effectively off: CI timing is arbitrary
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, _, err := Detect(rec, again, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Family == FamilyBalance {
+			t.Fatalf("deterministic balance drifted between identical runs: %+v", f)
+		}
+	}
+}
+
+func TestCaptureEnv(t *testing.T) {
+	e := CaptureEnv()
+	if e.GoVersion != runtime.Version() || e.GOMAXPROCS < 1 || e.NumCPU < 1 {
+		t.Fatalf("bad env: %+v", e)
+	}
+	if e.GOOS == "" || e.GOARCH == "" {
+		t.Fatalf("bad env: %+v", e)
+	}
+}
+
+func TestReadRejectsBadRecords(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"schema.json": `{"schema": 999, "config": "quick", "kernels": [{"kernel": "x"}]}`,
+		"empty.json":  `{"schema": 1, "config": "quick", "kernels": []}`,
+		"syntax.json": `{`,
+	}
+	for name, body := range cases {
+		p := filepath.Join(dir, name)
+		if err := writeFile(p, body); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(p); err == nil {
+			t.Fatalf("%s: accepted invalid record", name)
+		} else if name == "schema.json" && !strings.Contains(err.Error(), "schema") {
+			t.Fatalf("%s: wrong error: %v", name, err)
+		}
+	}
+}
+
+func writeFile(path, body string) error {
+	return os.WriteFile(path, []byte(body), 0o644)
+}

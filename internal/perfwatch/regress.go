@@ -1,0 +1,209 @@
+package perfwatch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Thresholds configures the regression detector per metric family.
+// Wall times are noisy (scheduler, thermal, shared CI runners), so the
+// time family compares medians against a generous relative threshold
+// and an absolute floor below which changes are indistinguishable from
+// timer noise. Balance figures come from the deterministic cache
+// simulator, so the balance family uses a tight threshold: any real
+// movement there means the compiler or the model changed.
+type Thresholds struct {
+	// Time is the maximum tolerated relative increase of a median wall
+	// time (default 0.20, i.e. +20%).
+	Time float64
+	// Balance is the maximum tolerated relative increase of a measured
+	// bytes-per-flop or demand/supply ratio (default 0.01).
+	Balance float64
+	// MinTimeNS is the absolute wall-time floor: time metrics whose
+	// baseline and current are both below it are never flagged
+	// (default 10ms — below that, scheduler jitter swamps real change).
+	MinTimeNS int64
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.Time <= 0 {
+		t.Time = 0.20
+	}
+	if t.Balance <= 0 {
+		t.Balance = 0.01
+	}
+	if t.MinTimeNS <= 0 {
+		t.MinTimeNS = 10_000_000
+	}
+	return t
+}
+
+// Metric families.
+const (
+	FamilyTime    = "time"
+	FamilyBalance = "balance"
+)
+
+// Finding is one metric that regressed beyond its family's threshold.
+type Finding struct {
+	Kernel    string  `json:"kernel"`
+	Metric    string  `json:"metric"` // e.g. "optimize_ns", "balance:Mem-L2"
+	Family    string  `json:"family"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	Delta     float64 `json:"delta"` // relative increase, e.g. 0.31 = +31%
+	Threshold float64 `json:"threshold"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s %s: %+.1f%% (threshold %.0f%%)",
+		f.Kernel, f.Metric, 100*f.Delta, 100*f.Threshold)
+}
+
+// Row renders the finding for report.Regression.
+func (f Finding) Row() report.RegressionRow {
+	row := report.RegressionRow{
+		Kernel:    f.Kernel,
+		Metric:    f.Metric,
+		Change:    fmt.Sprintf("%+.1f%%", 100*f.Delta),
+		Threshold: fmt.Sprintf("%.0f%%", 100*f.Threshold),
+	}
+	switch {
+	case f.Family == FamilyTime:
+		row.Baseline = report.Seconds(f.Baseline / 1e9)
+		row.Current = report.Seconds(f.Current / 1e9)
+	case strings.HasPrefix(f.Metric, "ratio:"):
+		// Demand/supply ratios are dimensionless.
+		row.Baseline = fmt.Sprintf("%.4f", f.Baseline)
+		row.Current = fmt.Sprintf("%.4f", f.Current)
+	default:
+		row.Baseline = fmt.Sprintf("%.4f B/F", f.Baseline)
+		row.Current = fmt.Sprintf("%.4f B/F", f.Current)
+	}
+	return row
+}
+
+// Detect compares a fresh record against a baseline and returns the
+// metrics that regressed beyond their family thresholds, plus
+// free-form notes (environment differences, improvements, kernels
+// present on only one side). It errors when the records are not
+// comparable at all: different schema or different workload config.
+func Detect(baseline, current *Record, th Thresholds) (findings []Finding, notes []string, err error) {
+	th = th.withDefaults()
+	if baseline.Schema != current.Schema {
+		return nil, nil, fmt.Errorf("perfwatch: schema mismatch: baseline %d vs current %d",
+			baseline.Schema, current.Schema)
+	}
+	if baseline.Config != current.Config {
+		return nil, nil, fmt.Errorf("perfwatch: config mismatch: baseline %q vs current %q (collect with the same -quick setting)",
+			baseline.Config, current.Config)
+	}
+	if baseline.Machine != current.Machine {
+		return nil, nil, fmt.Errorf("perfwatch: machine mismatch: baseline %q vs current %q",
+			baseline.Machine, current.Machine)
+	}
+	if !baseline.Env.Same(current.Env) {
+		notes = append(notes, fmt.Sprintf(
+			"environments differ (baseline %s %s/%s P%d, current %s %s/%s P%d): wall-time comparisons are indicative only",
+			baseline.Env.GoVersion, baseline.Env.GOOS, baseline.Env.GOARCH, baseline.Env.GOMAXPROCS,
+			current.Env.GoVersion, current.Env.GOOS, current.Env.GOARCH, current.Env.GOMAXPROCS))
+	}
+
+	for _, bk := range baseline.Kernels {
+		ck := current.Kernel(bk.Kernel)
+		if ck == nil {
+			notes = append(notes, fmt.Sprintf("kernel %s: in baseline but not in current record", bk.Kernel))
+			continue
+		}
+		findings = append(findings, compareKernel(&bk, ck, th, &notes)...)
+	}
+	for _, ck := range current.Kernels {
+		if baseline.Kernel(ck.Kernel) == nil {
+			notes = append(notes, fmt.Sprintf("kernel %s: new in current record (no baseline)", ck.Kernel))
+		}
+	}
+	sort.SliceStable(findings, func(a, b int) bool { return findings[a].Delta > findings[b].Delta })
+	return findings, notes, nil
+}
+
+func compareKernel(bk, ck *KernelResult, th Thresholds, notes *[]string) []Finding {
+	var out []Finding
+	addTime := func(metric string, base, cur int64) {
+		if base < th.MinTimeNS && cur < th.MinTimeNS {
+			return // both under the noise floor
+		}
+		if base <= 0 {
+			return
+		}
+		delta := float64(cur-base) / float64(base)
+		if delta > th.Time {
+			out = append(out, Finding{
+				Kernel: bk.Kernel, Metric: metric, Family: FamilyTime,
+				Baseline: float64(base), Current: float64(cur),
+				Delta: delta, Threshold: th.Time,
+			})
+		}
+	}
+	addTime("optimize_ns", bk.MedianOptimizeNS, ck.MedianOptimizeNS)
+	addTime("measure_ns", bk.MeasureNS, ck.MeasureNS)
+
+	// Per-pass wall times, matched by pass name (a pass missing on
+	// either side is a pipeline change, noted rather than flagged).
+	curPass := map[string]float64{}
+	for _, ps := range ck.Passes {
+		curPass[ps.Pass] += ps.Seconds
+	}
+	basePass := map[string]float64{}
+	for _, ps := range bk.Passes {
+		basePass[ps.Pass] += ps.Seconds
+	}
+	for pass, bs := range basePass {
+		cs, ok := curPass[pass]
+		if !ok {
+			*notes = append(*notes, fmt.Sprintf("kernel %s: pass %s in baseline but not in current pipeline", bk.Kernel, pass))
+			continue
+		}
+		addTime("pass_ns:"+pass, int64(bs*1e9), int64(cs*1e9))
+	}
+
+	// Balance: deterministic, tight threshold, increases only (a
+	// decrease is an improvement and is noted).
+	curLevel := map[string]LevelBalance{}
+	for _, lv := range ck.Levels {
+		curLevel[lv.Channel] = lv
+	}
+	for _, blv := range bk.Levels {
+		clv, ok := curLevel[blv.Channel]
+		if !ok {
+			*notes = append(*notes, fmt.Sprintf("kernel %s: channel %s in baseline but not in current record", bk.Kernel, blv.Channel))
+			continue
+		}
+		for _, m := range []struct {
+			metric    string
+			base, cur float64
+		}{
+			{"balance:" + blv.Channel, blv.Measured, clv.Measured},
+			{"ratio:" + blv.Channel, blv.Ratio, clv.Ratio},
+		} {
+			if m.base <= 0 {
+				continue
+			}
+			delta := (m.cur - m.base) / m.base
+			switch {
+			case delta > th.Balance:
+				out = append(out, Finding{
+					Kernel: bk.Kernel, Metric: m.metric, Family: FamilyBalance,
+					Baseline: m.base, Current: m.cur,
+					Delta: delta, Threshold: th.Balance,
+				})
+			case delta < -th.Balance:
+				*notes = append(*notes, fmt.Sprintf("kernel %s: %s improved %.1f%% (%.4f -> %.4f)",
+					bk.Kernel, m.metric, -100*delta, m.base, m.cur))
+			}
+		}
+	}
+	return out
+}

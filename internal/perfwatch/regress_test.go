@@ -1,0 +1,200 @@
+package perfwatch
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// synthetic builds a record with one kernel whose median optimize time
+// is base nanoseconds and whose memory-channel balance is bpf.
+func synthetic(medianNS int64, bpf float64) *Record {
+	return &Record{
+		Schema:  SchemaVersion,
+		Config:  "quick",
+		Machine: "Origin2000",
+		Env:     CaptureEnv(),
+		Kernels: []KernelResult{{
+			Kernel:           "convolution",
+			N:                1000,
+			OptimizeNS:       []int64{medianNS - 1000, medianNS, medianNS + 1000},
+			MedianOptimizeNS: medianNS,
+			MeasureNS:        medianNS,
+			Levels: []LevelBalance{
+				{Channel: "Mem-L2", Measured: bpf, Model: 0.5, Ratio: bpf / 0.5},
+			},
+		}},
+	}
+}
+
+func TestDetectNoFalsePositiveUnderThreshold(t *testing.T) {
+	base := synthetic(100_000_000, 2.0)
+	// +4% wall time, unchanged balance: inside the 20% / 1% thresholds.
+	cur := synthetic(104_000_000, 2.0)
+	findings, _, err := Detect(base, cur, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("false positive: %v", findings)
+	}
+}
+
+func TestDetectNoisySeriesUnderThreshold(t *testing.T) {
+	// Deterministic "noise": repeats scatter ±8% around the same
+	// median; the detector compares medians only, so no finding.
+	base := synthetic(100_000_000, 2.0)
+	base.Kernels[0].OptimizeNS = []int64{92_000_000, 100_000_000, 108_000_000}
+	cur := synthetic(101_000_000, 2.0)
+	cur.Kernels[0].OptimizeNS = []int64{93_000_000, 101_000_000, 107_500_000}
+	findings, _, err := Detect(base, cur, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("noisy-but-stable series flagged: %v", findings)
+	}
+}
+
+func TestDetectTruePositiveSlowdown(t *testing.T) {
+	base := synthetic(100_000_000, 2.0)
+	cur := synthetic(130_000_000, 2.0) // +30% over a 20% threshold
+	findings, _, err := Detect(base, cur, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *Finding
+	for i := range findings {
+		if findings[i].Metric == "optimize_ns" {
+			hit = &findings[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("30%% slowdown not flagged: %v", findings)
+	}
+	if hit.Family != FamilyTime || hit.Delta < 0.29 || hit.Delta > 0.31 {
+		t.Fatalf("bad finding: %+v", hit)
+	}
+	if row := hit.Row(); row.Change != "+30.0%" {
+		t.Fatalf("row change = %q", row.Change)
+	}
+}
+
+func TestDetectBalanceRegressionAndImprovement(t *testing.T) {
+	base := synthetic(100_000_000, 2.0)
+	worse := synthetic(100_000_000, 2.1) // +5% measured balance
+	findings, _, err := Detect(base, worse, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Metric == "balance:Mem-L2" && f.Family == FamilyBalance {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("balance regression not flagged: %v", findings)
+	}
+
+	better := synthetic(100_000_000, 1.5)
+	findings, notes, err := Detect(base, better, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if strings.HasPrefix(f.Metric, "balance:") {
+			t.Fatalf("improvement flagged as regression: %+v", f)
+		}
+	}
+	improved := false
+	for _, n := range notes {
+		if strings.Contains(n, "improved") {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Fatalf("improvement not noted: %v", notes)
+	}
+}
+
+func TestDetectTimeNoiseFloor(t *testing.T) {
+	// +80% relative, but both sides under the 1ms absolute floor.
+	base := synthetic(500_000, 2.0)
+	cur := synthetic(900_000, 2.0)
+	findings, _, err := Detect(base, cur, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("sub-floor time change flagged: %v", findings)
+	}
+}
+
+func TestDetectConfigMismatch(t *testing.T) {
+	base := synthetic(1, 1)
+	cur := synthetic(1, 1)
+	cur.Config = "default"
+	if _, _, err := Detect(base, cur, Thresholds{}); err == nil {
+		t.Fatal("config mismatch not rejected")
+	}
+}
+
+func TestDetectEnvMismatchNoted(t *testing.T) {
+	base := synthetic(100_000_000, 2.0)
+	cur := synthetic(100_000_000, 2.0)
+	cur.Env.GoVersion = "go0.0"
+	_, notes, err := Detect(base, cur, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "environments differ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("env mismatch not noted: %v", notes)
+	}
+}
+
+func TestMedianIndex(t *testing.T) {
+	ns := []int64{50, 10, 30}
+	if i := medianIndex(ns); ns[i] != 30 {
+		t.Fatalf("median of %v = %d", ns, ns[i])
+	}
+	ns = []int64{40, 10, 30, 20}
+	if i := medianIndex(ns); ns[i] != 20 { // lower middle
+		t.Fatalf("median of %v = %d", ns, ns[i])
+	}
+	if i := medianIndex([]int64{7}); i != 0 {
+		t.Fatalf("single-sample median index = %d", i)
+	}
+}
+
+func TestNextRecordPath(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_1.json", "BENCH_3.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := NextRecordPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_4.json"); got != want {
+		t.Fatalf("NextRecordPath = %q, want %q", got, want)
+	}
+
+	empty := t.TempDir()
+	got, err = NextRecordPath(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(empty, "BENCH_1.json"); got != want {
+		t.Fatalf("NextRecordPath (empty dir) = %q, want %q", got, want)
+	}
+}

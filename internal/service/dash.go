@@ -1,0 +1,228 @@
+package service
+
+import (
+	"fmt"
+	"html/template"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// HistoryResponse is the body of GET /v1/history: every live series
+// with its ring-buffered points (Unix-millisecond timestamps), plus
+// the sampling parameters a client needs to interpret them.
+type HistoryResponse struct {
+	CapacitySamples  int                `json:"capacity_samples"`
+	SampleIntervalMS int64              `json:"sample_interval_ms"` // 0: background sampling disabled
+	Series           []telemetry.Series `json:"series"`
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, &HistoryResponse{
+		CapacitySamples:  s.history.Capacity(),
+		SampleIntervalMS: s.cfg.SampleInterval.Milliseconds(),
+		Series:           s.history.Snapshot(),
+	})
+}
+
+// Dashboard geometry: one sparkline per series, downsampled so hover
+// targets stay wider than a pixel and the page stays small.
+const (
+	sparkW      = 280
+	sparkH      = 56
+	sparkPad    = 4
+	sparkMaxPts = 120
+)
+
+// dashCard is one series tile on /debug/dash.
+type dashCard struct {
+	Name    string
+	Help    string
+	Current string // latest value with unit, or "no samples yet"
+	Range   string // min–max over the window
+	SVG     template.HTML
+}
+
+// dashPage is the template payload of /debug/dash.
+type dashPage struct {
+	GoVersion string
+	Uptime    string
+	Samples   int
+	Interval  string
+	Cards     []dashCard
+}
+
+func (s *Server) handleDash(w http.ResponseWriter, _ *http.Request) {
+	page := dashPage{
+		GoVersion: runtime.Version(),
+		Uptime:    time.Since(s.start).Truncate(time.Second).String(),
+		Interval:  "manual (SampleNow only)",
+	}
+	if s.cfg.SampleInterval > 0 {
+		page.Interval = s.cfg.SampleInterval.String()
+	}
+	for _, sr := range s.history.Snapshot() {
+		card := dashCard{Name: sr.Name, Help: sr.Help, Current: "no samples yet"}
+		if n := len(sr.Points); n > 0 {
+			page.Samples = n
+			card.Current = formatSample(sr.Points[n-1].V, sr.Unit)
+			lo, hi := pointsRange(sr.Points)
+			card.Range = fmt.Sprintf("%s – %s", formatSample(lo, sr.Unit), formatSample(hi, sr.Unit))
+			card.SVG = sparkSVG(sr.Points, sr.Unit)
+		}
+		page.Cards = append(page.Cards, card)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	dashTemplate.Execute(w, &page)
+}
+
+func pointsRange(pts []telemetry.Point) (lo, hi float64) {
+	lo, hi = pts[0].V, pts[0].V
+	for _, p := range pts {
+		lo, hi = math.Min(lo, p.V), math.Max(hi, p.V)
+	}
+	return lo, hi
+}
+
+// formatSample renders a value compactly with its unit.
+func formatSample(v float64, unit string) string {
+	var num string
+	switch av := math.Abs(v); {
+	case v == math.Trunc(v) && av < 1e6:
+		num = fmt.Sprintf("%d", int64(v))
+	case av >= 100:
+		num = fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		num = fmt.Sprintf("%.2f", v)
+	default:
+		num = fmt.Sprintf("%.3f", v)
+	}
+	if unit == "" {
+		return num
+	}
+	return num + " " + unit
+}
+
+// downsample thins pts to at most max points, always keeping the last.
+func downsample(pts []telemetry.Point, max int) []telemetry.Point {
+	if len(pts) <= max {
+		return pts
+	}
+	out := make([]telemetry.Point, 0, max)
+	stride := float64(len(pts)-1) / float64(max-1)
+	for i := 0; i < max; i++ {
+		out = append(out, pts[int(math.Round(float64(i)*stride))])
+	}
+	out[len(out)-1] = pts[len(pts)-1]
+	return out
+}
+
+// sparkSVG renders one series as an inline SVG sparkline: a 2px
+// polyline on a recessive baseline, with one transparent hover target
+// per point carrying a native <title> tooltip (value @ time) — the
+// hover layer without any script. All numeric content is generated
+// here; nothing user-controlled enters the markup.
+func sparkSVG(pts []telemetry.Point, unit string) template.HTML {
+	pts = downsample(pts, sparkMaxPts)
+	lo, hi := pointsRange(pts)
+	span := hi - lo
+	if span == 0 {
+		span = 1 // flat series draws mid-height
+	}
+	plotW, plotH := float64(sparkW-2*sparkPad), float64(sparkH-2*sparkPad)
+	x := func(i int) float64 {
+		if len(pts) == 1 {
+			return sparkPad + plotW/2
+		}
+		return sparkPad + plotW*float64(i)/float64(len(pts)-1)
+	}
+	y := func(v float64) float64 {
+		return sparkPad + plotH*(1-(v-lo)/span)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg role="img" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		sparkW, sparkH, sparkW, sparkH)
+	// Recessive baseline at the window minimum.
+	fmt.Fprintf(&b, `<line class="base" x1="%d" y1="%.1f" x2="%d" y2="%.1f"/>`,
+		sparkPad, y(lo), sparkW-sparkPad, y(lo))
+	b.WriteString(`<polyline class="line" fill="none" points="`)
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.1f,%.1f", x(i), y(p.V))
+	}
+	b.WriteString(`"/>`)
+	// Accent the latest point.
+	last := len(pts) - 1
+	fmt.Fprintf(&b, `<circle class="dot" cx="%.1f" cy="%.1f" r="2.5"/>`, x(last), y(pts[last].V))
+	// Hover targets: full-height slices, each wider than the mark.
+	slice := plotW / float64(len(pts))
+	for i, p := range pts {
+		fmt.Fprintf(&b, `<rect class="hit" x="%.1f" y="0" width="%.1f" height="%d"><title>%s @ %s</title></rect>`,
+			x(i)-slice/2, slice, sparkH,
+			formatSample(p.V, unit), time.UnixMilli(p.T).UTC().Format("15:04:05"))
+	}
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+// dashTemplate is the single-file live dashboard: no external assets,
+// no script beyond the meta refresh. Colors follow the repo's chart
+// conventions — one accent hue, text in ink tokens, both modes
+// selected explicitly rather than inverted.
+var dashTemplate = template.Must(template.New("dash").Parse(`<!doctype html>
+<html lang="en"><head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>bwserved live dashboard</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface: #fcfcfb; --card: #f4f4f2; --border: #e3e2de;
+    --ink: #0b0b0b; --ink-2: #52514e;
+    --accent: #2a78d6; --grid: #d8d7d2;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface: #1a1a19; --card: #232322; --border: #32322f;
+      --ink: #ffffff; --ink-2: #c3c2b7;
+      --accent: #3987e5; --grid: #3a3936;
+    }
+  }
+  body { background: var(--surface); color: var(--ink);
+         font: 14px/1.45 system-ui, sans-serif; margin: 24px; }
+  h1 { font-size: 18px; margin: 0 0 2px; }
+  .meta { color: var(--ink-2); font-size: 12px; margin-bottom: 20px; }
+  .grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(300px, 1fr)); gap: 12px; }
+  .card { background: var(--card); border: 1px solid var(--border);
+          border-radius: 8px; padding: 12px 14px; }
+  .name { color: var(--ink-2); font-size: 12px; letter-spacing: .02em; }
+  .val  { font-size: 22px; font-weight: 600; font-variant-numeric: tabular-nums; margin: 2px 0 6px; }
+  .range { color: var(--ink-2); font-size: 11px; float: right; margin-top: 10px; }
+  svg .line { stroke: var(--accent); stroke-width: 2; stroke-linejoin: round; stroke-linecap: round; }
+  svg .dot  { fill: var(--accent); }
+  svg .base { stroke: var(--grid); stroke-width: 1; }
+  svg .hit  { fill: transparent; }
+  svg .hit:hover { fill: color-mix(in srgb, var(--accent) 12%, transparent); }
+</style>
+</head><body>
+<h1>bwserved live dashboard</h1>
+<div class="meta">{{.GoVersion}} · up {{.Uptime}} · {{.Samples}} samples buffered · sampling every {{.Interval}} ·
+  data: <a href="/v1/history">/v1/history</a> · metrics: <a href="/metrics">/metrics</a></div>
+<div class="grid">
+{{range .Cards}}  <div class="card" title="{{.Help}}">
+    <div class="name">{{.Name}}</div>
+    <div class="range">{{.Range}}</div>
+    <div class="val">{{.Current}}</div>
+    {{.SVG}}
+  </div>
+{{end}}</div>
+</body></html>
+`))

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// TestHistoryAndDashboard is the acceptance path: traffic moves the
+// counters, SampleNow records deterministic history points, and the
+// dashboard renders sparklines backed by the same data /v1/history
+// serves.
+func TestHistoryAndDashboard(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// Empty history: dashboard still renders, with placeholders.
+	resp, body := get(t, ts.URL+"/debug/dash")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dash status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "no samples yet") {
+		t.Fatalf("empty dashboard missing placeholder:\n%s", body)
+	}
+
+	// Generate traffic (a miss then a hit) and sample twice.
+	for i := 0; i < 2; i++ {
+		resp, b := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"kernel": "sec21", "n": 4096})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze status %d: %s", resp.StatusCode, b)
+		}
+		s.SampleNow()
+	}
+
+	resp, body = get(t, ts.URL+"/v1/history")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("history status %d", resp.StatusCode)
+	}
+	var hr HistoryResponse
+	if err := json.Unmarshal([]byte(body), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.CapacitySamples != 512 || hr.SampleIntervalMS != 0 {
+		t.Fatalf("bad history header: %+v", hr)
+	}
+	want := map[string]bool{
+		"requests_per_sec": false, "request_latency_ms": false, "cache_hit_rate": false,
+		"pass_ms": false, "workers_busy": false, "queue_depth": false, "cache_entries": false,
+	}
+	for _, sr := range hr.Series {
+		if _, ok := want[sr.Name]; !ok {
+			t.Fatalf("unexpected series %q", sr.Name)
+		}
+		want[sr.Name] = true
+		if len(sr.Points) != 2 {
+			t.Fatalf("series %s: want 2 points, got %d", sr.Name, len(sr.Points))
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("series %s missing from /v1/history", name)
+		}
+	}
+	// The cache_entries series must reflect the one cached result.
+	for _, sr := range hr.Series {
+		if sr.Name == "cache_entries" && sr.Points[1].V != 1 {
+			t.Fatalf("cache_entries = %v, want 1", sr.Points[1].V)
+		}
+		if sr.Name == "cache_hit_rate" && sr.Points[1].V != 0.5 {
+			// Second sample window: 1 hit, 1 miss... the windows split
+			// per sample; just require it in [0, 1].
+			if sr.Points[1].V < 0 || sr.Points[1].V > 1 {
+				t.Fatalf("cache_hit_rate out of range: %v", sr.Points[1].V)
+			}
+		}
+	}
+
+	// The dashboard now renders one sparkline per series from the same
+	// snapshot: an inline SVG polyline, the latest value, and native
+	// hover tooltips — with no external assets.
+	resp, body = get(t, ts.URL+"/debug/dash")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dash status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("dash content type %q", ct)
+	}
+	if n := strings.Count(body, "<polyline"); n != len(want) {
+		t.Fatalf("want %d sparklines, got %d:\n%s", len(want), n, body)
+	}
+	for name := range want {
+		if !strings.Contains(body, name) {
+			t.Fatalf("dashboard missing series %q", name)
+		}
+	}
+	for _, frag := range []string{"<svg", "<title>", "bwserved live dashboard"} {
+		if !strings.Contains(body, frag) {
+			t.Fatalf("dashboard missing %q", frag)
+		}
+	}
+	for _, banned := range []string{"src=\"http", "href=\"http", "<script"} {
+		if strings.Contains(body, banned) {
+			t.Fatalf("dashboard pulls external assets or script (%q):\n%s", banned, body)
+		}
+	}
+}
+
+func TestCacheGaugesInMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheEntries: 1})
+	// Two distinct analyses through a capacity-1 cache: one entry
+	// resident, one eviction.
+	for _, n := range []int{2048, 4096} {
+		resp, b := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"kernel": "sec21", "n": n})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze status %d: %s", resp.StatusCode, b)
+		}
+	}
+	_, body := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"bwserved_cache_entries 1",
+		"bwserved_cache_evictions 1",
+		"# TYPE bwserved_cache_entries gauge",
+		"# TYPE bwserved_cache_evictions gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestShutdownFlushesRequestLog is the graceful-shutdown audit: with a
+// buffered log writer, every JSON-lines record of the drained requests
+// must reach the underlying writer once Close returns.
+func TestShutdownFlushesRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&buf, 1<<20)
+	s, ts := newTestServer(t, Config{LogWriter: bw})
+
+	resp, body := get(t, ts.URL+"/v1/kernels")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	// Drain all in-flight handlers (httptest.Close blocks on them),
+	// mirroring cmd/bwserved's Shutdown-then-Close order.
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, `"path":"/v1/kernels"`) || !strings.Contains(logged, `"trace_id"`) {
+		t.Fatalf("request log not flushed on Close: %q", logged)
+	}
+	// Close is idempotent.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackgroundSamplerStopsOnClose(t *testing.T) {
+	s := New(Config{SampleInterval: 2 * time.Millisecond})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if snap := s.History().Snapshot(); len(snap) > 0 && len(snap[0].Points) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background sampler never sampled")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the ticker goroutine is gone: the point count must
+	// stop advancing. A couple of in-flight ticks may still land, so
+	// compare across a settle delay.
+	time.Sleep(20 * time.Millisecond)
+	n1 := len(s.History().Snapshot()[0].Points)
+	time.Sleep(50 * time.Millisecond)
+	n2 := len(s.History().Snapshot()[0].Points)
+	if n1 != n2 {
+		t.Fatalf("sampler still running after Close: %d -> %d points", n1, n2)
+	}
+}

@@ -68,6 +68,8 @@ func (s *Server) recordOutcome(out *transform.Outcome) {
 		s.passSeconds.With(ps.Pass).Add(ps.Seconds)
 		s.passCheckpoints.With(ps.Pass).Add(float64(ps.Checkpoints))
 		s.passDuration.With(ps.Pass).Observe(ps.Seconds)
+		s.passSecondsSum.Add(ps.Seconds)
+		s.passRunsSum.Inc()
 	}
 	for name, st := range out.Analysis {
 		s.analysisHits.With(name).Add(float64(st.Hits))

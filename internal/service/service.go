@@ -16,12 +16,18 @@
 //     identical requests are answered from cache;
 //   - telemetry (internal/telemetry): Prometheus text-format counters
 //     and histograms on GET /metrics, plus structured JSON request
-//     logging;
+//     logging, plus a ring-buffered live history (request rate and
+//     latency, cache hit rate, pass cost, worker occupancy) sampled in
+//     the background and served as JSON (GET /v1/history) and as a
+//     single-file SVG sparkline dashboard (GET /debug/dash);
 //   - graceful shutdown: the http.Server built by cmd/bwserved drains
-//     connections; handlers observe cancellation via their contexts.
+//     connections, then Close stops the history sampler and flushes
+//     the JSON-lines request log; handlers observe cancellation via
+//     their contexts.
 //
 // Endpoints: POST /v1/analyze, POST /v1/optimize, GET /v1/kernels,
-// GET /v1/passes, GET /healthz, GET /metrics.
+// GET /v1/passes, GET /v1/history, GET /healthz, GET /metrics,
+// GET /debug/dash.
 package service
 
 import (
@@ -67,6 +73,14 @@ type Config struct {
 	// internals and can themselves consume CPU, so operators opt in
 	// (bwserved -pprof).
 	EnablePprof bool
+	// HistoryCapacity is the per-series ring-buffer size of the live
+	// history (default 512 samples; at the default sampling interval
+	// that is ~17 minutes of trend).
+	HistoryCapacity int
+	// SampleInterval is the cadence of the background history sampler.
+	// Zero disables background sampling (history then only advances
+	// via SampleNow — the mode tests use); cmd/bwserved passes 2s.
+	SampleInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +104,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSteps < 0 {
 		c.MaxSteps = 0 // unlimited
+	}
+	if c.HistoryCapacity <= 0 {
+		c.HistoryCapacity = 512
 	}
 	return c
 }
@@ -126,6 +143,26 @@ type Server struct {
 	// passTotals backs GET /v1/passes with cumulative per-pass and
 	// per-analysis aggregates since process start.
 	passTotals passTotals
+
+	// Live history: ring-buffer time series sampled from the registry
+	// and the caches, backing GET /v1/history and GET /debug/dash.
+	history *telemetry.History
+	// requestLatency is the one histogram every instrumented request
+	// observes (stageSeconds{stage="request"}); the sampler derives
+	// request rate and windowed mean latency from its sum/count.
+	requestLatency *telemetry.Histogram
+	// passSecondsSum/passRunsSum feed the windowed mean pass duration
+	// series. They are standalone (unregistered) counters: /metrics
+	// already carries the same data per pass.
+	passSecondsSum telemetry.Counter
+	passRunsSum    telemetry.Counter
+	// cacheEntries/cacheEvictions mirror cache.Stats into /metrics at
+	// scrape time (hit/miss counters are maintained inline).
+	cacheEntries   *telemetry.Gauge
+	cacheEvictions *telemetry.Gauge
+
+	samplerStop chan struct{}
+	closeOnce   sync.Once
 }
 
 // New builds a Server from the config.
@@ -172,9 +209,130 @@ func New(cfg Config) *Server {
 			"Wall time spent in optimizer passes (including verification), by pass name.", "pass"),
 		passCheckpoints: reg.NewCounterVec("bwserved_pass_checkpoints_total",
 			"Verified checkpoints committed by optimizer passes, by pass name.", "pass"),
+
+		cacheEntries: reg.NewGauge("bwserved_cache_entries",
+			"Entries currently held by the content-addressed result cache."),
+		cacheEvictions: reg.NewGauge("bwserved_cache_evictions",
+			"Entries evicted from the result cache since process start."),
 	}
 	s.passTotals.init()
+	s.requestLatency = s.stageSeconds.With("request")
+	s.history = telemetry.NewHistory(cfg.HistoryCapacity)
+	s.registerHistorySeries()
+	s.samplerStop = make(chan struct{})
+	if cfg.SampleInterval > 0 {
+		go s.sampleLoop(cfg.SampleInterval)
+	}
 	return s
+}
+
+// sampleLoop drives the background history sampler until Close.
+func (s *Server) sampleLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			s.history.Sample(now)
+		case <-s.samplerStop:
+			return
+		}
+	}
+}
+
+// SampleNow records one history sample immediately. The background
+// sampler calls the same path on its ticker; tests and embedders call
+// it directly for deterministic histories.
+func (s *Server) SampleNow() { s.history.Sample(time.Now()) }
+
+// History exposes the live history (for embedding the service into a
+// larger process).
+func (s *Server) History() *telemetry.History { return s.history }
+
+// Close stops the background sampler and flushes the JSON-lines
+// request log. cmd/bwserved calls it after the HTTP server has drained
+// so every record of the final requests reaches stable storage; it is
+// idempotent and safe to call on a server that never served.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.samplerStop)
+		err = s.log.Flush()
+	})
+	return err
+}
+
+// rate converts a cumulative total into a per-second rate over the
+// sampling window. The first sample reports zero (no window yet).
+// Closures returned here are only ever called under the history lock,
+// which serializes their internal state.
+func rate(total func() float64) func() float64 {
+	var prev float64
+	var prevT time.Time
+	return func() float64 {
+		now := time.Now()
+		cur := total()
+		if prevT.IsZero() {
+			prev, prevT = cur, now
+			return 0
+		}
+		dt := now.Sub(prevT).Seconds()
+		d := cur - prev
+		prev, prevT = cur, now
+		if dt <= 0 || d < 0 {
+			return 0
+		}
+		return d / dt
+	}
+}
+
+// windowedMean converts cumulative sum and count totals into the mean
+// per event over the sampling window, scaled (e.g. 1000 for ms). A
+// window with no events repeats the last mean, keeping sparklines
+// continuous across idle stretches.
+func windowedMean(sum, count func() float64, scale float64) func() float64 {
+	var prevSum, prevCount, last float64
+	return func() float64 {
+		cs, cc := sum(), count()
+		dc := cc - prevCount
+		if dc > 0 {
+			last = (cs - prevSum) / dc * scale
+		}
+		prevSum, prevCount = cs, cc
+		return last
+	}
+}
+
+// registerHistorySeries wires the dashboard's time series to the live
+// counters: request rate and latency, result-cache behavior, optimizer
+// pass cost, and worker-pool pressure.
+func (s *Server) registerHistorySeries() {
+	s.history.AddSeries("requests_per_sec", "Instrumented HTTP requests per second.", "req/s",
+		rate(func() float64 { return float64(s.requestLatency.Count()) }))
+	s.history.AddSeries("request_latency_ms", "Mean request latency over the sampling window.", "ms",
+		windowedMean(s.requestLatency.Sum,
+			func() float64 { return float64(s.requestLatency.Count()) }, 1000))
+	s.history.AddSeries("cache_hit_rate", "Result-cache hit ratio over the sampling window.", "ratio",
+		func() func() float64 {
+			var prevHits, prevMiss, last float64
+			return func() float64 {
+				st := s.cache.Stats()
+				h, m := float64(st.Hits), float64(st.Misses)
+				if d := (h - prevHits) + (m - prevMiss); d > 0 {
+					last = (h - prevHits) / d
+				}
+				prevHits, prevMiss = h, m
+				return last
+			}
+		}())
+	s.history.AddSeries("pass_ms", "Mean optimizer pass wall time over the sampling window.", "ms",
+		windowedMean(s.passSecondsSum.Value, s.passRunsSum.Value, 1000))
+	s.history.AddSeries("workers_busy", "Worker-pool slots executing an analysis.", "workers",
+		s.workersBusy.Value)
+	s.history.AddSeries("queue_depth", "Requests waiting for a worker-pool slot.", "requests",
+		s.queueDepth.Value)
+	s.history.AddSeries("cache_entries", "Entries held by the result cache.", "entries",
+		func() float64 { return float64(s.cache.Stats().Len) })
 }
 
 // Registry exposes the metrics registry (for embedding the service
@@ -192,6 +350,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/kernels", s.instrument("/v1/kernels", s.handleKernels))
 	mux.HandleFunc("GET /v1/passes", s.instrument("/v1/passes", s.handlePasses))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/history", s.instrument("/v1/history", s.handleHistory))
+	mux.HandleFunc("GET /debug/dash", s.handleDash) // not instrumented: the auto-refreshing dashboard must not skew request metrics
 	mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes must not perturb request metrics
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", netpprof.Index)
@@ -291,7 +451,12 @@ func itoa(code int) string {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	// Mirror live cache stats into gauges lazily at scrape time.
+	// Mirror live cache stats into gauges lazily at scrape time: the
+	// entry and eviction numbers live inside internal/cache, so they
+	// are sampled rather than maintained inline like hits/misses.
+	st := s.cache.Stats()
+	s.cacheEntries.Set(float64(st.Len))
+	s.cacheEvictions.Set(float64(st.Evictions))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WriteText(w)
 }

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Point is one sampled value of a history series.
+type Point struct {
+	// T is the sample time as Unix milliseconds (compact in JSON and
+	// trivially plottable).
+	T int64 `json:"t"`
+	// V is the sampled value.
+	V float64 `json:"v"`
+}
+
+// Series is one named time series in a history snapshot, points in
+// chronological order.
+type Series struct {
+	Name string `json:"name"`
+	// Help describes the series for dashboards.
+	Help string `json:"help,omitempty"`
+	// Unit is a display hint ("ms", "req/s", "ratio", ...).
+	Unit   string  `json:"unit,omitempty"`
+	Points []Point `json:"points"`
+}
+
+// ring is a fixed-capacity circular buffer of points.
+type ring struct {
+	buf   []Point
+	start int // index of the oldest point
+	n     int // number of valid points
+}
+
+func (r *ring) push(p Point) {
+	if len(r.buf) == 0 {
+		return
+	}
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = p
+		r.n++
+		return
+	}
+	// Full: overwrite the oldest and advance the start.
+	r.buf[r.start] = p
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+func (r *ring) snapshot() []Point {
+	out := make([]Point, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// historySeries pairs a ring buffer with the closure that samples it.
+type historySeries struct {
+	name, help, unit string
+	sample           func() float64
+	ring             ring
+}
+
+// History holds in-process ring-buffer time series sampled from the
+// metrics registry (or any other source): each series is a closure
+// returning the current value, sampled for all series at once by
+// Sample so points across series share timestamps. The fixed capacity
+// bounds memory no matter how long the process runs — a day of
+// 2-second samples in a few tens of kilobytes. All methods are safe
+// for concurrent use.
+type History struct {
+	mu       sync.Mutex
+	capacity int
+	series   []*historySeries
+}
+
+// NewHistory returns a history keeping the most recent capacity
+// samples per series (minimum 2).
+func NewHistory(capacity int) *History {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &History{capacity: capacity}
+}
+
+// AddSeries registers a named series. The sample closure is called
+// under the history lock on every Sample, so it must be fast and must
+// not call back into the History.
+func (h *History) AddSeries(name, help, unit string, sample func() float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.series = append(h.series, &historySeries{
+		name: name, help: help, unit: unit,
+		sample: sample,
+		ring:   ring{buf: make([]Point, h.capacity)},
+	})
+}
+
+// Sample records one point per series, all stamped with now.
+func (h *History) Sample(now time.Time) {
+	ms := now.UnixMilli()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.series {
+		s.ring.push(Point{T: ms, V: s.sample()})
+	}
+}
+
+// Capacity returns the per-series ring capacity.
+func (h *History) Capacity() int { return h.capacity }
+
+// Snapshot returns every series with its buffered points in
+// chronological order. The result shares nothing with the history and
+// is safe to hold across further samples.
+func (h *History) Snapshot() []Series {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Series, 0, len(h.series))
+	for _, s := range h.series {
+		out = append(out, Series{
+			Name: s.name, Help: s.help, Unit: s.unit,
+			Points: s.ring.snapshot(),
+		})
+	}
+	return out
+}

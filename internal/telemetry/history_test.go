@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistorySampleAndSnapshot(t *testing.T) {
+	h := NewHistory(8)
+	v := 0.0
+	h.AddSeries("up", "monotone test series", "n", func() float64 { v++; return v })
+	h.AddSeries("const", "", "", func() float64 { return 7 })
+
+	base := time.UnixMilli(1_000_000)
+	for i := 0; i < 3; i++ {
+		h.Sample(base.Add(time.Duration(i) * time.Second))
+	}
+	snap := h.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("want 2 series, got %d", len(snap))
+	}
+	up := snap[0]
+	if up.Name != "up" || up.Help == "" || up.Unit != "n" {
+		t.Fatalf("series metadata lost: %+v", up)
+	}
+	if len(up.Points) != 3 {
+		t.Fatalf("want 3 points, got %d", len(up.Points))
+	}
+	for i, p := range up.Points {
+		if p.V != float64(i+1) {
+			t.Fatalf("point %d = %v, want %d", i, p.V, i+1)
+		}
+		if want := base.Add(time.Duration(i) * time.Second).UnixMilli(); p.T != want {
+			t.Fatalf("point %d timestamp %d, want %d", i, p.T, want)
+		}
+	}
+	if snap[1].Points[0].V != 7 {
+		t.Fatalf("second series wrong: %+v", snap[1].Points)
+	}
+}
+
+func TestHistoryRingWraparound(t *testing.T) {
+	h := NewHistory(4)
+	v := 0.0
+	h.AddSeries("s", "", "", func() float64 { v++; return v })
+	base := time.UnixMilli(0)
+	for i := 0; i < 10; i++ {
+		h.Sample(base.Add(time.Duration(i) * time.Millisecond))
+	}
+	pts := h.Snapshot()[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("want capacity-bounded 4 points, got %d", len(pts))
+	}
+	// The last 4 of 10 samples, still in chronological order.
+	for i, p := range pts {
+		if want := float64(7 + i); p.V != want {
+			t.Fatalf("point %d = %v, want %v (points %v)", i, p.V, want, pts)
+		}
+		if i > 0 && pts[i].T <= pts[i-1].T {
+			t.Fatalf("timestamps not increasing: %v", pts)
+		}
+	}
+	// Snapshot is detached: further samples must not mutate it.
+	h.Sample(base.Add(time.Second))
+	if pts[3].V != 10 {
+		t.Fatalf("snapshot aliased the ring: %v", pts)
+	}
+}
+
+func TestHistoryMinimumCapacity(t *testing.T) {
+	h := NewHistory(0)
+	if h.Capacity() != 2 {
+		t.Fatalf("capacity floor = %d, want 2", h.Capacity())
+	}
+	h.AddSeries("s", "", "", func() float64 { return 1 })
+	h.Sample(time.UnixMilli(1))
+	h.Sample(time.UnixMilli(2))
+	h.Sample(time.UnixMilli(3))
+	if n := len(h.Snapshot()[0].Points); n != 2 {
+		t.Fatalf("want 2 points, got %d", n)
+	}
+}
+
+func TestHistoryConcurrentSampleSnapshot(t *testing.T) {
+	h := NewHistory(16)
+	h.AddSeries("s", "", "", func() float64 { return 1 })
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h.Sample(time.UnixMilli(int64(i)))
+				h.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestHistogramSum(t *testing.T) {
+	r := NewRegistry()
+	hist := r.NewHistogram("h", "help", []float64{1, 10})
+	hist.Observe(0.5)
+	hist.Observe(4)
+	if got := hist.Sum(); got != 4.5 {
+		t.Fatalf("Sum = %v, want 4.5", got)
+	}
+	if got := hist.Count(); got != 2 {
+		t.Fatalf("Count = %v, want 2", got)
+	}
+}
+
+func TestLoggerFlush(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&buf, 1<<16)
+	l := NewLogger(bw)
+	l.Log(map[string]any{"event": "shutdown-test"})
+	if buf.Len() != 0 {
+		t.Skip("bufio flushed early; buffer too small for test premise")
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shutdown-test") {
+		t.Fatalf("flush did not drain the buffer: %q", buf.String())
+	}
+	// nil logger and unbuffered writers are no-ops.
+	if err := (*Logger)(nil).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewLogger(&buf).Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@
 package telemetry
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -14,6 +15,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -184,6 +186,14 @@ func (h *Histogram) Count() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count
+}
+
+// Sum returns the sum of all observations so far. Together with Count
+// it lets a sampler derive windowed means (delta sum / delta count).
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
 }
 
 func (h *Histogram) write(w io.Writer, fam *family, lv []string) {
@@ -414,4 +424,29 @@ func (l *Logger) Log(fields map[string]any) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	io.WriteString(l.w, b.String())
+}
+
+// Flush pushes buffered log lines to stable storage: it calls the
+// writer's Flush (bufio.Writer and friends) or Sync (os.File) when one
+// exists. Graceful shutdown calls it after the last request drains so
+// no JSON-lines records are lost to process exit; a nil Logger or an
+// unbuffered writer makes it a no-op.
+func (l *Logger) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch w := l.w.(type) {
+	case interface{ Flush() error }:
+		return w.Flush()
+	case interface{ Sync() error }:
+		err := w.Sync()
+		// Terminals and pipes reject fsync; that is not a lost log.
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTTY) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return err
+	}
+	return nil
 }
