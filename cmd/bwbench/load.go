@@ -1,0 +1,324 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/service"
+)
+
+// This file is bwbench's load-generator mode (-load): it drives a
+// running bwserved through internal/client — retries, backoff,
+// Retry-After and the circuit breaker included — and reports the
+// latency distribution plus how often the server's overload machinery
+// (shedding, coalescing, the degradation ladder) engaged. It is the
+// measurement half of the chaos harness: CI starts bwserved with a
+// fault spec, points bwbench -load at it, and asserts on the report.
+
+// loadOpts carries the -load flag set.
+type loadOpts struct {
+	url      string
+	duration time.Duration
+	workers  int     // closed-loop concurrent workers
+	rate     float64 // open-loop requests/sec (0 = closed loop)
+	timeout  time.Duration
+	chaos    string // per-request X-Chaos header value
+	out      string // report path ("" = stdout only)
+	quick    bool
+}
+
+// loadReport is the machine-readable outcome of one load run (the CI
+// chaos job asserts on these fields).
+type loadReport struct {
+	Mode        string  `json:"mode"` // "closed-loop" or "open-loop"
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int64   `json:"requests"`
+	// OK counts calls that ended 200 (possibly after retries);
+	// Shed counts calls whose final outcome was a 503;
+	// BreakerRejected counts calls the client's open circuit breaker
+	// failed fast without touching the network;
+	// Failed counts every other terminal error.
+	OK              int64 `json:"ok"`
+	Shed            int64 `json:"shed"`
+	BreakerRejected int64 `json:"breaker_rejected"`
+	Failed          int64 `json:"failed"`
+	// ServerErrors counts 5xx responses other than 503 Service
+	// Unavailable and 504 Gateway Timeout seen on any attempt — the
+	// statuses the resilience contract says must never happen.
+	ServerErrors int64 `json:"server_errors"`
+	// GatewayTimeouts counts 504 outcomes (deadline enforcement, a
+	// legitimate terminal state under overload).
+	GatewayTimeouts int64 `json:"gateway_timeouts"`
+
+	Throughput float64            `json:"requests_per_sec"`
+	LatencyMS  latencySummary     `json:"latency_ms"`
+	StatusHist map[string]int64   `json:"status_counts"`
+	RetriesSum int64              `json:"retries_total"`
+	ShedsSeen  int64              `json:"sheds_seen_total"` // 503s across all attempts
+	CacheHits  int64              `json:"cache_hits"`
+	Coalesced  int64              `json:"coalesced"`
+	Degraded   map[string]int64   `json:"degraded"` // by ladder-rung name
+	ShedRate   float64            `json:"shed_rate"`
+	CoalRate   float64            `json:"coalesce_rate"`
+	Breaker    loadBreakerSummary `json:"breaker"`
+}
+
+type latencySummary struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+type loadBreakerSummary struct {
+	State string `json:"state"`
+	Opens int64  `json:"opens"`
+}
+
+// loadCollector accumulates per-call results across workers.
+type loadCollector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	status    map[int]int64
+	degraded  map[string]int64
+	rep       loadReport
+}
+
+func (lc *loadCollector) record(meta client.Meta, err error, elapsed time.Duration) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.rep.Requests++
+	lc.latencies = append(lc.latencies, elapsed)
+	if meta.Status != 0 {
+		lc.status[meta.Status]++
+	}
+	if meta.Attempts > 1 {
+		lc.rep.RetriesSum += int64(meta.Attempts - 1)
+	}
+	lc.rep.ShedsSeen += int64(meta.Sheds)
+	switch {
+	case err == nil:
+		lc.rep.OK++
+		if meta.Cached {
+			lc.rep.CacheHits++
+		}
+		if meta.Coalesced {
+			lc.rep.Coalesced++
+		}
+		if meta.Degraded != "" {
+			lc.degraded[meta.Degraded]++
+		}
+	case errors.Is(err, client.ErrBreakerOpen):
+		lc.rep.BreakerRejected++
+	case meta.Status == 503:
+		lc.rep.Shed++
+	case meta.Status == 504:
+		lc.rep.GatewayTimeouts++
+	default:
+		lc.rep.Failed++
+	}
+	// The contract: 500-style statuses must never appear, on any
+	// attempt. 503 (shed) and 504 (deadline) are the sanctioned
+	// overload outcomes.
+	if meta.Status >= 500 && meta.Status != 503 && meta.Status != 504 {
+		lc.rep.ServerErrors++
+	}
+}
+
+// loadMix builds the request stream: a hot set of repeated requests
+// (exercising the result cache and singleflight coalescing) blended
+// with a rotating cold set (forcing pipeline runs, queueing and —
+// under chaos — shedding). Deterministic per sequence number.
+func loadMix(seq int64, quick bool, timeoutMS int) (string, any) {
+	sizes := []int{96, 128, 160, 192}
+	if quick {
+		sizes = []int{48, 64, 80, 96}
+	}
+	r := rand.New(rand.NewSource(seq)) // deterministic stream, varied mix
+	hot := seq%2 == 0
+	n := sizes[r.Intn(len(sizes))]
+	if !hot {
+		// Cold: walk a wider n range so most requests miss the cache.
+		n += 1 + int(seq/2%64)
+	}
+	kernel := []string{"sec21", "dmxpy", "conv"}[r.Intn(3)]
+	if r.Intn(10) < 3 {
+		return "/v1/optimize", &service.OptimizeRequest{
+			ProgramRequest: service.ProgramRequest{Kernel: kernel, N: n, TimeoutMS: timeoutMS},
+			Verify:         "differential",
+		}
+	}
+	return "/v1/analyze", &service.AnalyzeRequest{
+		ProgramRequest: service.ProgramRequest{Kernel: kernel, N: n, TimeoutMS: timeoutMS},
+		Belady:         seq%4 == 0,
+	}
+}
+
+// runLoad drives the load and writes the report. Exit code: 0 clean,
+// 1 operational failure, 3 when the resilience contract was violated
+// (any 5xx other than 503/504 observed).
+func runLoad(opts loadOpts) int {
+	if opts.quick && opts.duration > 5*time.Second {
+		opts.duration = 5 * time.Second
+	}
+	c := client.New(client.Config{
+		BaseURL:        opts.url,
+		AttemptTimeout: opts.timeout + 5*time.Second, // server deadline + margin: a hang, not a slow request
+		Chaos:          opts.chaos,
+	})
+	lc := &loadCollector{status: map[int]int64{}, degraded: map[string]int64{}}
+	timeoutMS := int(opts.timeout / time.Millisecond)
+
+	// The run context only gates STARTING calls; each call gets its own
+	// deadline so requests in flight when the run window closes finish
+	// (and are recorded) instead of being chopped into fake failures.
+	ctx, cancel := context.WithTimeout(context.Background(), opts.duration)
+	defer cancel()
+	var seq atomic.Int64
+	// call reports whether the client's open breaker rejected the call
+	// without touching the network, so closed-loop workers can pause
+	// through the cooldown instead of hot-spinning no-op calls.
+	call := func() bool {
+		s := seq.Add(1)
+		path, req := loadMix(s, opts.quick, timeoutMS)
+		cctx, ccancel := context.WithTimeout(context.Background(), 4*(opts.timeout+10*time.Second))
+		defer ccancel()
+		begin := time.Now()
+		var meta client.Meta
+		var err error
+		if path == "/v1/optimize" {
+			_, meta, err = c.Optimize(cctx, req.(*service.OptimizeRequest))
+		} else {
+			_, meta, err = c.Analyze(cctx, req.(*service.AnalyzeRequest))
+		}
+		lc.record(meta, err, time.Since(begin))
+		return errors.Is(err, client.ErrBreakerOpen)
+	}
+
+	begin := time.Now()
+	var wg sync.WaitGroup
+	if opts.rate > 0 {
+		// Open loop: arrivals at a fixed rate, independent of response
+		// times — the arrival pattern that actually overloads servers.
+		lc.rep.Mode = "open-loop"
+		interval := time.Duration(float64(time.Second) / opts.rate)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+	open:
+		for {
+			select {
+			case <-ctx.Done():
+				break open
+			case <-tick.C:
+				wg.Add(1)
+				go func() { defer wg.Done(); call() }()
+			}
+		}
+	} else {
+		// Closed loop: N workers, each waiting for its response before
+		// sending the next request.
+		lc.rep.Mode = "closed-loop"
+		for w := 0; w < opts.workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					if rejected := call(); rejected {
+						select {
+						case <-ctx.Done():
+						case <-time.After(150 * time.Millisecond):
+						}
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	rep := lc.finish(elapsed, c)
+	data, _ := json.MarshalIndent(rep, "", "  ")
+	data = append(data, '\n')
+	if opts.out != "" {
+		if err := os.WriteFile(opts.out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bwbench:", err)
+			return 1
+		}
+	}
+	os.Stdout.Write(data)
+	fmt.Fprintf(os.Stderr,
+		"bwbench: %d requests in %.1fs (%.1f req/s): %d ok (%d cached, %d coalesced, %d degraded), %d shed, %d timeout, %d breaker-rejected, %d failed, %d server errors; p50 %.1fms p95 %.1fms p99 %.1fms\n",
+		rep.Requests, rep.DurationSec, rep.Throughput,
+		rep.OK, rep.CacheHits, rep.Coalesced, sumValues(rep.Degraded),
+		rep.Shed, rep.GatewayTimeouts, rep.BreakerRejected, rep.Failed, rep.ServerErrors,
+		rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99)
+	if rep.Requests == 0 {
+		fmt.Fprintln(os.Stderr, "bwbench: no requests completed — is the server reachable?")
+		return 1
+	}
+	if rep.ServerErrors > 0 {
+		fmt.Fprintf(os.Stderr, "bwbench: RESILIENCE VIOLATION: %d response(s) with a 5xx other than 503/504\n",
+			rep.ServerErrors)
+		return 3
+	}
+	return 0
+}
+
+// finish computes the derived fields of the report.
+func (lc *loadCollector) finish(elapsed time.Duration, c *client.Client) *loadReport {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	rep := lc.rep
+	rep.DurationSec = elapsed.Seconds()
+	if rep.DurationSec > 0 {
+		rep.Throughput = float64(rep.Requests) / rep.DurationSec
+	}
+	rep.StatusHist = map[string]int64{}
+	for code, n := range lc.status {
+		rep.StatusHist[fmt.Sprintf("%d", code)] = n
+	}
+	rep.Degraded = lc.degraded
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+		rep.CoalRate = float64(rep.Coalesced) / float64(rep.Requests)
+	}
+	sort.Slice(lc.latencies, func(i, j int) bool { return lc.latencies[i] < lc.latencies[j] })
+	if n := len(lc.latencies); n > 0 {
+		pct := func(p float64) float64 {
+			i := int(p * float64(n-1))
+			return float64(lc.latencies[i]) / float64(time.Millisecond)
+		}
+		var sum time.Duration
+		for _, d := range lc.latencies {
+			sum += d
+		}
+		rep.LatencyMS = latencySummary{
+			P50:  pct(0.50),
+			P95:  pct(0.95),
+			P99:  pct(0.99),
+			Mean: float64(sum) / float64(n) / float64(time.Millisecond),
+			Max:  float64(lc.latencies[n-1]) / float64(time.Millisecond),
+		}
+	}
+	state, opens := c.BreakerState()
+	rep.Breaker = loadBreakerSummary{State: state, Opens: opens}
+	return &rep
+}
+
+func sumValues(m map[string]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

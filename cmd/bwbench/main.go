@@ -7,6 +7,9 @@
 //	bwbench [-quick] -record [-record-dir .] [-repeats 3]
 //	bwbench [-quick] -baseline BENCH_1.json -check \
 //	        [-threshold-time 0.20] [-threshold-balance 0.01]
+//	bwbench [-quick] -load [-url http://localhost:8080] \
+//	        [-load-duration 30s] [-load-workers 8] [-load-rate 0] \
+//	        [-load-timeout 10s] [-load-chaos spec] [-load-out report.json]
 //
 // Run bwbench -h for the full experiment list (it is derived from the
 // experiments table below, so the two cannot drift apart).
@@ -42,6 +45,18 @@
 // JSON: one span per experiment, and — because the attribution runs
 // are context-traced — one span per pass attempt, analysis request
 // and verification inside them.
+//
+// The fourth form is a load generator against a running bwserved: a
+// closed loop of -load-workers concurrent callers (or, with
+// -load-rate, an open loop of fixed-rate arrivals) driving a mixed
+// analyze/optimize stream through internal/client — retries,
+// Retry-After, circuit breaker — for -load-duration. It prints (and
+// with -load-out writes) a JSON report: latency percentiles, shed and
+// coalesce rates, a degradation histogram, breaker state. Exit status
+// 3 flags a resilience violation (any 5xx other than 503/504);
+// -quick caps the duration at 5s for CI smoke runs. -load-chaos
+// attaches a per-request X-Chaos fault spec (the server must run with
+// -chaos-header).
 package main
 
 import (
@@ -122,7 +137,23 @@ func main() {
 	repeats := flag.Int("repeats", 3, "optimizer repeats per kernel for -record/-check (median is compared)")
 	thTime := flag.Float64("threshold-time", 0.20, "tolerated relative wall-time increase for -check")
 	thBalance := flag.Float64("threshold-balance", 0.01, "tolerated relative balance increase for -check")
+	load := flag.Bool("load", false, "load-generator mode: drive a running bwserved and report latency/shed/coalesce/degradation")
+	loadURL := flag.String("url", "http://localhost:8080", "bwserved base URL for -load")
+	loadDuration := flag.Duration("load-duration", 30*time.Second, "how long -load drives traffic (-quick caps it at 5s)")
+	loadWorkers := flag.Int("load-workers", 8, "closed-loop concurrent callers for -load")
+	loadRate := flag.Float64("load-rate", 0, "open-loop arrivals/sec for -load (0 = closed loop)")
+	loadTimeout := flag.Duration("load-timeout", 10*time.Second, "per-request server deadline sent by -load")
+	loadChaos := flag.String("load-chaos", "", "X-Chaos fault spec sent with every -load request (server needs -chaos-header)")
+	loadOut := flag.String("load-out", "", "also write the -load JSON report to this path")
 	flag.Parse()
+
+	if *load {
+		os.Exit(runLoad(loadOpts{
+			url: *loadURL, duration: *loadDuration, workers: *loadWorkers,
+			rate: *loadRate, timeout: *loadTimeout, chaos: *loadChaos,
+			out: *loadOut, quick: *quick,
+		}))
+	}
 
 	cfg := core.Default()
 	cfgName := "default"

@@ -7,7 +7,8 @@
 //	bwserved [-addr :8080] [-workers N] [-cache-entries N] \
 //	         [-timeout 15s] [-max-timeout 60s] [-max-body 1048576] \
 //	         [-max-steps 200000000] [-drain 10s] [-quiet] [-pprof] \
-//	         [-sample-every 2s] [-history-samples 512]
+//	         [-sample-every 2s] [-history-samples 512] \
+//	         [-max-queue N] [-chaos spec] [-chaos-header]
 //
 // Endpoints:
 //
@@ -35,6 +36,17 @@
 // "trace_id" in the JSON request log, so slow requests can be joined
 // to their log lines and inline traces.
 //
+// Overload protection is always on: identical concurrent requests are
+// coalesced onto one pipeline run, requests the queue cannot absorb
+// are shed with 503 + Retry-After (-max-queue caps the queue; default
+// 4×workers, negative disables), and requests whose deadline cannot
+// fit the full pipeline are served degraded (response field
+// "degraded", header X-Degraded). Chaos testing is opt-in: -chaos
+// installs a server-wide fault-injection spec (see internal/faults;
+// e.g. 'pass.panic:nth=3;analysis.slow:rate=0.1,delay=50ms') and
+// -chaos-header additionally accepts a per-request spec in the
+// X-Chaos request header. Never enable either in production.
+//
 // Example:
 //
 //	curl -s localhost:8080/v1/analyze \
@@ -56,6 +68,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/service"
 )
 
@@ -72,7 +85,19 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	sampleEvery := flag.Duration("sample-every", 2*time.Second, "live-history sampling interval (0 disables /v1/history sampling)")
 	historySamples := flag.Int("history-samples", 512, "live-history ring-buffer capacity per series")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for a worker before shedding (0 = 4×workers, negative disables)")
+	chaosSpec := flag.String("chaos", "", "server-wide fault-injection spec, e.g. 'pass.panic:nth=3;analysis.slow:rate=0.1,delay=50ms' (chaos testing only)")
+	chaosHeader := flag.Bool("chaos-header", false, "accept per-request fault specs in the X-Chaos header (chaos testing only)")
 	flag.Parse()
+
+	chaos, err := faults.Parse(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bwserved: -chaos:", err)
+		os.Exit(2)
+	}
+	if chaos != nil {
+		fmt.Fprintf(os.Stderr, "bwserved: CHAOS MODE: injecting faults: %s\n", chaos)
+	}
 
 	var logw io.Writer = os.Stderr
 	if *quiet {
@@ -89,6 +114,9 @@ func main() {
 		EnablePprof:     *pprofFlag,
 		SampleInterval:  *sampleEvery,
 		HistoryCapacity: *historySamples,
+		MaxQueue:        *maxQueue,
+		Faults:          chaos,
+		ChaosHeader:     *chaosHeader,
 	})
 
 	hs := &http.Server{

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/deps"
+	"repro/internal/faults"
 	"repro/internal/fusion"
 	"repro/internal/ir"
 	"repro/internal/liveness"
@@ -350,6 +351,12 @@ func (m *Manager) Get(name string) (any, error) {
 			m.SetTraceContext(sctx)
 			defer m.SetTraceContext(tctx)
 		}
+	}
+	// Chaos testing: an injected slow analysis models a pathological
+	// compute on the miss path (hits stay fast, like a real stall
+	// would). The fault set rides the same context the spans do.
+	if tctx != nil {
+		faults.Sleep(tctx, faults.AnalysisSlow)
 	}
 	begin := time.Now()
 	v, err := a.Compute(m, p)

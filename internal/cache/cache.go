@@ -34,8 +34,12 @@ type Stats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
-	Len       int
-	Capacity  int
+	// FaultErrors counts operations failed by the fault hook (lookups
+	// turned into misses, stores dropped). Always zero outside chaos
+	// testing.
+	FaultErrors int64
+	Len         int
+	Capacity    int
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any lookup.
@@ -57,6 +61,15 @@ type Cache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	faults    int64
+	// faultHook, when set, is consulted before every operation with the
+	// operation name ("get" or "put"); a non-nil return fails the
+	// operation. It exists for deterministic fault injection (the
+	// chaos tests wire it to a faults.Set): a failed lookup degrades to
+	// a miss and a failed store is dropped, which is exactly how a
+	// flaky external cache tier must be absorbed — never surfaced to
+	// the caller.
+	faultHook func(op string) error
 }
 
 type entry struct {
@@ -75,11 +88,37 @@ func New(capacity int) *Cache {
 	}
 }
 
+// SetFaultHook installs (or, with nil, removes) the error-injection
+// hook. Safe to call concurrently with operations; intended for tests
+// and chaos runs only.
+func (c *Cache) SetFaultHook(h func(op string) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faultHook = h
+}
+
+// injected reports whether the fault hook fails the operation. Called
+// with c.mu held.
+func (c *Cache) injected(op string) bool {
+	if c.faultHook == nil {
+		return false
+	}
+	if err := c.faultHook(op); err != nil {
+		c.faults++
+		return true
+	}
+	return false
+}
+
 // Get returns the value stored under key and marks it most recently
 // used. The second result reports whether the key was present.
 func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.injected("get") {
+		c.misses++
+		return nil, false
+	}
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
@@ -99,6 +138,9 @@ func (c *Cache) Put(key string, val any) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.injected("put") {
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		el.Value.(*entry).val = val
 		c.ll.MoveToFront(el)
@@ -125,10 +167,11 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Len:       c.ll.Len(),
-		Capacity:  c.capacity,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		FaultErrors: c.faults,
+		Len:         c.ll.Len(),
+		Capacity:    c.capacity,
 	}
 }

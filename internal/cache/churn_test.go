@@ -1,0 +1,121 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestConcurrentChurn hammers a small cache from many goroutines so
+// Get, Put and LRU eviction interleave constantly. Run under -race it
+// is the package's concurrency proof; the invariants checked are the
+// ones the service relies on: Len never exceeds capacity, a Get never
+// returns another key's value, and the counters add up.
+func TestConcurrentChurn(t *testing.T) {
+	const (
+		capacity   = 16
+		goroutines = 8
+		iterations = 2000
+		keySpace   = 64 // 4× capacity: constant eviction pressure
+	)
+	c := New(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				k := fmt.Sprintf("key-%d", (g*31+i)%keySpace)
+				switch i % 3 {
+				case 0:
+					c.Put(k, k) // value = key: lets readers verify identity
+				case 1:
+					if v, ok := c.Get(k); ok && v.(string) != k {
+						t.Errorf("Get(%q) returned %q", k, v)
+						return
+					}
+				case 2:
+					c.Len()
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Len > capacity {
+		t.Fatalf("Len %d exceeds capacity %d", st.Len, capacity)
+	}
+	if st.Len != c.Len() {
+		t.Fatalf("Stats().Len %d != Len() %d", st.Len, c.Len())
+	}
+	if st.Hits+st.Misses == 0 || st.Evictions == 0 {
+		t.Fatalf("churn produced no traffic or no evictions: %+v", st)
+	}
+}
+
+// TestConcurrentChurnWithFaults repeats the churn with the
+// error-injection hook failing a deterministic slice of operations —
+// the cache.error chaos point — and checks that injected failures
+// degrade cleanly (miss/drop) without breaking any invariant.
+func TestConcurrentChurnWithFaults(t *testing.T) {
+	const (
+		capacity   = 16
+		goroutines = 8
+		iterations = 1500
+	)
+	c := New(capacity)
+	set := faults.MustParse("cache.error:nth=5")
+	c.SetFaultHook(func(op string) error {
+		if set.Fire(faults.CacheError) {
+			return errors.New("injected cache error")
+		}
+		return nil
+	})
+
+	var putsTried atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				k := fmt.Sprintf("key-%d", (g*17+i)%48)
+				if i%2 == 0 {
+					putsTried.Add(1)
+					c.Put(k, k)
+				} else if v, ok := c.Get(k); ok && v.(string) != k {
+					t.Errorf("Get(%q) returned %q", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Len > capacity {
+		t.Fatalf("Len %d exceeds capacity %d", st.Len, capacity)
+	}
+	if st.FaultErrors == 0 {
+		t.Fatal("fault hook never fired under nth=5")
+	}
+	// Every 5th hook consultation failed; the counter must be in the
+	// right ballpark (ops = puts + gets, all consulted).
+	ops := int64(goroutines * iterations)
+	if st.FaultErrors < ops/5-1 || st.FaultErrors > ops/5+1 {
+		t.Fatalf("FaultErrors = %d, want ~%d (ops/5)", st.FaultErrors, ops/5)
+	}
+
+	// Removing the hook restores exact behavior.
+	c.SetFaultHook(nil)
+	c.Put("sentinel", "sentinel")
+	if v, ok := c.Get("sentinel"); !ok || v.(string) != "sentinel" {
+		t.Fatalf("after hook removal: Get = %v, %v", v, ok)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faults"
 	"repro/internal/ir"
 	"repro/internal/trace"
 )
@@ -117,6 +118,9 @@ func (cp *Compiled) Run(h Machine) (*Result, error) {
 func (cp *Compiled) RunCtx(ctx context.Context, h Machine, lim Limits) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if faults.Should(ctx, faults.ExecCancel) {
+		return nil, fmt.Errorf("%w: injected %s", ErrCanceled, faults.ExecCancel)
 	}
 	ctx, span := trace.StartSpan(ctx, "exec.run", trace.String("program", cp.prog.Name),
 		trace.String("engine", "compiled"))

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faults"
 	"repro/internal/ir"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -102,6 +103,9 @@ func RunCtx(ctx context.Context, p *ir.Program, h Machine, lim Limits) (*Result,
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if faults.Should(ctx, faults.ExecCancel) {
+		return nil, fmt.Errorf("%w: injected %s", ErrCanceled, faults.ExecCancel)
 	}
 	ctx, span := trace.StartSpan(ctx, "exec.run", trace.String("program", p.Name),
 		trace.String("engine", "interp"))

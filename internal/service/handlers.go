@@ -136,9 +136,16 @@ type BeladyComparison struct {
 
 // AnalyzeResponse is the body of a successful POST /v1/analyze.
 type AnalyzeResponse struct {
-	Cached  bool              `json:"cached"`
-	Balance *BalanceSummary   `json:"balance"`
-	Belady  *BeladyComparison `json:"belady,omitempty"`
+	Cached bool `json:"cached"`
+	// Coalesced marks a response shared from an identical concurrent
+	// request's pipeline run (singleflight): this request consumed no
+	// worker of its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Degraded marks a response served below full service by the
+	// overload ladder (see DegradeInfo); absent at full service.
+	Degraded *DegradeInfo      `json:"degraded,omitempty"`
+	Balance  *BalanceSummary   `json:"balance"`
+	Belady   *BeladyComparison `json:"belady,omitempty"`
 	// Trace is the request's span tree, present only when the request
 	// set "trace": true. Cached entries never store a trace; a traced
 	// cache hit reports the (short) hit path.
@@ -157,12 +164,17 @@ type Verification struct {
 
 // OptimizeResponse is the body of a successful POST /v1/optimize.
 type OptimizeResponse struct {
-	Cached       bool            `json:"cached"`
+	Cached bool `json:"cached"`
+	// Coalesced and Degraded: see AnalyzeResponse. A structural-only
+	// degraded response omits Before/After/Speedup (measurement was
+	// skipped to fit the deadline).
+	Coalesced    bool            `json:"coalesced,omitempty"`
+	Degraded     *DegradeInfo    `json:"degraded,omitempty"`
 	Optimized    string          `json:"optimized"` // optimized program source
 	Actions      []string        `json:"actions"`
 	Verification *Verification   `json:"verification"`
-	Before       *BalanceSummary `json:"before"`
-	After        *BalanceSummary `json:"after"`
+	Before       *BalanceSummary `json:"before,omitempty"`
+	After        *BalanceSummary `json:"after,omitempty"`
 	Speedup      float64         `json:"speedup"`
 	// Passes and Analysis report the run's per-pass wall time and the
 	// analysis manager's cache counters (cached responses keep the
@@ -367,6 +379,15 @@ type analyzeKey struct {
 	MaxSteps int64
 }
 
+// analyzeCacheKey is the content address of an analyze result for the
+// given effective options.
+func (s *Server) analyzeCacheKey(sourceID, machineName string, belady bool) (string, error) {
+	return cache.Key(analyzeKey{
+		Endpoint: "analyze", Source: sourceID, Machine: machineName,
+		Belady: belady, MaxSteps: s.cfg.MaxSteps,
+	})
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	if !s.decode(w, r, &req) {
@@ -374,6 +395,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	ctx, err := s.chaosCtx(ctx, r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
 	ctx, tr, root := startRequestTrace(ctx, req.Trace, "v1.analyze")
 
 	begin := time.Now()
@@ -389,15 +415,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stageSeconds.With("parse").Observe(time.Since(begin).Seconds())
 
-	key, err := cache.Key(analyzeKey{
-		Endpoint: "analyze", Source: sourceID, Machine: spec.Name,
-		Belady: req.Belady, MaxSteps: s.cfg.MaxSteps,
-	})
+	key, err := s.analyzeCacheKey(sourceID, spec.Name, req.Belady)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	if v, ok := s.cache.Get(key); ok {
+	if v, ok := s.cacheGet(ctx, key); ok {
 		s.cacheHits.Inc()
 		w.Header().Set("X-Cache", "hit")
 		resp := *v.(*AnalyzeResponse) // shallow copy; cached values are immutable
@@ -412,37 +435,28 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.cacheMisses.Inc()
 	w.Header().Set("X-Cache", "miss")
 
-	release, err := s.acquire(ctx)
+	// Coalesce identical concurrent misses onto one pipeline run; the
+	// leader passes admission control and may be degraded or shed.
+	v, shared, err := s.flight.do(ctx, key, func() (any, error) {
+		return s.runAnalyze(ctx, &req, p, sourceID, spec)
+	})
 	if err != nil {
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
-			Error: "timed out waiting for a worker: " + err.Error()})
+		s.failOverload(w, err)
 		return
 	}
-	defer release()
-
-	mbegin := time.Now()
-	rep, err := balance.MeasureCtx(ctx, p, spec, s.limits())
-	s.stageSeconds.With("measure").Observe(time.Since(mbegin).Seconds())
-	if err != nil {
-		s.failExec(w, err)
-		return
+	resp := v.(*AnalyzeResponse)
+	if shared {
+		s.coalesced.Inc()
+		w.Header().Set("X-Coalesced", "1")
+		cp := *resp
+		cp.Coalesced = true
+		resp = &cp
 	}
-	resp := &AnalyzeResponse{Balance: summarize(rep)}
-
-	if req.Belady {
-		rbegin := time.Now()
-		cmp, err := s.beladyCompare(ctx, p, spec)
-		s.stageSeconds.With("replay").Observe(time.Since(rbegin).Seconds())
-		if err != nil {
-			s.failExec(w, err)
-			return
-		}
-		resp.Belady = cmp
+	if resp.Degraded != nil {
+		s.degraded.With(resp.Degraded.Mode).Inc()
+		s.degradedAll.Inc()
+		w.Header().Set("X-Degraded", resp.Degraded.Mode)
 	}
-
-	// Cache the trace-free response: a trace describes one request's
-	// execution, not the cacheable result.
-	s.cache.Put(key, resp)
 	if tr != nil {
 		root.End(trace.String("cache", "miss"))
 		out := *resp
@@ -451,6 +465,98 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// runAnalyze is the leader's pipeline body for one analyze miss:
+// admission, degradation, worker acquisition, measurement. The
+// returned response is trace-free (the handler attaches trees).
+func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Program, sourceID string, spec machine.Spec) (*AnalyzeResponse, error) {
+	level, reason, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Analyze's product is a measurement, so the ladder bites later
+	// than on optimize: rung 2 sheds only the Belady double-replay;
+	// rung 3 serves cached results alone.
+	effBelady := req.Belady && level.measureAllowed()
+	var info *DegradeInfo
+	if effBelady != req.Belady {
+		info = level.info(reason)
+	}
+	if level >= degradeCacheOnly {
+		if effBelady != req.Belady {
+			// A Belady-free result is still an acceptable degraded
+			// answer if one is already cached.
+			if ek, err := s.analyzeCacheKey(sourceID, spec.Name, false); err == nil {
+				if v, ok := s.cacheGet(ctx, ek); ok {
+					cp := *v.(*AnalyzeResponse)
+					cp.Cached = true
+					cp.Degraded = level.info(reason)
+					return &cp, nil
+				}
+			}
+		}
+		return nil, &shedError{
+			retryAfter: s.retryAfterEstimate(s.queueDepth.Value()),
+			reason:     "degraded to cache-only and result not cached: " + reason,
+		}
+	}
+	if effBelady != req.Belady {
+		// The degraded variant may already be cached under its own key.
+		ek, err := s.analyzeCacheKey(sourceID, spec.Name, false)
+		if err == nil {
+			if v, ok := s.cacheGet(ctx, ek); ok {
+				cp := *v.(*AnalyzeResponse)
+				cp.Cached = true
+				cp.Degraded = info
+				return &cp, nil
+			}
+		}
+	}
+
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("timed out waiting for a worker: %w", err)
+	}
+	defer release()
+
+	pbegin := time.Now()
+	mbegin := time.Now()
+	rep, err := balance.MeasureCtx(ctx, p, spec, s.limits())
+	s.stageSeconds.With("measure").Observe(time.Since(mbegin).Seconds())
+	if err != nil {
+		return nil, err
+	}
+	resp := &AnalyzeResponse{Balance: summarize(rep)}
+
+	if effBelady {
+		rbegin := time.Now()
+		cmp, err := s.beladyCompare(ctx, p, spec)
+		s.stageSeconds.With("replay").Observe(time.Since(rbegin).Seconds())
+		if err != nil {
+			return nil, err
+		}
+		resp.Belady = cmp
+	}
+	if level == degradeNone {
+		// Only full-service runs feed the cost estimate: degraded runs
+		// are cheaper by construction and would drag it optimistic.
+		s.observePipeline(time.Since(pbegin))
+	}
+
+	// Cache the trace-free, degradation-free response under the key of
+	// what was actually computed: a Belady-free degraded run is exactly
+	// a Belady-free request's full answer, so it must never be stored
+	// under the requested (Belady-bearing) address.
+	if key, err := s.analyzeCacheKey(sourceID, spec.Name, effBelady); err == nil {
+		s.cachePut(ctx, key, resp)
+	}
+	if info != nil {
+		cp := *resp
+		cp.Degraded = info
+		return &cp, nil
+	}
+	return resp, nil
 }
 
 // beladyCompare records the program's access stream at the machine's
@@ -511,6 +617,15 @@ type optimizeKey struct {
 	MaxSteps int64
 }
 
+// optimizeCacheKey is the content address of an optimize result for
+// the given effective options.
+func (s *Server) optimizeCacheKey(sourceID, machineName string, opts transform.Options, pipeline string, mode verify.Mode, tol float64) (string, error) {
+	return cache.Key(optimizeKey{
+		Endpoint: "optimize", Source: sourceID, Machine: machineName,
+		Passes: opts, Pipeline: pipeline, Verify: mode.String(), Tol: tol, MaxSteps: s.cfg.MaxSteps,
+	})
+}
+
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var req OptimizeRequest
 	if !s.decode(w, r, &req) {
@@ -518,6 +633,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	ctx, err := s.chaosCtx(ctx, r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
 	ctx, tr, root := startRequestTrace(ctx, req.Trace, "v1.optimize")
 
 	begin := time.Now()
@@ -557,15 +677,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stageSeconds.With("parse").Observe(time.Since(begin).Seconds())
 
-	key, err := cache.Key(optimizeKey{
-		Endpoint: "optimize", Source: sourceID, Machine: spec.Name,
-		Passes: opts, Pipeline: req.Pipeline, Verify: mode.String(), Tol: req.Tol, MaxSteps: s.cfg.MaxSteps,
-	})
+	key, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, mode, req.Tol)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	if v, ok := s.cache.Get(key); ok {
+	if v, ok := s.cacheGet(ctx, key); ok {
 		s.cacheHits.Inc()
 		w.Header().Set("X-Cache", "hit")
 		resp := *v.(*OptimizeResponse)
@@ -580,36 +697,90 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.cacheMisses.Inc()
 	w.Header().Set("X-Cache", "miss")
 
+	// Coalesce identical concurrent misses onto one pipeline run (N
+	// identical in-flight requests cost one optimization); the leader
+	// passes admission control and may be degraded or shed.
+	v, shared, err := s.flight.do(ctx, key, func() (any, error) {
+		return s.runOptimize(ctx, &req, p, sourceID, spec, opts, mode)
+	})
+	if err != nil {
+		s.failOverload(w, err)
+		return
+	}
+	resp := v.(*OptimizeResponse)
+	if shared {
+		s.coalesced.Inc()
+		w.Header().Set("X-Coalesced", "1")
+		cp := *resp
+		cp.Coalesced = true
+		resp = &cp
+	}
+	if resp.Degraded != nil {
+		s.degraded.With(resp.Degraded.Mode).Inc()
+		s.degradedAll.Inc()
+		w.Header().Set("X-Degraded", resp.Degraded.Mode)
+	}
+	if tr != nil {
+		root.End(trace.String("cache", "miss"))
+		out := *resp
+		out.Trace = tr.Tree()
+		writeJSON(w, http.StatusOK, &out)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runOptimize is the leader's pipeline body for one optimize miss:
+// admission, degradation (verification clamp, measurement skip),
+// worker acquisition, transform, measurement. The returned response is
+// trace-free (the handler attaches trees).
+func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Program, sourceID string, spec machine.Spec, opts transform.Options, mode verify.Mode) (*OptimizeResponse, error) {
+	level, reason, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	effMode := level.clampVerify(mode)
+	measure := level.measureAllowed()
+	var info *DegradeInfo
+	if effMode != mode || !measure {
+		info = level.info(reason)
+	}
+	if effMode != mode || level >= degradeCacheOnly {
+		// The clamped variant may already be cached under its own key —
+		// for cache-only, a cached verify-off result (which includes
+		// measurement) is the only acceptable answer.
+		ek, kerr := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol)
+		if kerr == nil {
+			if v, ok := s.cacheGet(ctx, ek); ok {
+				cp := *v.(*OptimizeResponse)
+				cp.Cached = true
+				cp.Degraded = info
+				return &cp, nil
+			}
+		}
+	}
+	if level >= degradeCacheOnly {
+		return nil, &shedError{
+			retryAfter: s.retryAfterEstimate(s.queueDepth.Value()),
+			reason:     "degraded to cache-only and result not cached: " + reason,
+		}
+	}
+
 	release, err := s.acquire(ctx)
 	if err != nil {
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
-			Error: "timed out waiting for a worker: " + err.Error()})
-		return
+		return nil, fmt.Errorf("timed out waiting for a worker: %w", err)
 	}
 	defer release()
 
+	pbegin := time.Now()
 	obegin := time.Now()
 	q, outcome, err := transform.OptimizeVerifiedCtx(ctx, p, transform.Config{
-		Options: opts, Pipeline: req.Pipeline, Verify: mode, Tol: req.Tol, ExecLimits: s.limits(),
+		Options: opts, Pipeline: req.Pipeline, Verify: effMode, Tol: req.Tol, ExecLimits: s.limits(),
 	})
 	s.stageSeconds.With("optimize").Observe(time.Since(obegin).Seconds())
 	s.recordOutcome(outcome)
 	if err != nil {
-		s.failExec(w, err)
-		return
-	}
-
-	mbegin := time.Now()
-	before, err := balance.MeasureCtx(ctx, p, spec, s.limits())
-	if err != nil {
-		s.failExec(w, err)
-		return
-	}
-	after, err := balance.MeasureCtx(ctx, q, spec, s.limits())
-	s.stageSeconds.With("measure").Observe(time.Since(mbegin).Seconds())
-	if err != nil {
-		s.failExec(w, err)
-		return
+		return nil, err
 	}
 
 	resp := &OptimizeResponse{
@@ -623,9 +794,6 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			Text: report.Degradation(outcome.Mode.String(), outcome.Checkpoints,
 				outcome.SkippedReport(), outcome.Notes).String(),
 		},
-		Before:   summarize(before),
-		After:    summarize(after),
-		Speedup:  balance.Speedup(before, after),
 		Passes:   outcome.Passes,
 		Analysis: outcome.Analysis,
 	}
@@ -633,16 +801,41 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		resp.Actions = append(resp.Actions, a.String())
 	}
 
-	// Cache the trace-free response (see handleAnalyze).
-	s.cache.Put(key, resp)
-	if tr != nil {
-		root.End(trace.String("cache", "miss"))
-		out := *resp
-		out.Trace = tr.Tree()
-		writeJSON(w, http.StatusOK, &out)
-		return
+	if measure {
+		mbegin := time.Now()
+		before, err := balance.MeasureCtx(ctx, p, spec, s.limits())
+		if err != nil {
+			return nil, err
+		}
+		after, err := balance.MeasureCtx(ctx, q, spec, s.limits())
+		s.stageSeconds.With("measure").Observe(time.Since(mbegin).Seconds())
+		if err != nil {
+			return nil, err
+		}
+		resp.Before = summarize(before)
+		resp.After = summarize(after)
+		resp.Speedup = balance.Speedup(before, after)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if level == degradeNone {
+		// Only full-service runs feed the cost estimate (see runAnalyze).
+		s.observePipeline(time.Since(pbegin))
+	}
+
+	// Cache the trace-free, degradation-free response under the key of
+	// what was actually computed: a verification-clamped run is exactly
+	// the clamped request's full answer. A structural-only run skipped
+	// measurement, so it is incomplete for any key and is not cached.
+	if measure {
+		if ek, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol); err == nil {
+			s.cachePut(ctx, ek, resp)
+		}
+	}
+	if info != nil {
+		cp := *resp
+		cp.Degraded = info
+		return &cp, nil
+	}
+	return resp, nil
 }
 
 func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,317 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/verify"
+)
+
+// This file is the service's overload-protection layer: request
+// coalescing (singleflight on the content address), admission control
+// (load shedding with 503 + Retry-After), and the deadline-driven
+// degradation ladder. The ladder's rungs, from healthy to desperate:
+//
+//	0 full            the request runs exactly as asked
+//	1 no-differential differential verification clamped to structural
+//	2 structural-only every program execution is skipped: verification
+//	                  drops to the IR-validate floor, optimize omits
+//	                  before/after measurement, analyze omits Belady
+//	3 cache-only      only cached results are served; misses are shed
+//
+// A rung is chosen per request at admission time by comparing the
+// remaining deadline budget against the estimated cost of the full
+// pipeline (an EWMA of recent runs) plus the estimated queue wait.
+// Degraded responses carry a DegradeInfo marker and an X-Degraded
+// header; every shed carries Retry-After.
+
+// DegradeInfo reports a degraded response's ladder position.
+type DegradeInfo struct {
+	// Level is the ladder rung (1..3; full-service responses carry no
+	// DegradeInfo at all).
+	Level int `json:"level"`
+	// Mode is the rung's name ("no-differential", "structural-only",
+	// "cache-only").
+	Mode string `json:"mode"`
+	// Reason explains why the service degraded this request.
+	Reason string `json:"reason"`
+}
+
+type degradeLevel int
+
+const (
+	degradeNone degradeLevel = iota
+	degradeNoDiff
+	degradeStructural
+	degradeCacheOnly
+)
+
+func (l degradeLevel) String() string {
+	switch l {
+	case degradeNone:
+		return "full"
+	case degradeNoDiff:
+		return "no-differential"
+	case degradeStructural:
+		return "structural-only"
+	case degradeCacheOnly:
+		return "cache-only"
+	}
+	return fmt.Sprintf("degradeLevel(%d)", int(l))
+}
+
+// clampVerify returns the verification mode the rung allows: rung 1
+// forbids differential execution, rung 2 forbids every verification
+// execution (ir.Program.Validate still guards each checkpoint — that
+// floor is unconditional in the pass manager).
+func (l degradeLevel) clampVerify(m verify.Mode) verify.Mode {
+	switch {
+	case l >= degradeStructural:
+		return verify.ModeOff
+	case l >= degradeNoDiff && m > verify.ModeStructural:
+		return verify.ModeStructural
+	}
+	return m
+}
+
+// measureAllowed reports whether the rung permits program executions
+// (balance measurement, Belady replay).
+func (l degradeLevel) measureAllowed() bool { return l < degradeStructural }
+
+// info builds the response marker for a non-full rung.
+func (l degradeLevel) info(reason string) *DegradeInfo {
+	if l == degradeNone {
+		return nil
+	}
+	return &DegradeInfo{Level: int(l), Mode: l.String(), Reason: reason}
+}
+
+// levelFor picks the ladder rung from the remaining deadline budget
+// and the estimated cost of a full-service run. The halving heuristic
+// mirrors where the time actually goes: differential verification
+// roughly doubles a run (one reference execution per checkpoint), and
+// the remaining executions (structural-mode measurement and replay)
+// dominate what is left, so each rung cuts the estimate in half again.
+func levelFor(remaining, estFull time.Duration) degradeLevel {
+	if estFull <= 0 {
+		return degradeNone // no estimate yet: nothing to compare against
+	}
+	switch {
+	case remaining >= estFull:
+		return degradeNone
+	case remaining >= estFull/2:
+		return degradeNoDiff
+	case remaining >= estFull/4:
+		return degradeStructural
+	default:
+		return degradeCacheOnly
+	}
+}
+
+// shedError is an admission-control rejection: the request was shed
+// before consuming a worker. The handler maps it to 503 with a
+// Retry-After header.
+type shedError struct {
+	retryAfter time.Duration
+	reason     string
+}
+
+func (e *shedError) Error() string { return "overloaded: " + e.reason }
+
+// pipeEWMA returns the exponentially weighted moving average of recent
+// full-pipeline wall times, in seconds (0 until the first run).
+func (s *Server) pipeEWMA() float64 {
+	return math.Float64frombits(s.pipeEWMABits.Load())
+}
+
+// observePipeline folds one pipeline wall time into the EWMA estimate
+// admission control divides the deadline budget by.
+func (s *Server) observePipeline(d time.Duration) {
+	const alpha = 0.3
+	obs := d.Seconds()
+	for {
+		old := s.pipeEWMABits.Load()
+		prev := math.Float64frombits(old)
+		next := obs
+		if prev > 0 {
+			next = alpha*obs + (1-alpha)*prev
+		}
+		if s.pipeEWMABits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfterEstimate guesses when retrying is worthwhile: the time for
+// the current queue to drain through the worker pool, bounded to
+// [1s, 30s] so clients neither hammer nor give up.
+func (s *Server) retryAfterEstimate(waiting float64) time.Duration {
+	est := time.Duration(waiting / float64(s.cfg.Workers) * s.pipeEWMA() * float64(time.Second))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 30*time.Second {
+		est = 30 * time.Second
+	}
+	return est
+}
+
+// admit is the admission decision for one would-be pipeline run. It
+// either sheds the request (queue at its cap, or the estimated queue
+// wait alone exceeds the request's remaining deadline) or returns the
+// degradation rung the remaining budget affords.
+func (s *Server) admit(ctx context.Context) (degradeLevel, string, error) {
+	waiting := s.queueDepth.Value()
+	if s.cfg.MaxQueue > 0 && waiting >= float64(s.cfg.MaxQueue) {
+		return degradeNone, "", &shedError{
+			retryAfter: s.retryAfterEstimate(waiting),
+			reason:     fmt.Sprintf("queue depth %.0f at limit %d", waiting, s.cfg.MaxQueue),
+		}
+	}
+	remaining := time.Duration(math.MaxInt64)
+	if dl, ok := ctx.Deadline(); ok {
+		remaining = time.Until(dl)
+	}
+	estWait := time.Duration(waiting / float64(s.cfg.Workers) * s.pipeEWMA() * float64(time.Second))
+	if estWait > remaining {
+		return degradeNone, "", &shedError{
+			retryAfter: s.retryAfterEstimate(waiting),
+			reason: fmt.Sprintf("estimated queue wait %v exceeds remaining deadline %v",
+				estWait.Round(time.Millisecond), remaining.Round(time.Millisecond)),
+		}
+	}
+	budget := remaining - estWait
+	estFull := time.Duration(s.pipeEWMA() * float64(time.Second))
+	level := levelFor(budget, estFull)
+	reason := ""
+	if level != degradeNone {
+		reason = fmt.Sprintf("remaining deadline budget %v under estimated full-pipeline cost %v",
+			budget.Round(time.Millisecond), estFull.Round(time.Millisecond))
+	}
+	return level, reason, nil
+}
+
+// flightCall is one in-flight leader computation and the latch its
+// followers wait on.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// flightGroup coalesces concurrent identical requests (singleflight
+// keyed on the result-cache content address): the first arrival runs
+// the pipeline, later arrivals block on its latch and share the
+// outcome — N identical requests in flight cost one optimization.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[string]*flightCall{}}
+}
+
+// do runs fn once per key among concurrent callers. The second result
+// reports whether this caller was a follower (coalesced onto another
+// request's run). Followers abandon the wait when their own ctx ends;
+// the leader's run is unaffected. A panicking fn is converted into an
+// error for every waiter — a wedged latch would otherwise hang
+// followers forever.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.val, c.err = nil, fmt.Errorf("service: request handler panicked: %v", r)
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
+	}()
+	return c.val, false, c.err
+}
+
+// failOverload renders pipeline-layer errors, including shedding: a
+// shedError becomes 503 + Retry-After (whole seconds, at least 1) and
+// counts toward bwserved_shed_total; everything else takes the
+// existing exec-error mapping.
+func (s *Server) failOverload(w http.ResponseWriter, err error) {
+	var se *shedError
+	if errors.As(err, &se) {
+		s.shed.Inc()
+		secs := int(math.Ceil(se.retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: se.Error()})
+		return
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		s.fail(w, err)
+		return
+	}
+	s.failExec(w, err)
+}
+
+// chaosCtx applies a per-request X-Chaos fault spec. The header is an
+// explicit opt-in (Config.ChaosHeader, test builds and chaos rigs
+// only); on a production server it is rejected loudly rather than
+// silently ignored, so a misconfigured load generator cannot mistake
+// "no faults fired" for resilience.
+func (s *Server) chaosCtx(ctx context.Context, r *http.Request) (context.Context, error) {
+	h := r.Header.Get("X-Chaos")
+	if h == "" {
+		return ctx, nil
+	}
+	if !s.cfg.ChaosHeader {
+		return ctx, &httpError{code: http.StatusBadRequest,
+			msg: "X-Chaos header rejected: server started without -chaos-header"}
+	}
+	set, err := faults.Parse(h)
+	if err != nil {
+		return ctx, badRequest("%v", err)
+	}
+	return faults.With(ctx, set), nil
+}
+
+// cacheGet consults the result cache, honoring an injected cache
+// fault: an erroring cache tier degrades to a miss, never a failure.
+func (s *Server) cacheGet(ctx context.Context, key string) (any, bool) {
+	if faults.Should(ctx, faults.CacheError) {
+		return nil, false
+	}
+	return s.cache.Get(key)
+}
+
+// cachePut stores a result unless an injected cache fault drops it.
+func (s *Server) cachePut(ctx context.Context, key string, v any) {
+	if faults.Should(ctx, faults.CacheError) {
+		return
+	}
+	s.cache.Put(key, v)
+}

@@ -33,15 +33,18 @@ package service
 import (
 	"context"
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"io"
 	"net/http"
 	netpprof "net/http/pprof"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 )
 
@@ -81,6 +84,19 @@ type Config struct {
 	// Zero disables background sampling (history then only advances
 	// via SampleNow — the mode tests use); cmd/bwserved passes 2s.
 	SampleInterval time.Duration
+	// MaxQueue caps requests waiting for a worker slot: arrivals that
+	// would push the queue past it are shed with 503 + Retry-After
+	// instead of piling up. Default 4×Workers; negative disables
+	// admission control entirely.
+	MaxQueue int
+	// Faults is a server-wide chaos-injection set applied to every
+	// request (see internal/faults). Nil — the production value — makes
+	// every injection point a no-op.
+	Faults *faults.Set
+	// ChaosHeader additionally accepts a per-request fault spec in the
+	// X-Chaos request header. Off by default; a server without it
+	// rejects the header with 400 rather than silently ignoring it.
+	ChaosHeader bool
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +123,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HistoryCapacity <= 0 {
 		c.HistoryCapacity = 512
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.Workers
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0 // disabled
 	}
 	return c
 }
@@ -161,8 +183,25 @@ type Server struct {
 	cacheEntries   *telemetry.Gauge
 	cacheEvictions *telemetry.Gauge
 
+	// Overload-protection state (see overload.go): the singleflight
+	// group coalescing identical in-flight requests, shed/coalesce/
+	// degradation counters, and the EWMA of full-pipeline wall time
+	// (float64 bits) that admission control prices queue waits with.
+	flight       *flightGroup
+	shed         *telemetry.Counter
+	coalesced    *telemetry.Counter
+	degraded     *telemetry.CounterVec // {level}
+	faultsFired  *telemetry.GaugeVec   // {point}; mirrors cfg.Faults at scrape
+	degradedAll  telemetry.Counter     // unregistered: feeds the history rate series
+	pipeEWMABits atomic.Uint64
+
+	// randFallbackOnce gates the one-time log line emitted when
+	// crypto/rand fails and trace IDs fall back to a counter.
+	randFallbackOnce sync.Once
+
 	samplerStop chan struct{}
 	closeOnce   sync.Once
+	closeErr    error
 }
 
 // New builds a Server from the config.
@@ -214,8 +253,19 @@ func New(cfg Config) *Server {
 			"Entries currently held by the content-addressed result cache."),
 		cacheEvictions: reg.NewGauge("bwserved_cache_evictions",
 			"Entries evicted from the result cache since process start."),
+
+		shed: reg.NewCounter("bwserved_shed_total",
+			"Requests shed by admission control (503 + Retry-After)."),
+		coalesced: reg.NewCounter("bwserved_coalesced_total",
+			"Requests answered by coalescing onto an identical in-flight request."),
+		degraded: reg.NewCounterVec("bwserved_degraded_total",
+			"Requests served below full service, by degradation-ladder level.", "level"),
+		faultsFired: reg.NewGaugeVec("bwserved_fault_injections",
+			"Chaos faults fired by the server-wide injection set, by point (always zero outside chaos runs).",
+			"point"),
 	}
 	s.passTotals.init()
+	s.flight = newFlightGroup()
 	s.requestLatency = s.stageSeconds.With("request")
 	s.history = telemetry.NewHistory(cfg.HistoryCapacity)
 	s.registerHistorySeries()
@@ -251,15 +301,17 @@ func (s *Server) History() *telemetry.History { return s.history }
 
 // Close stops the background sampler and flushes the JSON-lines
 // request log. cmd/bwserved calls it after the HTTP server has drained
-// so every record of the final requests reaches stable storage; it is
-// idempotent and safe to call on a server that never served.
+// so every record of the final requests reaches stable storage. It is
+// idempotent and safe to call concurrently — including with requests
+// still in flight (their log lines may race the flush, but the logger
+// itself is concurrency-safe) — and every call returns the first
+// Close's error rather than a misleading nil.
 func (s *Server) Close() error {
-	var err error
 	s.closeOnce.Do(func() {
 		close(s.samplerStop)
-		err = s.log.Flush()
+		s.closeErr = s.log.Flush()
 	})
-	return err
+	return s.closeErr
 }
 
 // rate converts a cumulative total into a per-second rate over the
@@ -333,6 +385,12 @@ func (s *Server) registerHistorySeries() {
 		s.queueDepth.Value)
 	s.history.AddSeries("cache_entries", "Entries held by the result cache.", "entries",
 		func() float64 { return float64(s.cache.Stats().Len) })
+	s.history.AddSeries("shed_per_sec", "Requests shed by admission control per second.", "req/s",
+		rate(s.shed.Value))
+	s.history.AddSeries("coalesced_per_sec", "Requests coalesced onto in-flight identical requests per second.", "req/s",
+		rate(s.coalesced.Value))
+	s.history.AddSeries("degraded_per_sec", "Requests served below full service per second.", "req/s",
+		rate(s.degradedAll.Value))
 }
 
 // Registry exposes the metrics registry (for embedding the service
@@ -371,6 +429,10 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case s.sem <- struct{}{}:
 		s.workersBusy.Add(1)
+		// Chaos testing: stall while holding the slot — the shape of a
+		// worker wedged on a slow dependency. Queue growth and shedding
+		// must absorb it; cancellation cuts the stall short.
+		faults.Sleep(ctx, faults.WorkerStall)
 		var once sync.Once
 		return func() {
 			once.Do(func() {
@@ -397,11 +459,30 @@ func (r *statusRecorder) WriteHeader(code int) {
 // traceIDKey indexes the per-request trace ID in a request context.
 type traceIDKey struct{}
 
-// newTraceID returns a 16-hex-digit random request identifier.
-func newTraceID() string {
+// randRead is crypto/rand.Read behind a test seam, so the fallback
+// path below can be exercised deterministically.
+var randRead = rand.Read
+
+// traceIDCounter backs the fallback trace-ID space when crypto/rand
+// fails: IDs must stay unique (logs and traces are joined on them)
+// even when they can no longer be random.
+var traceIDCounter atomic.Uint64
+
+// newTraceID returns a 16-hex-digit request identifier: random when
+// the system entropy source works, counter-derived (top bit set, so
+// the two spaces cannot collide) when it does not. The degradation is
+// logged once per process, not per request.
+func (s *Server) newTraceID() string {
 	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		return "0000000000000000"
+	if _, err := randRead(b[:]); err != nil {
+		s.randFallbackOnce.Do(func() {
+			s.log.Log(map[string]any{
+				"event": "trace_id_fallback",
+				"error": err.Error(),
+				"note":  "crypto/rand failed; trace IDs are counter-derived until restart",
+			})
+		})
+		binary.BigEndian.PutUint64(b[:], traceIDCounter.Add(1)|1<<63)
 	}
 	return hex.EncodeToString(b[:])
 }
@@ -420,9 +501,15 @@ func TraceID(ctx context.Context) string {
 // inline span tree can all be joined on one identifier.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		id := newTraceID()
+		id := s.newTraceID()
 		w.Header().Set("X-Trace-Id", id)
-		r = r.WithContext(context.WithValue(r.Context(), traceIDKey{}, id))
+		ctx := context.WithValue(r.Context(), traceIDKey{}, id)
+		if s.cfg.Faults != nil {
+			// Server-wide chaos set: every request observes it (a
+			// per-request X-Chaos header shadows it later).
+			ctx = faults.With(ctx, s.cfg.Faults)
+		}
+		r = r.WithContext(ctx)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		begin := time.Now()
 		h(rec, r)
@@ -457,6 +544,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.cache.Stats()
 	s.cacheEntries.Set(float64(st.Len))
 	s.cacheEvictions.Set(float64(st.Evictions))
+	// Mirror the server-wide chaos set's fire counts the same way.
+	// Per-request X-Chaos sets are ephemeral and not reported here.
+	if s.cfg.Faults != nil {
+		for point, fired := range s.cfg.Faults.Counts() {
+			s.faultsFired.With(point).Set(float64(fired))
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WriteText(w)
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/exec"
+	"repro/internal/faults"
 	"repro/internal/fusion"
 	"repro/internal/ir"
 	"repro/internal/liveness"
@@ -419,7 +420,12 @@ func (m *manager) runStep(pass, nest, array string, fn stepFn) bool {
 	}
 	sctx, span := trace.StartSpan(m.passCtx, "step."+pass, attrs...)
 	m.stepCtx = sctx
-	next, acts, err := protect(m.cur, fn)
+	next, acts, err := protect(m.cur, func(cur *ir.Program) (*ir.Program, []Action, error) {
+		// Chaos testing: an injected pass panic exercises exactly the
+		// containment/rollback path a real pass bug would.
+		faults.PanicIf(sctx, faults.PassPanic)
+		return fn(cur)
+	})
 	if err != nil {
 		m.blocked[key] = true
 		m.skip(pass, nest, array, err)
