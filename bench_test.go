@@ -395,6 +395,48 @@ func BenchmarkCompiledExecutorWithSim(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceRecordInterpreter measures replay-trace generation
+// (the Belady study's hot loop) under the tree-walking interpreter —
+// the differential-oracle path kept for cross-checking the engines.
+func BenchmarkTraceRecordInterpreter(b *testing.B) {
+	p := kernels.MatmulJKI(32)
+	l2 := sim.CacheConfig{Name: "L2", Size: 6144, LineSize: 128, Assoc: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := sim.NewRecorder(l2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exec.Run(p, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceRecordCompiled measures the same trace generation under
+// the closure-compiled engine — the path BeladyStudy actually uses.
+// Comparing the two is the guard that the compiled route stays the
+// faster one (it emits the identical access stream; see the
+// differential oracle test in internal/core).
+func BenchmarkTraceRecordCompiled(b *testing.B) {
+	p := kernels.MatmulJKI(32)
+	l2 := sim.CacheConfig{Name: "L2", Size: 6144, LineSize: 128, Assoc: 2}
+	cp, err := exec.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := sim.NewRecorder(l2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cp.Run(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkInterchangeStudy regenerates the stride-fix study; the
 // metric is the interchange speedup (the cache line-size factor).
 func BenchmarkInterchangeStudy(b *testing.B) {

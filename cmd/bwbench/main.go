@@ -81,7 +81,7 @@ import (
 
 var experiments = []string{
 	"sec2.1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-	"sp-util", "ablation", "conflicts", "regroup", "belady", "future", "interchange", "regbalance", "stream", "cachebench",
+	"sp-util", "ablation", "conflicts", "regroup", "belady", "future", "interchange", "regbalance", "gaps", "stream", "cachebench",
 }
 
 // jsonTable is one result table in -json output, mirroring
@@ -219,6 +219,8 @@ func main() {
 			return tables(core.InterchangeStudy(cfg))
 		case "regbalance":
 			return tables(core.RegisterBalanceStudy(cfg))
+		case "gaps":
+			return tables(core.OptimalityGap(cfg))
 		case "stream":
 			return []*report.Table{streamTable()}, "", nil
 		case "cachebench":

@@ -45,11 +45,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/balance"
+	"repro/internal/bounds"
 	"repro/internal/exec"
 	"repro/internal/lang"
 	"repro/internal/machine"
@@ -59,6 +61,26 @@ import (
 	"repro/internal/verify"
 )
 
+// jsonMeasurement is one side of the -json before/after report.
+type jsonMeasurement struct {
+	MemoryBytes   int64            `json:"memory_bytes"`
+	PredictedSec  float64          `json:"predicted_sec"`
+	EffectiveBW   float64          `json:"effective_bw"`
+	Bound         *bounds.Analysis `json:"bounds,omitempty"`
+	OptimalityGap float64          `json:"optimality_gap,omitempty"`
+}
+
+// jsonReport is the -json document: the optimized program, actions and
+// both measurements with their lower bounds and optimality gaps.
+type jsonReport struct {
+	Program string          `json:"program"`
+	Machine string          `json:"machine"`
+	Actions []string        `json:"actions"`
+	Before  jsonMeasurement `json:"before"`
+	After   jsonMeasurement `json:"after"`
+	Speedup float64         `json:"speedup"`
+}
+
 func main() {
 	fusionOnly := flag.Bool("fusion-only", false, "run only loop fusion (no storage passes)")
 	machineName := flag.String("machine", "origin", "machine model: origin or exemplar")
@@ -67,6 +89,7 @@ func main() {
 	verifyMode := flag.String("verify", "off", "per-pass verification: off, structural or differential")
 	tol := flag.Float64("tol", verify.DefaultTol, "relative tolerance for differential verification")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the whole run to this path")
+	jsonOut := flag.Bool("json", false, "emit the bandwidth report (with lower bounds and optimality gaps) as JSON")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bwopt [flags] program.bw\n")
 		flag.PrintDefaults()
@@ -121,18 +144,20 @@ func main() {
 	}
 	actions := outcome.Actions
 
-	fmt.Println("--- optimized program ---")
-	fmt.Println(q)
-	fmt.Println("--- actions ---")
-	if len(actions) == 0 {
-		fmt.Println("(none applied)")
-	}
-	for _, a := range actions {
-		fmt.Println(" ", a)
-	}
+	if !*jsonOut {
+		fmt.Println("--- optimized program ---")
+		fmt.Println(q)
+		fmt.Println("--- actions ---")
+		if len(actions) == 0 {
+			fmt.Println("(none applied)")
+		}
+		for _, a := range actions {
+			fmt.Println(" ", a)
+		}
 
-	if mode != verify.ModeOff {
-		fmt.Print(report.Degradation(outcome.Mode.String(), outcome.Checkpoints, outcome.SkippedReport(), outcome.Notes))
+		if mode != verify.ModeOff {
+			fmt.Print(report.Degradation(outcome.Mode.String(), outcome.Checkpoints, outcome.SkippedReport(), outcome.Notes))
+		}
 	}
 
 	var spec machine.Spec
@@ -148,11 +173,11 @@ func main() {
 		spec = machine.Scaled(spec, *scale)
 	}
 
-	before, err := balance.MeasureCtx(ctx, p, spec, exec.Limits{})
+	before, err := balance.MeasureWithBounds(ctx, p, spec, exec.Limits{})
 	if err != nil {
 		fatal(err)
 	}
-	after, err := balance.MeasureCtx(ctx, q, spec, exec.Limits{})
+	after, err := balance.MeasureWithBounds(ctx, q, spec, exec.Limits{})
 	if err != nil {
 		fatal(err)
 	}
@@ -163,12 +188,36 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "bwopt: wrote %d spans to %s\n", tr.Len(), *traceOut)
 	}
-	fmt.Println("--- bandwidth report ---")
-	t := &report.Table{Headers: []string{"", "mem traffic", "predicted time", "effective bw"}}
-	t.AddRow("before", report.Bytes(before.MemoryBytes), report.Seconds(before.Time.Total), report.MBs(before.EffectiveBW))
-	t.AddRow("after", report.Bytes(after.MemoryBytes), report.Seconds(after.Time.Total), report.MBs(after.EffectiveBW))
-	t.AddNote("predicted speedup %.2fx on %s", balance.Speedup(before, after), spec.Name)
-	fmt.Print(t)
+	if *jsonOut {
+		doc := jsonReport{
+			Program: p.Name,
+			Machine: spec.Name,
+			Actions: []string{},
+			Before:  measurement(before),
+			After:   measurement(after),
+			Speedup: balance.Speedup(before, after),
+		}
+		for _, a := range actions {
+			doc.Actions = append(doc.Actions, fmt.Sprint(a))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&doc); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Println("--- bandwidth report ---")
+		t := &report.Table{Headers: []string{"", "mem traffic", "predicted time", "effective bw", "lower bound", "gap"}}
+		t.AddRow("before", report.Bytes(before.MemoryBytes), report.Seconds(before.Time.Total),
+			report.MBs(before.EffectiveBW), boundCell(before), report.Gap(before.OptimalityGap))
+		t.AddRow("after", report.Bytes(after.MemoryBytes), report.Seconds(after.Time.Total),
+			report.MBs(after.EffectiveBW), boundCell(after), report.Gap(after.OptimalityGap))
+		t.AddNote("predicted speedup %.2fx on %s", balance.Speedup(before, after), spec.Name)
+		if after.Bound != nil && after.Bound.Best.Bytes > 0 {
+			t.AddNote("lower bound: %s; gap 1.00x would be provably minimal traffic", after.Bound.Best.Kind)
+		}
+		fmt.Print(t)
+	}
 
 	// Sanity: outputs must match.
 	if len(before.Result.Prints) != len(after.Result.Prints) {
@@ -181,6 +230,26 @@ func main() {
 				i, before.Result.Prints[i], after.Result.Prints[i])
 		}
 	}
+}
+
+// measurement projects a balance report onto the -json measurement
+// shape, bound and gap included.
+func measurement(r *balance.Report) jsonMeasurement {
+	return jsonMeasurement{
+		MemoryBytes:   r.MemoryBytes,
+		PredictedSec:  r.Time.Total,
+		EffectiveBW:   r.EffectiveBW,
+		Bound:         r.Bound,
+		OptimalityGap: r.OptimalityGap,
+	}
+}
+
+// boundCell renders the lower-bound column of the text table.
+func boundCell(r *balance.Report) string {
+	if r.Bound == nil || r.Bound.Best.Bytes <= 0 {
+		return "n/a"
+	}
+	return report.Bytes(r.Bound.Best.Bytes)
 }
 
 func writeTrace(tr *trace.Tracer, path string) error {

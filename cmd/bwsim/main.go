@@ -130,7 +130,9 @@ func main() {
 	if *printIR {
 		fmt.Println(p)
 	}
-	rep, err := balance.MeasureCtx(ctx, p, spec, exec.Limits{})
+	// MeasureWithBounds attaches the data-movement lower bound and
+	// optimality gap, which Report.String prints as its last line.
+	rep, err := balance.MeasureWithBounds(ctx, p, spec, exec.Limits{})
 	if err != nil {
 		fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bounds"
 	"repro/internal/exec"
 	"repro/internal/ir"
 	"repro/internal/machine"
@@ -58,10 +59,21 @@ type Report struct {
 	LevelNames []string
 	LevelStats []sim.Stats
 
+	// Bound, when non-nil, is the data-movement lower bound at this
+	// machine's fast-memory capacity and OptimalityGap the ratio
+	// MemoryBytes/Bound.Best.Bytes (0 when no bound information).
+	// Populated by MeasureWithBounds; plain Measure leaves it nil so
+	// timed measurement loops pay nothing for it.
+	Bound         *bounds.Analysis
+	OptimalityGap float64
+
 	// Result carries the program's computed values for equivalence
 	// checking.
 	Result *exec.Result
 }
+
+// Gap returns the optimality gap, or 0 when no bound was attached.
+func (r *Report) Gap() float64 { return r.OptimalityGap }
 
 // Measure runs the program on the machine model and computes its
 // balance report.
@@ -151,6 +163,25 @@ func MeasureCtx(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.
 	return r, nil
 }
 
+// MeasureWithBounds is MeasureCtx followed by the data-movement
+// lower-bound analysis (internal/bounds) at the machine's fast-memory
+// capacity, attaching Bound and OptimalityGap to the report. It is a
+// separate entry point — not a MeasureCtx flag — so the perfwatch
+// benchmark records, which time MeasureCtx wall-clock, are unaffected.
+func MeasureWithBounds(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.Limits) (*Report, error) {
+	rep, err := MeasureCtx(ctx, p, spec, lim)
+	if err != nil {
+		return nil, err
+	}
+	b, err := bounds.Analyze(ctx, p, bounds.FastCapacity(spec), lim)
+	if err != nil {
+		return nil, fmt.Errorf("balance: lower bound for %s: %w", p.Name, err)
+	}
+	rep.Bound = b
+	rep.OptimalityGap = bounds.Gap(rep.MemoryBytes, b.Best)
+	return rep, nil
+}
+
 // Speedup returns how much faster the "after" run is predicted to be.
 func Speedup(before, after *Report) float64 {
 	if after.Time.Total == 0 {
@@ -171,5 +202,9 @@ func (r *Report) String() string {
 		r.Bottleneck, r.MaxRatio, 100*r.CPUUtilizationBound)
 	fmt.Fprintf(&b, "  predicted time %.6fs, effective bandwidth %.1f MB/s\n",
 		r.Time.Total, r.EffectiveBW/machine.MB)
+	if r.Bound != nil && r.Bound.Best.Bytes > 0 {
+		fmt.Fprintf(&b, "  traffic lower bound %d B (%s), optimality gap %.2fx\n",
+			r.Bound.Best.Bytes, r.Bound.Best.Kind, r.OptimalityGap)
+	}
 	return b.String()
 }

@@ -1,0 +1,211 @@
+package bounds
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// CDAG is the computation DAG of a program in red-blue pebbling terms:
+// one vertex per executed statement instance, operand edges from the
+// values it reads, input vertices for elements whose first access is a
+// read, output vertices for elements holding final values. The builder
+// enumerates affine, guard-free nests statically — no execution — so
+// tests can cross-check the dynamic footprint census against an
+// independent construction, and DESIGN.md §13's S-partitioning argument
+// has a concrete object to refer to.
+type CDAG struct {
+	// Vertices counts computation instances (Assign and ReadInput
+	// executions).
+	Vertices int64
+	// Edges counts operand reads (array-element uses).
+	Edges int64
+	// Inputs counts distinct elements read before any write — the
+	// CDAG's input vertices (initial values in slow memory).
+	Inputs int64
+	// Outputs counts distinct elements ever written — values that must
+	// reach slow memory.
+	Outputs int64
+}
+
+// MaxCDAGVertices caps construction; programs beyond it get an error
+// rather than an unbounded walk.
+const MaxCDAGVertices = 64 << 20
+
+// BuildCDAG constructs the CDAG of p by static enumeration. It
+// supports straight-line nests of For/Assign/ReadInput/Print with
+// affine loop bounds (which may reference outer loop variables, so
+// triangular spaces work) and affine subscripts; If statements or
+// non-affine expressions return an error, since their instance sets
+// depend on runtime values.
+func BuildCDAG(p *ir.Program) (*CDAG, error) {
+	b := &cdagBuilder{
+		p:     p,
+		bind:  map[string]int64{},
+		state: map[elem]bool{},
+		g:     &CDAG{},
+	}
+	for k, v := range p.Consts {
+		b.bind[k] = v
+	}
+	for _, n := range p.Nests {
+		if err := b.stmts(n.Body); err != nil {
+			return nil, fmt.Errorf("bounds: cdag of nest %s: %w", n.Label, err)
+		}
+	}
+	return b.g, nil
+}
+
+type elem struct {
+	array string
+	off   int64
+}
+
+type cdagBuilder struct {
+	p     *ir.Program
+	bind  map[string]int64
+	state map[elem]bool // written?
+	g     *CDAG
+}
+
+func (b *cdagBuilder) stmts(ss []ir.Stmt) error {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *ir.For:
+			lo, err := b.affine(s.Lo)
+			if err != nil {
+				return err
+			}
+			hi, err := b.affine(s.Hi)
+			if err != nil {
+				return err
+			}
+			step := int64(s.StepOr1())
+			if step <= 0 {
+				return fmt.Errorf("non-positive step in loop %s", s.Var)
+			}
+			saved, had := b.bind[s.Var]
+			for iv := lo; iv <= hi; iv += step {
+				b.bind[s.Var] = iv
+				if err := b.stmts(s.Body); err != nil {
+					return err
+				}
+			}
+			if had {
+				b.bind[s.Var] = saved
+			} else {
+				delete(b.bind, s.Var)
+			}
+		case *ir.Assign:
+			if err := b.vertex(s.LHS, s.RHS); err != nil {
+				return err
+			}
+		case *ir.ReadInput:
+			if err := b.vertex(s.Target, nil); err != nil {
+				return err
+			}
+		case *ir.Print:
+			if err := b.reads(s.Arg); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unsupported statement %T (guarded or dynamic control flow)", s)
+		}
+	}
+	return nil
+}
+
+// vertex records one computation instance: operand reads from rhs, a
+// write to lhs.
+func (b *cdagBuilder) vertex(lhs *ir.Ref, rhs ir.Expr) error {
+	b.g.Vertices++
+	if b.g.Vertices > MaxCDAGVertices {
+		return fmt.Errorf("more than %d vertices", int64(MaxCDAGVertices))
+	}
+	if rhs != nil {
+		if err := b.reads(rhs); err != nil {
+			return err
+		}
+	}
+	if lhs != nil && !lhs.IsScalar() && b.p.ArrayByName(lhs.Name) != nil {
+		e, err := b.elemOf(lhs)
+		if err != nil {
+			return err
+		}
+		if !b.state[e] {
+			b.state[e] = true
+			b.g.Outputs++
+		}
+	}
+	return nil
+}
+
+// reads walks an expression recording array-element operand edges.
+func (b *cdagBuilder) reads(e ir.Expr) error {
+	switch e := e.(type) {
+	case *ir.Ref:
+		if e.IsScalar() || b.p.ArrayByName(e.Name) == nil {
+			return nil
+		}
+		el, err := b.elemOf(e)
+		if err != nil {
+			return err
+		}
+		b.g.Edges++
+		if _, seen := b.state[el]; !seen {
+			b.state[el] = false
+			b.g.Inputs++
+		}
+		return nil
+	case *ir.Bin:
+		if e.Op == ir.And || e.Op == ir.Or {
+			return fmt.Errorf("short-circuit operator %s makes reads conditional", e.Op)
+		}
+		if err := b.reads(e.L); err != nil {
+			return err
+		}
+		return b.reads(e.R)
+	case *ir.Neg:
+		return b.reads(e.X)
+	case *ir.Call:
+		for _, a := range e.Args {
+			if err := b.reads(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// elemOf resolves a reference to a concrete element under the current
+// binding (column-major, first subscript fastest — as the executors lay
+// arrays out).
+func (b *cdagBuilder) elemOf(r *ir.Ref) (elem, error) {
+	arr := b.p.ArrayByName(r.Name)
+	if len(r.Index) != len(arr.Dims) {
+		return elem{}, fmt.Errorf("%s: %d subscripts for rank %d", r.Name, len(r.Index), len(arr.Dims))
+	}
+	var off, stride int64 = 0, 1
+	for d, ix := range r.Index {
+		v, err := b.affine(ix)
+		if err != nil {
+			return elem{}, err
+		}
+		if v < 0 || v >= int64(arr.Dims[d]) {
+			return elem{}, fmt.Errorf("%s: subscript %d out of range [0,%d)", r.Name, v, arr.Dims[d])
+		}
+		off += v * stride
+		stride *= int64(arr.Dims[d])
+	}
+	return elem{array: r.Name, off: off}, nil
+}
+
+func (b *cdagBuilder) affine(e ir.Expr) (int64, error) {
+	a, ok := ir.AffineOf(e, b.p.Consts)
+	if !ok {
+		return 0, fmt.Errorf("non-affine expression %T", e)
+	}
+	return a.Eval(b.bind)
+}

@@ -1,0 +1,181 @@
+package bounds
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/ir"
+)
+
+// Footprint is the compulsory-traffic census of one program run:
+// distinct elements touched, read before written (live-in) and ever
+// written (live-out), in elements of ElemSize bytes.
+type Footprint struct {
+	// TouchedElems is the number of distinct array elements accessed.
+	TouchedElems int64 `json:"touched_elems"`
+	// LiveInElems is the number of distinct elements whose first access
+	// is a read: their initial value lives in slow memory and must cross
+	// the channel at least once.
+	LiveInElems int64 `json:"live_in_elems"`
+	// LiveOutElems is the number of distinct elements the program
+	// writes: each holds a final value that must reach slow memory.
+	LiveOutElems int64 `json:"live_out_elems"`
+	// Arrays breaks the census down per array, sorted by name.
+	Arrays []ArrayFootprint `json:"arrays,omitempty"`
+}
+
+// ArrayFootprint is the per-array slice of the census.
+type ArrayFootprint struct {
+	Array   string `json:"array"`
+	Touched int64  `json:"touched"`
+	LiveIn  int64  `json:"live_in"`
+	LiveOut int64  `json:"live_out"`
+}
+
+// Bound returns the compulsory-traffic lower bound: 8 bytes per live-in
+// element in, 8 per live-out element out. Element granularity
+// undercounts line-granularity measured traffic (a line transfer moves
+// whole lines), which is exactly the direction soundness needs.
+func (f *Footprint) Bound() Bound {
+	return Bound{
+		Bytes: (f.LiveInElems + f.LiveOutElems) * ElemSize,
+		Kind:  KindCompulsory,
+		Assumptions: []string{
+			"initial array values reside in slow memory (live-in elements each cross the channel at least once)",
+			"written elements reach slow memory by program end (dirty lines flush; write-through forwards stores)",
+			"element granularity (8 B) — never above the line-granularity traffic the simulator measures",
+		},
+	}
+}
+
+// footprintMachine implements exec.Machine, recording per-element
+// first-access direction instead of simulating caches. Element state is
+// a dense byte array over the compiled engine's address space (arrays
+// laid out back to back with alignment padding), indexed by addr/8.
+type footprintMachine struct {
+	state  []uint8 // per element: seen/written bits
+	bounds []arrayRange
+	fp     Footprint
+	per    []ArrayFootprint
+}
+
+type arrayRange struct {
+	lo, hi int64 // [lo,hi) byte addresses
+	idx    int   // index into per
+}
+
+const (
+	fpSeen    uint8 = 1 << 0
+	fpWritten uint8 = 1 << 1
+)
+
+// maxFootprintBytes caps the dense state allocation (1 byte per
+// element, so 2 GiB of simulated arrays -> 256 MiB of state).
+const maxFootprintBytes = int64(2) << 30
+
+// newFootprintMachine lays out the arrays exactly as the compiled
+// engine does (exec.Compiled.RunCtx): consecutive, each rounded up to
+// the 128-byte alignment plus one guard line. The layouts must agree so
+// per-array attribution of the addresses the engine emits is exact; the
+// totals are layout-independent.
+func newFootprintMachine(p *ir.Program) (*footprintMachine, error) {
+	const align = 128
+	m := &footprintMachine{}
+	var next int64
+	for i, a := range p.Arrays {
+		lo := next
+		next += a.Bytes()
+		m.bounds = append(m.bounds, arrayRange{lo: lo, hi: next, idx: i})
+		m.per = append(m.per, ArrayFootprint{Array: a.Name})
+		next = (next + align - 1) &^ (align - 1)
+		next += align
+	}
+	if next > maxFootprintBytes {
+		return nil, fmt.Errorf("bounds: program arrays span %d bytes, above the %d footprint cap", next, maxFootprintBytes)
+	}
+	m.state = make([]uint8, next/ElemSize+1)
+	return m, nil
+}
+
+func (m *footprintMachine) access(addr int64, size int, write bool) {
+	for off := int64(0); off < int64(size); off += ElemSize {
+		i := (addr + off) / ElemSize
+		if i < 0 || i >= int64(len(m.state)) {
+			continue // defensive: engine addresses outside the layout
+		}
+		s := m.state[i]
+		ai := -1
+		if s&fpSeen == 0 {
+			m.state[i] |= fpSeen
+			m.fp.TouchedElems++
+			ai = m.arrayAt(addr + off)
+			if ai >= 0 {
+				m.per[ai].Touched++
+			}
+			if !write {
+				m.fp.LiveInElems++
+				if ai >= 0 {
+					m.per[ai].LiveIn++
+				}
+			}
+		}
+		if write && s&fpWritten == 0 {
+			m.state[i] |= fpWritten
+			m.fp.LiveOutElems++
+			if ai < 0 {
+				ai = m.arrayAt(addr + off)
+			}
+			if ai >= 0 {
+				m.per[ai].LiveOut++
+			}
+		}
+	}
+}
+
+// arrayAt maps a byte address to its array's index, or -1 for padding.
+func (m *footprintMachine) arrayAt(addr int64) int {
+	n := sort.Search(len(m.bounds), func(i int) bool { return m.bounds[i].hi > addr })
+	if n < len(m.bounds) && addr >= m.bounds[n].lo {
+		return m.bounds[n].idx
+	}
+	return -1
+}
+
+func (m *footprintMachine) Load(addr int64, size int)  { m.access(addr, size, false) }
+func (m *footprintMachine) Store(addr int64, size int) { m.access(addr, size, true) }
+func (m *footprintMachine) AddFlops(n int64)           {}
+func (m *footprintMachine) Flush()                     {}
+
+// ComputeFootprint runs p once on the footprint recorder under the
+// compiled engine. A zero lim.MaxSteps applies DefaultMaxSteps so a
+// hostile program cannot wedge the caller.
+func ComputeFootprint(ctx context.Context, p *ir.Program, lim exec.Limits) (*Footprint, error) {
+	cp, err := exec.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return computeFootprintCompiled(ctx, p, cp, lim)
+}
+
+func computeFootprintCompiled(ctx context.Context, p *ir.Program, cp *exec.Compiled, lim exec.Limits) (*Footprint, error) {
+	if lim.MaxSteps == 0 {
+		lim.MaxSteps = DefaultMaxSteps
+	}
+	m, err := newFootprintMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cp.RunCtx(ctx, m, lim); err != nil {
+		return nil, fmt.Errorf("bounds: footprint run: %w", err)
+	}
+	fp := m.fp
+	for _, a := range m.per {
+		if a.Touched > 0 {
+			fp.Arrays = append(fp.Arrays, a)
+		}
+	}
+	sort.Slice(fp.Arrays, func(i, j int) bool { return fp.Arrays[i].Array < fp.Arrays[j].Array })
+	return &fp, nil
+}

@@ -1,0 +1,331 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Pebble is the static S-partitioning structure of a program: the loop
+// nests whose dependence shape admits the Hong-Kung red-blue pebbling
+// bound. Detection is conservative — a nest that does not match simply
+// contributes nothing, and the compulsory floor still applies.
+type Pebble struct {
+	// Nests lists the matched nests.
+	Nests []PebbleNest `json:"nests,omitempty"`
+	// Scalars is the program's scalar count; scalars are
+	// register-resident in the execution model, so they enlarge the
+	// effective fast memory the bound must grant the adversary.
+	Scalars int `json:"scalars"`
+}
+
+// PebbleNest is one matched nest: a perfect 3-deep affine loop nest
+// whose array references project onto all three 2-element subsets of
+// the loop variables — the matrix-multiply dependence shape to which
+// the Loomis-Whitney S-partition argument applies.
+type PebbleNest struct {
+	Nest string `json:"nest"`
+	// Vars are the three loop variables, outermost first.
+	Vars []string `json:"vars"`
+	// Points is the iteration-space size |I| (product of trip counts).
+	Points int64 `json:"points"`
+	// Refs are the witnessing references, one per 2-subset.
+	Refs []string `json:"refs"`
+}
+
+// spare is the register allowance added to the effective capacity:
+// expression temporaries and loop bookkeeping an execution could hold
+// outside the modelled caches. Generous is sound (a larger S_e only
+// weakens the bound).
+const spare = 16
+
+// Bound returns the pebbling lower bound at fast-memory capacity
+// fastBytes, or ok=false when no nest matched.
+//
+// The argument (Hong & Kung 1981, dominator form): partition any
+// complete schedule into phases of exactly S_e slow-memory transfers.
+// During one phase at most 2·S_e distinct values are available (S_e
+// resident + S_e loaded). Every multiply-add instance (i,k,j) consumes
+// values indexed (i,k) and (k,j) and produces (i,j); by Loomis-Whitney,
+// a phase with at most 2·S_e distinct values on each of the three
+// projections covers at most (2·S_e)^{3/2} instances. Hence at least
+// ⌈|I|/(2·S_e)^{3/2}⌉ phases are needed, and all but possibly the last
+// perform S_e transfers:
+//
+//	Q ≥ S_e · (⌈|I|/(2·S_e)^{3/2}⌉ − 1) elements.
+//
+// For |I| = n³ this is asymptotically n³/(2√2·√S_e) — the Ω(n³/√S)
+// form. When several nests match, the bound is the MAX over nests:
+// restricting a full schedule to one nest's sub-CDAG yields a valid
+// pebbling of that sub-CDAG with no more transfers, so each nest's
+// bound individually applies to the whole program; their sum would not
+// obviously be sound under interleaving and is not claimed.
+func (pb *Pebble) Bound(fastBytes int64) (Bound, bool) {
+	if pb == nil || len(pb.Nests) == 0 || fastBytes <= 0 {
+		return Bound{}, false
+	}
+	// Effective capacity in elements: the caches plus the
+	// register-resident scalars and a spare-temporaries allowance.
+	se := fastBytes/ElemSize + int64(pb.Scalars) + spare
+	var best Bound
+	for _, n := range pb.Nests {
+		phase := math.Pow(2*float64(se), 1.5)
+		phases := int64(math.Ceil(float64(n.Points) / phase))
+		if phases <= 1 {
+			continue // iteration space fits one phase; no information
+		}
+		q := se * (phases - 1) * ElemSize
+		if q > best.Bytes {
+			best = Bound{
+				Bytes: q,
+				Kind:  KindPebbling,
+				Assumptions: []string{
+					fmt.Sprintf("S-partition of nest %s: |I|=%d multiply-add instances over (%s)",
+						n.Nest, n.Points, strings.Join(n.Vars, ",")),
+					fmt.Sprintf("effective fast memory %d elements (caches %d B + %d scalars + %d spare registers)",
+						se, fastBytes, pb.Scalars, spare),
+					"Loomis-Whitney: a phase with 2·S_e values covers ≤ (2·S_e)^(3/2) instances",
+				},
+			}
+		}
+	}
+	return best, best.Bytes > 0
+}
+
+// ComputePebble statically scans p for nests matching the mm-like
+// shape. It never fails: non-matching programs yield an empty Pebble.
+func ComputePebble(p *ir.Program) *Pebble {
+	pb := &Pebble{Scalars: len(p.Scalars)}
+	for _, n := range p.Nests {
+		if pn, ok := matchMMNest(p, n); ok {
+			pb.Nests = append(pb.Nests, pn)
+		}
+	}
+	return pb
+}
+
+// matchMMNest recognizes a perfect 3-deep affine nest with constant
+// trip counts whose single assignment READS, for each 2-element subset
+// of the loop variables, a reference indexed injectively by exactly
+// that subset. Injectivity (each subscript carries at most one loop
+// variable with coefficient ±1, each variable in one subscript)
+// guarantees distinct index pairs name distinct elements, so the
+// dominator set of a phase bounds each projection.
+//
+// The witnesses must be reads, not just the store target: with an
+// accumulation (c[i,j] on both sides) the first instance of each (i,j)
+// in a phase reads a version produced before the phase, so distinct
+// (i,j) pairs are dominator-bounded; a write-only {i,j} ref is not
+// (dead intermediate writes can share one slot), and an overwrite-style
+// nest genuinely admits O(n²)-traffic schedules. Short-circuit
+// operators (&&, ||) would make reads conditional, so their presence
+// rejects the nest.
+func matchMMNest(p *ir.Program, n *ir.Nest) (PebbleNest, bool) {
+	// Peel exactly three perfectly nested loops.
+	var loops []*ir.For
+	body := n.Body
+	for len(body) == 1 {
+		f, ok := body[0].(*ir.For)
+		if !ok {
+			break
+		}
+		loops = append(loops, f)
+		body = f.Body
+	}
+	if len(loops) != 3 || len(body) != 1 {
+		return PebbleNest{}, false
+	}
+	asn, ok := body[0].(*ir.Assign)
+	if !ok || hasShortCircuit(asn.RHS) {
+		return PebbleNest{}, false
+	}
+
+	vars := make([]string, 3)
+	points := int64(1)
+	for i, f := range loops {
+		vars[i] = f.Var
+		trips, ok := tripCount(p, f)
+		if !ok || trips <= 0 {
+			return PebbleNest{}, false
+		}
+		if points > (1<<62)/trips {
+			return PebbleNest{}, false // overflow guard
+		}
+		points *= trips
+	}
+	isVar := map[string]bool{vars[0]: true, vars[1]: true, vars[2]: true}
+	if len(isVar) != 3 {
+		return PebbleNest{}, false
+	}
+
+	// The three 2-subsets we need read witnesses for, keyed canonically.
+	// A read of the written array only counts when its subscripts match
+	// the store target exactly (the accumulation read): then the first
+	// in-phase access of each element is a read of a pre-phase version,
+	// keeping the projection dominator-bounded. A read of the written
+	// array at a different index could observe in-phase-created versions,
+	// which dead writes can produce without traffic.
+	witness := map[string]string{}
+	good := true
+	ir.WalkRefs(body, p, func(r *ir.Ref, isWrite bool) {
+		if !good {
+			return
+		}
+		support, inj := refSupport(p, r, isVar)
+		if !inj {
+			good = false // a non-affine or non-injective ref defeats the argument
+			return
+		}
+		if isWrite || len(support) != 2 {
+			return
+		}
+		if r.Name == asn.LHS.Name && !sameIndex(p, r, asn.LHS) {
+			return
+		}
+		key := support[0] + "," + support[1]
+		if _, dup := witness[key]; !dup {
+			witness[key] = refString(r)
+		}
+	})
+	if !good || len(witness) != 3 {
+		return PebbleNest{}, false
+	}
+	// All three pairs must be present (three distinct 2-subsets of a
+	// 3-set is all of them, so three distinct keys suffice).
+	keys := make([]string, 0, 3)
+	for k := range witness {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	refs := make([]string, 0, 3)
+	for _, k := range keys {
+		refs = append(refs, witness[k])
+	}
+	return PebbleNest{Nest: n.Label, Vars: vars, Points: points, Refs: refs}, true
+}
+
+// tripCount returns the constant iteration count of a loop, requiring
+// affine-constant bounds (after folding program constants) and a
+// positive step.
+func tripCount(p *ir.Program, f *ir.For) (int64, bool) {
+	lo, ok := constAffine(f.Lo, p.Consts)
+	if !ok {
+		return 0, false
+	}
+	hi, ok := constAffine(f.Hi, p.Consts)
+	if !ok {
+		return 0, false
+	}
+	step := int64(f.StepOr1())
+	if step <= 0 || hi < lo {
+		return 0, false
+	}
+	return (hi-lo)/step + 1, true
+}
+
+func constAffine(e ir.Expr, consts map[string]int64) (int64, bool) {
+	a, ok := ir.AffineOf(e, consts)
+	if !ok || !a.IsConst() {
+		return 0, false
+	}
+	return a.Const, true
+}
+
+// refSupport returns the sorted loop variables a reference's subscripts
+// depend on, and whether the indexing is injective in those variables:
+// every subscript affine, at most one loop variable per subscript with
+// coefficient ±1, and no variable in two subscripts. Unknown (non-loop)
+// variables in a subscript fail the match.
+func refSupport(p *ir.Program, r *ir.Ref, isVar map[string]bool) ([]string, bool) {
+	used := map[string]bool{}
+	for _, ix := range r.Index {
+		a, ok := ir.AffineOf(ix, p.Consts)
+		if !ok {
+			return nil, false
+		}
+		vs := a.Vars()
+		if len(vs) > 1 {
+			return nil, false
+		}
+		for _, v := range vs {
+			if !isVar[v] {
+				return nil, false
+			}
+			if c := a.Coeff(v); c != 1 && c != -1 {
+				return nil, false
+			}
+			if used[v] {
+				return nil, false
+			}
+			used[v] = true
+		}
+	}
+	out := make([]string, 0, len(used))
+	for v := range used {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out, true
+}
+
+// sameIndex reports whether two references have identical affine
+// subscript forms.
+func sameIndex(p *ir.Program, a, b *ir.Ref) bool {
+	if len(a.Index) != len(b.Index) {
+		return false
+	}
+	for i := range a.Index {
+		fa, oka := ir.AffineOf(a.Index[i], p.Consts)
+		fb, okb := ir.AffineOf(b.Index[i], p.Consts)
+		if !oka || !okb || !fa.Equal(fb) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasShortCircuit reports whether an expression contains a
+// conditionally-evaluated operand (&&, || short-circuit in the
+// executors), which would make a witness read conditional.
+func hasShortCircuit(e ir.Expr) bool {
+	switch e := e.(type) {
+	case *ir.Bin:
+		if e.Op == ir.And || e.Op == ir.Or {
+			return true
+		}
+		return hasShortCircuit(e.L) || hasShortCircuit(e.R)
+	case *ir.Neg:
+		return hasShortCircuit(e.X)
+	case *ir.Call:
+		for _, a := range e.Args {
+			if hasShortCircuit(a) {
+				return true
+			}
+		}
+		return false
+	case *ir.Ref:
+		for _, ix := range e.Index {
+			if hasShortCircuit(ix) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func refString(r *ir.Ref) string {
+	parts := make([]string, len(r.Index))
+	for i, ix := range r.Index {
+		if a, ok := ir.AffineOf(ix, nil); ok {
+			parts[i] = a.String()
+		} else {
+			parts[i] = "?"
+		}
+	}
+	return r.Name + "[" + strings.Join(parts, ",") + "]"
+}

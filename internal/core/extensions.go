@@ -79,7 +79,17 @@ func BeladyStudy(cfg Config) (*report.Table, error) {
 		if err != nil {
 			return lru, opt, err
 		}
-		if _, err := exec.Run(p, rec); err != nil {
+		// Trace generation runs on the compiled engine: recording every
+		// line access makes this the replay path's hot loop, and the
+		// closure-compiled executor emits the identical access stream
+		// several times faster than the tree-walking interpreter (which
+		// stays available as the differential oracle — see
+		// TestTraceOracleInterpreterVsCompiled).
+		cp, err := exec.Compile(p)
+		if err != nil {
+			return lru, opt, err
+		}
+		if _, err := cp.Run(rec); err != nil {
 			return lru, opt, err
 		}
 		lru, err = sim.ReplayLRU(rec.Trace())

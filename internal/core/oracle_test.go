@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// TestTraceOracleInterpreterVsCompiled keeps the tree-walking
+// interpreter as the differential oracle for the replay path: the
+// Belady/LRU studies now record their access traces under the compiled
+// engine (see BeladyStudy), which is only sound if both engines emit
+// the identical line-access stream. Any divergence — an extra access, a
+// reordered access, a read/write flip — fails element-wise here.
+func TestTraceOracleInterpreterVsCompiled(t *testing.T) {
+	l2 := sim.CacheConfig{Name: "L2", Size: 6144, LineSize: 128, Assoc: 2}
+	blocked, err := kernels.MatmulBlocked(24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := []*ir.Program{
+		kernels.MatmulJKI(24),
+		blocked,
+		kernels.Convolution(4096),
+		kernels.Fig7Original(4096),
+	}
+	for _, p := range progs {
+		interp, err := sim.NewRecorder(l2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, err := exec.Run(p, interp)
+		if err != nil {
+			t.Fatalf("%s: interpreter: %v", p.Name, err)
+		}
+		comp, err := sim.NewRecorder(l2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := exec.Compile(p)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", p.Name, err)
+		}
+		rc, err := cp.Run(comp)
+		if err != nil {
+			t.Fatalf("%s: compiled: %v", p.Name, err)
+		}
+
+		ti, tc := interp.Trace(), comp.Trace()
+		if ti.Len() != tc.Len() {
+			t.Fatalf("%s: interpreter recorded %d line accesses, compiled %d",
+				p.Name, ti.Len(), tc.Len())
+		}
+		for i := 0; i < ti.Len(); i++ {
+			li, wi := ti.At(i)
+			lc, wc := tc.At(i)
+			if li != lc || wi != wc {
+				t.Fatalf("%s: access %d diverges: interpreter (line %#x, write %v), compiled (line %#x, write %v)",
+					p.Name, i, li, wi, lc, wc)
+			}
+		}
+		if interp.Flops != comp.Flops {
+			t.Fatalf("%s: flops diverge: interpreter %d, compiled %d", p.Name, interp.Flops, comp.Flops)
+		}
+		if len(ri.Prints) != len(rc.Prints) {
+			t.Fatalf("%s: print counts diverge: %d vs %d", p.Name, len(ri.Prints), len(rc.Prints))
+		}
+		for i := range ri.Prints {
+			if ri.Prints[i] != rc.Prints[i] {
+				t.Fatalf("%s: print %d diverges: %g vs %g", p.Name, i, ri.Prints[i], rc.Prints[i])
+			}
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/balance"
+	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/ir"
@@ -129,6 +130,16 @@ type KernelResult struct {
 	// from the median repeat.
 	Passes   []transform.PassStat `json:"passes"`
 	Analysis analysis.Stats       `json:"analysis"`
+	// MemoryBytes, BoundBytes and OptimalityGap situate the optimized
+	// program's measured slow-memory traffic against the data-movement
+	// lower bound (internal/bounds) at the machine's fast-memory
+	// capacity. Both are deterministic model outputs, so they belong to
+	// the trustworthy half of a record; they are computed outside the
+	// timed sections and are additive to the schema (absent — zero — in
+	// older baselines, which Detect treats as "no bound recorded").
+	MemoryBytes   int64   `json:"memory_bytes,omitempty"`
+	BoundBytes    int64   `json:"bound_bytes,omitempty"`
+	OptimalityGap float64 `json:"optimality_gap,omitempty"`
 }
 
 // Record is one point of the benchmark trajectory.
@@ -222,6 +233,14 @@ func Collect(ctx context.Context, cfgName string, cfg core.Config, repeats int) 
 			rep = r
 		}
 		kr.MeasureNS = kr.MeasureSamplesNS[medianIndex(kr.MeasureSamplesNS)]
+		// Lower bound and optimality gap, computed after (never inside)
+		// the timed measurement loop so the wall-time families the
+		// regression check compares are unaffected.
+		kr.MemoryBytes = rep.MemoryBytes
+		if a, err := bounds.Analyze(ctx, runs[mi].prog, bounds.FastCapacity(spec), exec.Limits{}); err == nil {
+			kr.BoundBytes = a.Best.Bytes
+			kr.OptimalityGap = bounds.Gap(rep.MemoryBytes, a.Best)
+		}
 		for i, ch := range rep.ChannelNames {
 			kr.Levels = append(kr.Levels, LevelBalance{
 				Channel:  ch,

@@ -174,6 +174,15 @@ func Percent(ratio float64) string {
 	return fmt.Sprintf("%.1f%%", 100*ratio)
 }
 
+// Gap formats an optimality gap (measured traffic / lower bound);
+// gaps of 0 mean "no bound information" and render as n/a.
+func Gap(g float64) string {
+	if g <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", g)
+}
+
 // Bytes formats a byte count with binary units.
 func Bytes(n int64) string {
 	switch {

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"context"
+
+	"repro/internal/analysis"
+	"repro/internal/bounds"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// BoundsSummary is the "bounds" block of analyze and optimize
+// responses: the data-movement lower bound of the measured program at
+// the target machine's fast-memory capacity (internal/bounds), and the
+// optimality gap of the measured traffic against it.
+type BoundsSummary struct {
+	// FastBytes is the fast-memory capacity the bound is parameterized
+	// by: the sum of the machine's cache capacities.
+	FastBytes int64 `json:"fast_bytes"`
+	// BoundBytes is the sound lower bound — no execution schedule of
+	// this program can move fewer bytes across the slow-memory channel.
+	BoundBytes int64 `json:"bound_bytes"`
+	// Kind names the argument the bound came from ("compulsory" or
+	// "pebbling").
+	Kind string `json:"kind"`
+	// Assumptions lists what the soundness argument relies on.
+	Assumptions []string `json:"assumptions,omitempty"`
+	// MeasuredBytes is the simulated slow-memory traffic the gap
+	// divides by the bound.
+	MeasuredBytes int64 `json:"measured_bytes"`
+	// Gap is measured/bound; a sound bound keeps it >= 1, and 1.00
+	// means the program's traffic is provably minimal. 0 means the
+	// bound carries no information.
+	Gap float64 `json:"gap"`
+	// PebblingSkipped marks a degraded computation: the pebbling bound
+	// was deliberately not attempted under a tight deadline, so the
+	// reported bound may be weaker than full service would give.
+	PebblingSkipped bool `json:"pebbling_skipped,omitempty"`
+}
+
+// Bounds-mode names, the lower-bound analogue of the verification
+// clamp: what part of the analysis a degradation rung affords. The
+// mode is part of the result-cache address, so a response with
+// weakened (or absent) bounds is never served to a full-service
+// request — the same discipline the effective verify mode follows.
+const (
+	boundsFull     = "full"     // compulsory + pebbling
+	boundsNoPebble = "nopebble" // compulsory only (rung 1+)
+	boundsNone     = "none"     // no bounds: the footprint run is a program execution (rung 2+)
+)
+
+// boundsModeFor maps a degradation rung to the bounds mode it affords.
+func boundsModeFor(level degradeLevel) string {
+	switch {
+	case !level.measureAllowed():
+		return boundsNone
+	case level >= degradeNoDiff:
+		return boundsNoPebble
+	default:
+		return boundsFull
+	}
+}
+
+// boundsSummary computes the response's bounds block for a measured
+// program, honoring the degradation rung via mode. The two underlying
+// analyses run under a per-request analysis manager, so they are
+// memoized per program version and traced/canceled with the request.
+// The bound is supplementary: a program the footprint engine cannot
+// run (step budget, footprint cap) still gets its balance answer, just
+// without a bounds block — the failure is logged, not returned.
+func (s *Server) boundsSummary(ctx context.Context, p *ir.Program, spec machine.Spec, measured int64, mode string) *BoundsSummary {
+	if mode == boundsNone {
+		return nil
+	}
+	m := analysis.NewManager(p)
+	m.SetTraceContext(ctx)
+	a, err := bounds.FromManager(m, bounds.FastCapacity(spec), mode == boundsFull)
+	if err != nil {
+		s.log.Log(map[string]any{
+			"event":   "bounds_failed",
+			"program": p.Name,
+			"error":   err.Error(),
+		})
+		return nil
+	}
+	return &BoundsSummary{
+		FastBytes:       a.FastBytes,
+		BoundBytes:      a.Best.Bytes,
+		Kind:            a.Best.Kind,
+		Assumptions:     a.Best.Assumptions,
+		MeasuredBytes:   measured,
+		Gap:             bounds.Gap(measured, a.Best),
+		PebblingSkipped: a.PebblingSkipped,
+	}
+}
+
+// observeGap feeds one computed optimality gap into telemetry: the
+// overall sum/count pair behind the dashboard's windowed-mean series,
+// and — for kernel-named requests, which have a stable identity to
+// label a metric with — the per-kernel /metrics gauge and the
+// best-known-gap table GET /v1/kernels reports.
+func (s *Server) observeGap(kernel string, b *BoundsSummary) {
+	if b == nil || b.Gap <= 0 {
+		return
+	}
+	s.gapSum.Add(b.Gap)
+	s.gapCount.Add(1)
+	if kernel == "" {
+		return
+	}
+	s.optimalityGap.With(kernel).Set(b.Gap)
+	s.bestMu.Lock()
+	if old, ok := s.bestGaps[kernel]; !ok || b.Gap < old {
+		s.bestGaps[kernel] = b.Gap
+	}
+	s.bestMu.Unlock()
+}
+
+// bestKnownGaps snapshots the smallest gap observed per kernel since
+// process start.
+func (s *Server) bestKnownGaps() map[string]float64 {
+	s.bestMu.Lock()
+	defer s.bestMu.Unlock()
+	out := make(map[string]float64, len(s.bestGaps))
+	for k, v := range s.bestGaps {
+		out[k] = v
+	}
+	return out
+}

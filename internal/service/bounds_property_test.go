@@ -1,0 +1,261 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/bounds"
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/transform"
+)
+
+// TestBoundSoundnessProperty is the property the whole optimality-gap
+// feature stands on: for every registered kernel, on every machine, the
+// lower bound is finite, positive, and never exceeds the measured
+// traffic (gap >= 1) — for the original program, for the fully
+// optimized program, and under both the full and the degraded-ladder
+// (pebbling-shed) bound computations. A violation means the "lower
+// bound" is not a bound and every reported gap is meaningless.
+func TestBoundSoundnessProperty(t *testing.T) {
+	machines := []machine.Spec{machine.Origin2000(), machine.Exemplar()}
+	for name, k := range kernelTable {
+		name, k := name, k
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx := context.Background()
+			// Cap the instantiation size so the full sweep (every kernel
+			// x machine x variant x mode) stays fast under -race. All
+			// caps here are powers of two, so the FFT constraint holds.
+			n := k.DefaultN
+			if n > 4096 {
+				n = 4096
+			}
+			p, _, err := buildKernel(name, n)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			progs := map[string]*ir.Program{"original": p}
+			if q, _, err := transform.OptimizeVerifiedCtx(ctx, p, transform.Config{Options: transform.All()}); err == nil {
+				progs["optimized"] = q
+			} else {
+				t.Logf("optimize failed (original-only property): %v", err)
+			}
+			for _, spec := range machines {
+				for variant, prog := range progs {
+					rep, err := balance.MeasureCtx(ctx, prog, spec, exec.Limits{})
+					if err != nil {
+						t.Fatalf("%s/%s: measure: %v", spec.Name, variant, err)
+					}
+					for _, nopebble := range []bool{false, true} {
+						label := fmt.Sprintf("%s/%s/nopebble=%v", spec.Name, variant, nopebble)
+						a, err := bounds.AnalyzeOpts(ctx, prog, bounds.FastCapacity(spec), bounds.Opts{NoPebble: nopebble})
+						if err != nil {
+							t.Fatalf("%s: analyze: %v", label, err)
+						}
+						if a.Best.Bytes <= 0 {
+							t.Fatalf("%s: bound %d bytes, want positive", label, a.Best.Bytes)
+						}
+						if a.Best.Bytes > rep.MemoryBytes {
+							t.Fatalf("%s: UNSOUND bound: %d bytes exceeds measured %d",
+								label, a.Best.Bytes, rep.MemoryBytes)
+						}
+						if g := bounds.Gap(rep.MemoryBytes, a.Best); g < 1 {
+							t.Fatalf("%s: gap %.4f < 1", label, g)
+						}
+						if nopebble && !a.PebblingSkipped {
+							t.Fatalf("%s: degraded analysis not marked PebblingSkipped", label)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyzeBoundsConsistency pins the contract that the same gap
+// number appears everywhere it is surfaced: the /v1/analyze bounds
+// block, the bwserved_optimality_gap{kernel} gauge on /metrics, and the
+// best_known_gap column of GET /v1/kernels.
+func TestAnalyzeBoundsConsistency(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"kernel": "matmul", "n": 48})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d: %s", resp.StatusCode, body)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	b := ar.Bounds
+	if b == nil {
+		t.Fatalf("full-service analyze response has no bounds block: %s", body)
+	}
+	if b.BoundBytes <= 0 || b.Gap < 1 {
+		t.Fatalf("bounds block not sound: %+v", b)
+	}
+	if b.PebblingSkipped {
+		t.Fatalf("full-service bounds marked degraded: %+v", b)
+	}
+	// Best is whichever argument gives the larger bound — at this size
+	// either can win, but it must name one of the two.
+	if b.Kind != "pebbling" && b.Kind != "compulsory" {
+		t.Fatalf("matmul bound kind %q, want pebbling or compulsory", b.Kind)
+	}
+	if got := b.Gap; got != float64(b.MeasuredBytes)/float64(b.BoundBytes) {
+		t.Fatalf("gap %v inconsistent with measured/bound = %d/%d", got, b.MeasuredBytes, b.BoundBytes)
+	}
+
+	// The per-kernel gauge carries the same number.
+	if got := s.optimalityGap.With("matmul").Value(); got != b.Gap {
+		t.Fatalf("bwserved_optimality_gap{matmul} = %v, response gap %v", got, b.Gap)
+	}
+	resp, metrics := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if !strings.Contains(metrics, `bwserved_optimality_gap{kernel="matmul"}`) {
+		t.Fatalf("/metrics missing bwserved_optimality_gap{kernel=\"matmul\"}:\n%s", metrics)
+	}
+
+	// GET /v1/kernels reports it as the best-known gap, alongside the
+	// precomputed lower bound for every analyzable built-in.
+	resp, kbody := get(t, ts.URL+"/v1/kernels")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("kernels status %d", resp.StatusCode)
+	}
+	var kr struct {
+		Kernels []KernelInfo `json:"kernels"`
+	}
+	if err := json.Unmarshal([]byte(kbody), &kr); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range kr.Kernels {
+		if k.LowerBound == nil {
+			t.Fatalf("kernel %s has no precomputed lower bound", k.Name)
+		}
+		if k.LowerBound.BoundBytes <= 0 {
+			t.Fatalf("kernel %s precomputed bound %d, want positive", k.Name, k.LowerBound.BoundBytes)
+		}
+		if k.Name == "matmul" {
+			found = true
+			if k.BestKnownGap != b.Gap {
+				t.Fatalf("best_known_gap %v, response gap %v", k.BestKnownGap, b.Gap)
+			}
+		} else if k.BestKnownGap != 0 {
+			t.Fatalf("kernel %s has best_known_gap %v without any measurement", k.Name, k.BestKnownGap)
+		}
+	}
+	if !found {
+		t.Fatal("matmul missing from /v1/kernels")
+	}
+
+	// A second, smaller-traffic measurement of the same kernel must
+	// lower the best-known gap monotonically (min, not latest).
+	before := b.Gap
+	resp, body = postJSON(t, ts.URL+"/v1/optimize", map[string]any{"kernel": "matmul", "n": 48})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize status %d: %s", resp.StatusCode, body)
+	}
+	var or OptimizeResponse
+	if err := json.Unmarshal(body, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.Bounds == nil {
+		t.Fatalf("full-service optimize response has no bounds block: %s", body)
+	}
+	best := s.bestKnownGaps()["matmul"]
+	if want := min(before, or.Bounds.Gap); best != want {
+		t.Fatalf("best-known gap %v after optimize, want min(%v, %v)", best, before, or.Bounds.Gap)
+	}
+}
+
+// TestDegradedBoundsCacheDiscipline extends the cache-poisoning rule to
+// the bounds dimension: a response computed with degraded (or absent)
+// bounds must never be served to a full-service request, because the
+// bounds mode is part of the cache address.
+func TestDegradedBoundsCacheDiscipline(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	// Force the ladder: write the cost estimate directly, then send a
+	// deadline in [est/2, est) — rung 1, which sheds the pebbling half
+	// of the bound but keeps measurement and the compulsory floor.
+	s.pipeEWMABits.Store(math.Float64bits(1.0))
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"kernel": "dmxpy", "n": 96, "belady": true, "timeout_ms": 700,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded analyze: status %d: %s", resp.StatusCode, body)
+	}
+	var deg AnalyzeResponse
+	if err := json.Unmarshal(body, &deg); err != nil {
+		t.Fatal(err)
+	}
+	if deg.Degraded == nil || deg.Degraded.Level != 1 {
+		t.Fatalf("want rung-1 degradation, got %s", body)
+	}
+	if deg.Bounds == nil {
+		t.Fatalf("rung-1 response lost its bounds block entirely: %s", body)
+	}
+	if !deg.Bounds.PebblingSkipped {
+		t.Fatalf("rung-1 bounds not marked pebbling_skipped: %+v", deg.Bounds)
+	}
+	if deg.Bounds.Kind != "compulsory" {
+		t.Fatalf("rung-1 bound kind %q, want compulsory", deg.Bounds.Kind)
+	}
+	if deg.Bounds.Gap < 1 {
+		t.Fatalf("rung-1 gap %v < 1", deg.Bounds.Gap)
+	}
+
+	// Full-deadline follow-up: must recompute, not serve the weaker
+	// cached bounds.
+	s.pipeEWMABits.Store(math.Float64bits(0.001))
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", map[string]any{"kernel": "dmxpy", "n": 96, "belady": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full analyze: status %d: %s", resp.StatusCode, body)
+	}
+	var full AnalyzeResponse
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Cached {
+		t.Fatal("pebbling-shed result was served to a full-bounds request")
+	}
+	if full.Bounds == nil || full.Bounds.PebblingSkipped {
+		t.Fatalf("full request got degraded bounds: %s", body)
+	}
+	if full.Bounds.BoundBytes < deg.Bounds.BoundBytes {
+		t.Fatalf("full bound %d weaker than compulsory-only %d",
+			full.Bounds.BoundBytes, deg.Bounds.BoundBytes)
+	}
+
+	// A tight-deadline request now hits the cache: the full-bounds
+	// variant sits at the address the degraded probe checks first, and a
+	// strictly better answer is acceptable for a degraded request.
+	s.pipeEWMABits.Store(math.Float64bits(1.0))
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"kernel": "dmxpy", "n": 96, "belady": true, "timeout_ms": 700,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat degraded analyze: status %d: %s", resp.StatusCode, body)
+	}
+	var again AnalyzeResponse
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatalf("repeat degraded request missed the cache: %s", body)
+	}
+	if again.Bounds == nil {
+		t.Fatal("cached degraded variant lost its bounds block")
+	}
+}

@@ -65,6 +65,7 @@ func TestHistoryAndDashboard(t *testing.T) {
 		"requests_per_sec": false, "request_latency_ms": false, "cache_hit_rate": false,
 		"pass_ms": false, "workers_busy": false, "queue_depth": false, "cache_entries": false,
 		"shed_per_sec": false, "coalesced_per_sec": false, "degraded_per_sec": false,
+		"optimality_gap": false,
 	}
 	for _, sr := range hr.Series {
 		if _, ok := want[sr.Name]; !ok {

@@ -146,6 +146,12 @@ type AnalyzeResponse struct {
 	Degraded *DegradeInfo      `json:"degraded,omitempty"`
 	Balance  *BalanceSummary   `json:"balance"`
 	Belady   *BeladyComparison `json:"belady,omitempty"`
+	// Bounds is the analyzed program's data-movement lower bound and
+	// the measurement's optimality gap (internal/bounds); absent when
+	// the service degraded past program execution or the footprint run
+	// failed. Under rung-1 degradation the block is present but its
+	// pebbling half is skipped (PebblingSkipped).
+	Bounds *BoundsSummary `json:"bounds,omitempty"`
 	// Trace is the request's span tree, present only when the request
 	// set "trace": true. Cached entries never store a trace; a traced
 	// cache hit reports the (short) hit path.
@@ -176,6 +182,12 @@ type OptimizeResponse struct {
 	Before       *BalanceSummary `json:"before,omitempty"`
 	After        *BalanceSummary `json:"after,omitempty"`
 	Speedup      float64         `json:"speedup"`
+	// Bounds is the OPTIMIZED program's data-movement lower bound and
+	// the after-measurement's optimality gap — how close the pipeline
+	// landed to the floor any schedule must pay. Absent when
+	// measurement was skipped (structural-only degradation) or the
+	// footprint run failed.
+	Bounds *BoundsSummary `json:"bounds,omitempty"`
 	// Passes and Analysis report the run's per-pass wall time and the
 	// analysis manager's cache counters (cached responses keep the
 	// stats of the run that produced them).
@@ -376,15 +388,19 @@ type analyzeKey struct {
 	Source   string
 	Machine  string
 	Belady   bool
+	// Bounds is the bounds mode actually computed (see bounds.go):
+	// degraded-bounds responses live at their own address, so they are
+	// never served to full-service requests.
+	Bounds   string
 	MaxSteps int64
 }
 
 // analyzeCacheKey is the content address of an analyze result for the
 // given effective options.
-func (s *Server) analyzeCacheKey(sourceID, machineName string, belady bool) (string, error) {
+func (s *Server) analyzeCacheKey(sourceID, machineName string, belady bool, boundsMode string) (string, error) {
 	return cache.Key(analyzeKey{
 		Endpoint: "analyze", Source: sourceID, Machine: machineName,
-		Belady: belady, MaxSteps: s.cfg.MaxSteps,
+		Belady: belady, Bounds: boundsMode, MaxSteps: s.cfg.MaxSteps,
 	})
 }
 
@@ -415,7 +431,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stageSeconds.With("parse").Observe(time.Since(begin).Seconds())
 
-	key, err := s.analyzeCacheKey(sourceID, spec.Name, req.Belady)
+	key, err := s.analyzeCacheKey(sourceID, spec.Name, req.Belady, boundsFull)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -476,18 +492,20 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 		return nil, err
 	}
 	// Analyze's product is a measurement, so the ladder bites later
-	// than on optimize: rung 2 sheds only the Belady double-replay;
-	// rung 3 serves cached results alone.
+	// than on optimize: rung 1 sheds only the pebbling half of the
+	// lower bound, rung 2 additionally sheds the Belady double-replay
+	// and the footprint run; rung 3 serves cached results alone.
 	effBelady := req.Belady && level.measureAllowed()
+	bm := boundsModeFor(level)
 	var info *DegradeInfo
-	if effBelady != req.Belady {
+	if effBelady != req.Belady || bm != boundsFull {
 		info = level.info(reason)
 	}
 	if level >= degradeCacheOnly {
 		if effBelady != req.Belady {
-			// A Belady-free result is still an acceptable degraded
-			// answer if one is already cached.
-			if ek, err := s.analyzeCacheKey(sourceID, spec.Name, false); err == nil {
+			// A Belady-free full-service result is still an acceptable
+			// degraded answer if one is already cached.
+			if ek, err := s.analyzeCacheKey(sourceID, spec.Name, false, boundsFull); err == nil {
 				if v, ok := s.cacheGet(ctx, ek); ok {
 					cp := *v.(*AnalyzeResponse)
 					cp.Cached = true
@@ -501,10 +519,17 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 			reason:     "degraded to cache-only and result not cached: " + reason,
 		}
 	}
-	if effBelady != req.Belady {
-		// The degraded variant may already be cached under its own key.
-		ek, err := s.analyzeCacheKey(sourceID, spec.Name, false)
-		if err == nil {
+	if info != nil {
+		// An acceptable answer may already be cached: the full-bounds
+		// variant of the effective request (strictly better than this
+		// rung affords), or the exact degraded variant under its own
+		// address. A degraded rung never has bm == full, so the probes
+		// are distinct.
+		for _, ebm := range []string{boundsFull, bm} {
+			ek, err := s.analyzeCacheKey(sourceID, spec.Name, effBelady, ebm)
+			if err != nil {
+				continue
+			}
 			if v, ok := s.cacheGet(ctx, ek); ok {
 				cp := *v.(*AnalyzeResponse)
 				cp.Cached = true
@@ -529,6 +554,11 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 	}
 	resp := &AnalyzeResponse{Balance: summarize(rep)}
 
+	bbegin := time.Now()
+	resp.Bounds = s.boundsSummary(ctx, p, spec, rep.MemoryBytes, bm)
+	s.stageSeconds.With("bounds").Observe(time.Since(bbegin).Seconds())
+	s.observeGap(req.Kernel, resp.Bounds)
+
 	if effBelady {
 		rbegin := time.Now()
 		cmp, err := s.beladyCompare(ctx, p, spec)
@@ -545,10 +575,10 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 	}
 
 	// Cache the trace-free, degradation-free response under the key of
-	// what was actually computed: a Belady-free degraded run is exactly
-	// a Belady-free request's full answer, so it must never be stored
-	// under the requested (Belady-bearing) address.
-	if key, err := s.analyzeCacheKey(sourceID, spec.Name, effBelady); err == nil {
+	// what was actually computed: a Belady-free or bounds-degraded run
+	// is exactly that variant's full answer, so it must never be stored
+	// under the requested (Belady-bearing, full-bounds) address.
+	if key, err := s.analyzeCacheKey(sourceID, spec.Name, effBelady, bm); err == nil {
 		s.cachePut(ctx, key, resp)
 	}
 	if info != nil {
@@ -613,16 +643,19 @@ type optimizeKey struct {
 	Passes   transform.Options
 	Pipeline string
 	Verify   string
+	// Bounds is the bounds mode actually computed (see analyzeKey).
+	Bounds   string
 	Tol      float64
 	MaxSteps int64
 }
 
 // optimizeCacheKey is the content address of an optimize result for
 // the given effective options.
-func (s *Server) optimizeCacheKey(sourceID, machineName string, opts transform.Options, pipeline string, mode verify.Mode, tol float64) (string, error) {
+func (s *Server) optimizeCacheKey(sourceID, machineName string, opts transform.Options, pipeline string, mode verify.Mode, tol float64, boundsMode string) (string, error) {
 	return cache.Key(optimizeKey{
 		Endpoint: "optimize", Source: sourceID, Machine: machineName,
-		Passes: opts, Pipeline: pipeline, Verify: mode.String(), Tol: tol, MaxSteps: s.cfg.MaxSteps,
+		Passes: opts, Pipeline: pipeline, Verify: mode.String(), Bounds: boundsMode,
+		Tol: tol, MaxSteps: s.cfg.MaxSteps,
 	})
 }
 
@@ -677,7 +710,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stageSeconds.With("parse").Observe(time.Since(begin).Seconds())
 
-	key, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, mode, req.Tol)
+	key, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, mode, req.Tol, boundsFull)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -741,16 +774,27 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 	}
 	effMode := level.clampVerify(mode)
 	measure := level.measureAllowed()
+	bm := boundsModeFor(level)
 	var info *DegradeInfo
-	if effMode != mode || !measure {
+	if effMode != mode || !measure || bm != boundsFull {
 		info = level.info(reason)
 	}
-	if effMode != mode || level >= degradeCacheOnly {
-		// The clamped variant may already be cached under its own key —
-		// for cache-only, a cached verify-off result (which includes
-		// measurement) is the only acceptable answer.
-		ek, kerr := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol)
-		if kerr == nil {
+	if info != nil {
+		// An acceptable answer may already be cached: the full-bounds
+		// variant at the clamped verify mode (strictly better than this
+		// rung affords), or the exact degraded variant under its own
+		// address. bm "none" marks a measurement-free run, which is
+		// never cached, so it has no address worth probing — for
+		// cache-only, a cached measured result at the clamped mode is
+		// the only acceptable answer.
+		for _, ebm := range []string{boundsFull, bm} {
+			if ebm == boundsNone {
+				continue
+			}
+			ek, kerr := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol, ebm)
+			if kerr != nil {
+				continue
+			}
 			if v, ok := s.cacheGet(ctx, ek); ok {
 				cp := *v.(*OptimizeResponse)
 				cp.Cached = true
@@ -815,6 +859,10 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 		resp.Before = summarize(before)
 		resp.After = summarize(after)
 		resp.Speedup = balance.Speedup(before, after)
+		bbegin := time.Now()
+		resp.Bounds = s.boundsSummary(ctx, q, spec, after.MemoryBytes, bm)
+		s.stageSeconds.With("bounds").Observe(time.Since(bbegin).Seconds())
+		s.observeGap(req.Kernel, resp.Bounds)
 	}
 	if level == degradeNone {
 		// Only full-service runs feed the cost estimate (see runAnalyze).
@@ -822,11 +870,12 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 	}
 
 	// Cache the trace-free, degradation-free response under the key of
-	// what was actually computed: a verification-clamped run is exactly
-	// the clamped request's full answer. A structural-only run skipped
-	// measurement, so it is incomplete for any key and is not cached.
+	// what was actually computed: a verification-clamped run with its
+	// effective bounds mode is exactly that degraded request's full
+	// answer. A structural-only run skipped measurement, so it is
+	// incomplete for any key and is not cached.
 	if measure {
-		if ek, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol); err == nil {
+		if ek, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol, bm); err == nil {
 			s.cachePut(ctx, ek, resp)
 		}
 	}
@@ -839,7 +888,17 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 }
 
 func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"kernels": Kernels()})
+	list := Kernels()
+	precomputed := kernelBounds()
+	best := s.bestKnownGaps()
+	for i := range list {
+		if b, ok := precomputed[list[i].Name]; ok {
+			b := b
+			list[i].LowerBound = &b
+		}
+		list[i].BestKnownGap = best[list[i].Name]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"kernels": list})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,11 +1,16 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/bounds"
+	"repro/internal/exec"
 	"repro/internal/ir"
 	"repro/internal/kernels"
+	"repro/internal/machine"
 )
 
 // KernelInfo describes one named built-in program the service can
@@ -16,8 +21,56 @@ type KernelInfo struct {
 	DefaultN    int    `json:"default_n"`
 	MaxN        int    `json:"max_n"`
 
+	// LowerBound is the precomputed data-movement lower bound of the
+	// kernel at its default size on the reference machine (see
+	// kernelBounds). Absent if the bound engine cannot analyze it.
+	LowerBound *KernelBound `json:"lower_bound,omitempty"`
+	// BestKnownGap is the smallest optimality gap (measured traffic /
+	// lower bound) any request to this process has achieved for the
+	// kernel; 1.0 means a provably traffic-minimal schedule has been
+	// observed. Absent until some request measures the kernel.
+	BestKnownGap float64 `json:"best_known_gap,omitempty"`
+
 	build func(n int) (*ir.Program, error)
 }
+
+// KernelBound pins down what a KernelInfo's precomputed lower bound
+// refers to: the kernel instantiated at N on Machine's fast memory.
+type KernelBound struct {
+	N          int    `json:"n"`
+	Machine    string `json:"machine"`
+	FastBytes  int64  `json:"fast_bytes"`
+	BoundBytes int64  `json:"bound_bytes"`
+	Kind       string `json:"kind"`
+}
+
+// kernelBounds lazily computes the lower bound of every built-in at its
+// default size on the Origin2000 reference machine, once per process.
+// The footprint pass executes each kernel, so this is deliberately not
+// done at init; the first GET /v1/kernels pays for it and later calls
+// reuse the table. Kernels the engine cannot analyze are simply absent.
+var kernelBounds = sync.OnceValue(func() map[string]KernelBound {
+	spec := machine.Origin2000()
+	out := make(map[string]KernelBound, len(kernelTable))
+	for name, k := range kernelTable {
+		p, _, err := buildKernel(name, k.DefaultN)
+		if err != nil {
+			continue
+		}
+		a, err := bounds.Analyze(context.Background(), p, bounds.FastCapacity(spec), exec.Limits{})
+		if err != nil || a.Best.Bytes <= 0 {
+			continue
+		}
+		out[name] = KernelBound{
+			N:          k.DefaultN,
+			Machine:    spec.Name,
+			FastBytes:  a.FastBytes,
+			BoundBytes: a.Best.Bytes,
+			Kind:       a.Best.Kind,
+		}
+	}
+	return out
+})
 
 // kernelTable is the registry of built-ins. Size caps keep a single
 // request's footprint bounded (the exec step budget bounds its time);

@@ -183,6 +183,17 @@ type Server struct {
 	cacheEntries   *telemetry.Gauge
 	cacheEvictions *telemetry.Gauge
 
+	// Optimality-gap telemetry (see bounds.go): the per-kernel gauge
+	// exported on /metrics, the unregistered sum/count pair behind the
+	// dashboard's windowed-mean gap sparkline, and the best (smallest)
+	// gap observed per kernel since process start, served by
+	// GET /v1/kernels as the current best-known gap.
+	optimalityGap *telemetry.GaugeVec // {kernel}
+	gapSum        telemetry.Counter
+	gapCount      telemetry.Counter
+	bestMu        sync.Mutex
+	bestGaps      map[string]float64
+
 	// Overload-protection state (see overload.go): the singleflight
 	// group coalescing identical in-flight requests, shed/coalesce/
 	// degradation counters, and the EWMA of full-pipeline wall time
@@ -263,6 +274,10 @@ func New(cfg Config) *Server {
 		faultsFired: reg.NewGaugeVec("bwserved_fault_injections",
 			"Chaos faults fired by the server-wide injection set, by point (always zero outside chaos runs).",
 			"point"),
+		optimalityGap: reg.NewGaugeVec("bwserved_optimality_gap",
+			"Latest measured-traffic / lower-bound ratio per built-in kernel (1.0 = provably minimal traffic).",
+			"kernel"),
+		bestGaps: map[string]float64{},
 	}
 	s.passTotals.init()
 	s.flight = newFlightGroup()
@@ -391,6 +406,8 @@ func (s *Server) registerHistorySeries() {
 		rate(s.coalesced.Value))
 	s.history.AddSeries("degraded_per_sec", "Requests served below full service per second.", "req/s",
 		rate(s.degradedAll.Value))
+	s.history.AddSeries("optimality_gap", "Mean optimality gap (measured traffic / lower bound) of bound-carrying responses over the sampling window.", "x",
+		windowedMean(s.gapSum.Value, s.gapCount.Value, 1))
 }
 
 // Registry exposes the metrics registry (for embedding the service

@@ -36,6 +36,11 @@ type Trace struct {
 // Len returns the number of recorded line accesses.
 func (t *Trace) Len() int { return len(t.lines) }
 
+// At returns the i'th recorded access: its line-aligned address and
+// whether it was a write. Differential tests use it to compare the
+// access streams of the two execution engines element-wise.
+func (t *Trace) At(i int) (line int64, write bool) { return t.lines[i], t.writes[i] }
+
 // Recorder captures a processor-level access stream. It implements the
 // executor's Machine interface, so a program can be run "onto" a
 // recorder directly.
