@@ -81,7 +81,7 @@ import (
 
 var experiments = []string{
 	"sec2.1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-	"sp-util", "ablation", "conflicts", "regroup", "belady", "future", "interchange", "regbalance", "gaps", "stream", "cachebench",
+	"sp-util", "ablation", "conflicts", "regroup", "belady", "future", "interchange", "regbalance", "gaps", "stream", "cachebench", "characterize",
 }
 
 // jsonTable is one result table in -json output, mirroring
@@ -129,6 +129,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
 	which := flag.String("experiment", "all",
 		"which experiment to run: all, or one of "+strings.Join(experiments, ", "))
+	machineName := flag.String("machine", "",
+		"restrict the machine-model experiments (stream, cachebench, characterize) to one machine (default: all registered)")
+	listMachines := flag.Bool("list-machines", false, "list registered machine models and exit")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the bench run to this path")
 	record := flag.Bool("record", false, "collect a benchmark record and write it to the next free BENCH_<n>.json")
 	recordDir := flag.String("record-dir", ".", "directory BENCH_<n>.json records are written to")
@@ -146,6 +149,11 @@ func main() {
 	loadChaos := flag.String("load-chaos", "", "X-Chaos fault spec sent with every -load request (server needs -chaos-header)")
 	loadOut := flag.String("load-out", "", "also write the -load JSON report to this path")
 	flag.Parse()
+
+	if *listMachines {
+		fmt.Print(machine.FormatList(machine.Default))
+		return
+	}
 
 	if *load {
 		os.Exit(runLoad(loadOpts{
@@ -222,9 +230,23 @@ func main() {
 		case "gaps":
 			return tables(core.OptimalityGap(cfg))
 		case "stream":
-			return []*report.Table{streamTable()}, "", nil
+			specs, err := benchMachines(*machineName)
+			if err != nil {
+				return nil, "", err
+			}
+			return []*report.Table{streamTable(specs)}, "", nil
 		case "cachebench":
-			return []*report.Table{cacheBenchTable()}, "", nil
+			specs, err := benchMachines(*machineName)
+			if err != nil {
+				return nil, "", err
+			}
+			return cacheBenchTables(specs), "", nil
+		case "characterize":
+			specs, err := benchMachines(*machineName)
+			if err != nil {
+				return nil, "", err
+			}
+			return characterizeTables(specs)
 		default:
 			return nil, "", fmt.Errorf("unknown experiment %q (want one of %v or all)", name, experiments)
 		}
@@ -410,36 +432,117 @@ func tables(t *report.Table, err error) ([]*report.Table, string, error) {
 	return []*report.Table{t}, "", nil
 }
 
-// streamTable builds the STREAM calibration of both machine models —
+// benchMachines resolves the -machine flag for the machine-model
+// experiments: one named machine, or every registered machine.
+func benchMachines(name string) ([]machine.Spec, error) {
+	if name != "" {
+		s, err := machine.Resolve(name, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []machine.Spec{s}, nil
+	}
+	var out []machine.Spec
+	for _, e := range machine.Entries() {
+		out = append(out, e.Spec)
+	}
+	return out, nil
+}
+
+// fitSpec scales a machine whose caches sum past fit down by a power
+// of two, keeping the probes fast: stream and cachebench bandwidths
+// only depend on the footprint-to-capacity ratio, so the plateaus are
+// unchanged and the machine name carries the scale suffix.
+func fitSpec(s machine.Spec, fit int) machine.Spec {
+	total := 0
+	for _, c := range s.Caches {
+		total += c.Size
+	}
+	factor := 1
+	for total > fit {
+		factor, total = factor*2, total/2
+	}
+	if factor > 1 {
+		s = machine.Scaled(s, factor)
+	}
+	return s
+}
+
+// streamTable builds the STREAM calibration of the machine models —
 // the paper's source for the Origin2000's ~300 MB/s machine balance.
-func streamTable() *report.Table {
+func streamTable(specs []machine.Spec) *report.Table {
 	t := &report.Table{
 		Title:   "STREAM calibration of the machine models",
 		Headers: []string{"machine", "copy", "scale", "add", "triad", "nominal"},
 	}
-	for _, s := range []machine.Spec{machine.Origin2000(), machine.Exemplar()} {
+	for _, s := range specs {
+		s = fitSpec(s, 1<<20)
 		n := 4 * s.Caches[len(s.Caches)-1].Size / 8
 		r := machine.Stream(s, n)
 		t.AddRow(s.Name, report.MBs(r.Copy), report.MBs(r.Scale), report.MBs(r.Add),
 			report.MBs(r.Triad), report.MBs(s.MemoryBandwidth()))
 	}
 	t.AddNote("the paper quotes ~300 MB/s STREAM bandwidth for the Origin2000")
+	t.AddNote("a /N machine suffix means capacities were scaled to keep the sweep fast; bandwidths are unaffected")
 	return t
 }
 
-// cacheBenchTable builds the CacheBench-style working-set sweep of the
-// Origin2000 model, exposing the register, L1-L2 and memory plateaus.
-func cacheBenchTable() *report.Table {
-	s := machine.Origin2000()
-	t := &report.Table{
-		Title:   "CacheBench calibration of the Origin2000 model",
-		Headers: []string{"working set", "read bandwidth"},
+// cacheBenchTables builds the CacheBench-style working-set sweep of
+// each machine model, exposing its per-level bandwidth plateaus.
+func cacheBenchTables(specs []machine.Spec) []*report.Table {
+	var out []*report.Table
+	for _, s := range specs {
+		s = fitSpec(s, 1<<20)
+		total := 0
+		for _, c := range s.Caches {
+			total += c.Size
+		}
+		maxKB := 4 * total >> 10
+		if maxKB < 8 {
+			maxKB = 8
+		}
+		t := &report.Table{
+			Title:   "CacheBench calibration of the " + s.Name + " model",
+			Headers: []string{"working set", "read bandwidth"},
+		}
+		for _, p := range machine.CacheBench(s, 4, maxKB) {
+			t.AddRow(report.Bytes(p.WorkingSet), report.MBs(p.Bandwidth))
+		}
+		t.AddNote("plateaus at the per-level channel bandwidths")
+		out = append(out, t)
 	}
-	for _, p := range machine.CacheBench(s, 4, 32*1024) {
-		t.AddRow(report.Bytes(p.WorkingSet), report.MBs(p.Bandwidth))
+	return out
+}
+
+// characterizeTables runs the declared-vs-measured balance sweep
+// (machine.Characterize) on each machine: one table of per-channel
+// figures and one of the sweep's knee points.
+func characterizeTables(specs []machine.Spec) ([]*report.Table, string, error) {
+	bal := &report.Table{
+		Title:   "Declared vs measured machine balance (triad working-set sweep)",
+		Headers: []string{"machine", "channel", "declared BW", "measured BW", "declared B/F", "measured B/F"},
 	}
-	t.AddNote("plateaus at the register, L1-L2 and memory channel bandwidths")
-	return t
+	knees := &report.Table{
+		Title:   "Characterization knee points (working set falls out of a level)",
+		Headers: []string{"machine", "working set", "from", "to"},
+	}
+	for _, s := range specs {
+		c, err := machine.Characterize(context.Background(), s, machine.CharacterizeOptions{})
+		if err != nil {
+			return nil, "", err
+		}
+		for i, name := range c.ChannelNames {
+			bal.AddRow(c.Machine, name,
+				report.MBs(c.DeclaredBW[i]), report.MBs(c.MeasuredBW[i]),
+				fmt.Sprintf("%.3f", c.DeclaredBalance[i]), fmt.Sprintf("%.3f", c.MeasuredBalance[i]))
+		}
+		for _, k := range c.KneePoints {
+			knees.AddRow(c.Machine, report.Bytes(k.WorkingSet), report.MBs(k.From), report.MBs(k.To))
+		}
+	}
+	bal.AddNote("measured BW is the best bandwidth a STREAM-triad sweep sustained per channel; it equals declared when the channel binds")
+	bal.AddNote("channels the triad never saturates report an honest lower bound")
+	return []*report.Table{bal, knees}, "", nil
 }
 
 func fatal(err error) {

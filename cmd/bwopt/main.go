@@ -83,7 +83,8 @@ type jsonReport struct {
 
 func main() {
 	fusionOnly := flag.Bool("fusion-only", false, "run only loop fusion (no storage passes)")
-	machineName := flag.String("machine", "origin", "machine model: origin or exemplar")
+	machineName := flag.String("machine", "", "machine model (default Origin2000; see -list-machines)")
+	listMachines := flag.Bool("list-machines", false, "list registered machine models and exit")
 	scale := flag.Int("scale", 1, "divide cache capacities by this factor")
 	passes := flag.String("passes", "", "comma-separated pass specs (see doc comment); overrides the default pipeline")
 	verifyMode := flag.String("verify", "off", "per-pass verification: off, structural or differential")
@@ -99,6 +100,10 @@ func main() {
 		}
 	}
 	flag.Parse()
+	if *listMachines {
+		fmt.Print(machine.FormatList(machine.Default))
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -160,17 +165,9 @@ func main() {
 		}
 	}
 
-	var spec machine.Spec
-	switch *machineName {
-	case "origin":
-		spec = machine.Origin2000()
-	case "exemplar":
-		spec = machine.Exemplar()
-	default:
-		fatal(fmt.Errorf("unknown machine %q", *machineName))
-	}
-	if *scale > 1 {
-		spec = machine.Scaled(spec, *scale)
+	spec, err := machine.Resolve(*machineName, *scale)
+	if err != nil {
+		fatal(err)
 	}
 
 	before, err := balance.MeasureWithBounds(ctx, p, spec, exec.Limits{})

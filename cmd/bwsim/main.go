@@ -49,7 +49,8 @@ import (
 )
 
 func main() {
-	machineName := flag.String("machine", "origin", "machine model: origin or exemplar")
+	machineName := flag.String("machine", "", "machine model (default Origin2000; see -list-machines)")
+	listMachines := flag.Bool("list-machines", false, "list registered machine models and exit")
 	scale := flag.Int("scale", 1, "divide cache capacities by this factor")
 	printIR := flag.Bool("print-ir", false, "echo the parsed program before the report")
 	verifyMode := flag.String("verify", "off", "pre-run verification: off or structural (differential allowed with -passes)")
@@ -60,6 +61,10 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *listMachines {
+		fmt.Print(machine.FormatList(machine.Default))
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -114,17 +119,9 @@ func main() {
 		p = q
 	}
 
-	var spec machine.Spec
-	switch *machineName {
-	case "origin":
-		spec = machine.Origin2000()
-	case "exemplar":
-		spec = machine.Exemplar()
-	default:
-		fatal(fmt.Errorf("unknown machine %q (want origin or exemplar)", *machineName))
-	}
-	if *scale > 1 {
-		spec = machine.Scaled(spec, *scale)
+	spec, err := machine.Resolve(*machineName, *scale)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *printIR {

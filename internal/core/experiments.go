@@ -98,6 +98,21 @@ func (c Config) exemplar() machine.Spec {
 	return machine.Scaled(machine.Exemplar(), c.MachineScale)
 }
 
+// machines returns every registered machine model, scaled by
+// MachineScale — experiments that compare across the registry (the
+// optimality-gap study) iterate this instead of naming machines.
+func (c Config) machines() []machine.Spec {
+	var out []machine.Spec
+	for _, e := range machine.Entries() {
+		spec := e.Spec
+		if c.MachineScale > 1 {
+			spec = machine.Scaled(spec, c.MachineScale)
+		}
+		out = append(out, spec)
+	}
+	return out
+}
+
 func (c Config) streamOrigin() machine.Spec {
 	if c.StreamScale <= 1 {
 		return machine.Origin2000()

@@ -8,16 +8,18 @@ import (
 	"repro/internal/exec"
 	"repro/internal/ir"
 	"repro/internal/kernels"
-	"repro/internal/machine"
 	"repro/internal/report"
 )
 
 // OptimalityGap measures the paper kernels against the data-movement
-// lower bound (internal/bounds) on both machine models, before and
-// after the verified default pipeline: how close does measured traffic
-// sit to the floor any schedule must pay, and how much of the distance
-// does the optimizer close? The raw byte columns are unformatted so
-// machine consumers (CI, EXPERIMENTS.md tooling) can parse them.
+// lower bound (internal/bounds) on every registered machine model,
+// before and after the verified default pipeline: how close does
+// measured traffic sit to the floor any schedule must pay, and how
+// much of the distance does the optimizer close? Iterating the whole
+// registry doubles as the bound-soundness sweep — CI asserts every
+// machine/kernel row keeps gap >= 1.0. The raw byte columns are
+// unformatted so machine consumers (CI, EXPERIMENTS.md tooling) can
+// parse them.
 func OptimalityGap(cfg Config) (*report.Table, error) {
 	t := &report.Table{
 		Title:   "Optimality gap: measured traffic vs data-movement lower bound",
@@ -33,7 +35,7 @@ func OptimalityGap(cfg Config) (*report.Table, error) {
 		{"fig6", kernels.Fig6Original(cfg.Fig6N)},
 		{"fig7", kernels.Fig7Original(cfg.Fig8N)},
 	}
-	for _, spec := range []machine.Spec{cfg.origin(), cfg.exemplar()} {
+	for _, spec := range cfg.machines() {
 		for _, k := range rows {
 			before, err := balance.MeasureWithBounds(context.Background(), k.p, spec, exec.Limits{})
 			if err != nil {

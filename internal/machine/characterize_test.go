@@ -1,0 +1,139 @@
+package machine
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func characterizeT(t *testing.T, name string) *Characterization {
+	t.Helper()
+	e, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("unknown machine %q", name)
+	}
+	c, err := Characterize(context.Background(), e.Spec, CharacterizeOptions{})
+	if err != nil {
+		t.Fatalf("Characterize(%s): %v", name, err)
+	}
+	return c
+}
+
+func relErr(measured, declared float64) float64 {
+	if declared == 0 {
+		return 0
+	}
+	return math.Abs(measured-declared) / declared
+}
+
+// The tentpole assertion: the sweep reproduces the paper machines'
+// published balance within 10%. Origin2000: 4 / 4 / 0.8 B/flop;
+// Exemplar: 4 / ~1.33 B/flop.
+func TestCharacterizePaperMachines(t *testing.T) {
+	for _, tc := range []struct {
+		machine string
+		balance []float64 // published declared balance, processor-side first
+	}{
+		{"Origin2000", []float64{4, 4, 0.8}},
+		{"Exemplar", []float64{4, 480.0 / 360.0}},
+	} {
+		c := characterizeT(t, tc.machine)
+		if len(c.MeasuredBalance) != len(tc.balance) {
+			t.Fatalf("%s: %d measured channels, want %d", tc.machine, len(c.MeasuredBalance), len(tc.balance))
+		}
+		for i, want := range tc.balance {
+			if e := relErr(c.MeasuredBalance[i], want); e > 0.10 {
+				t.Errorf("%s channel %s: measured balance %.3f vs published %.3f (%.1f%% off)",
+					tc.machine, c.ChannelNames[i], c.MeasuredBalance[i], want, 100*e)
+			}
+		}
+	}
+}
+
+// Every registered machine characterizes without error, with measured
+// memory bandwidth within 10% of declared (the memory channel binds
+// once the working set overflows the caches, so the sweep recovers the
+// declared figure) and no measured channel above its declared peak.
+func TestCharacterizeEveryRegisteredMachine(t *testing.T) {
+	for _, e := range Entries() {
+		c, err := Characterize(context.Background(), e.Spec, CharacterizeOptions{})
+		if err != nil {
+			t.Errorf("%s: %v", e.Spec.Name, err)
+			continue
+		}
+		if got := c.MemoryBalanceError(); got > 0.10 {
+			last := len(c.MeasuredBW) - 1
+			t.Errorf("%s: measured memory BW %.3g vs declared %.3g (%.1f%% off)",
+				e.Spec.Name, c.MeasuredBW[last], c.DeclaredBW[last], 100*got)
+		}
+		for i, m := range c.MeasuredBW {
+			if m > c.DeclaredBW[i]*1.0001 {
+				t.Errorf("%s channel %s: measured %.3g exceeds declared %.3g",
+					e.Spec.Name, c.ChannelNames[i], m, c.DeclaredBW[i])
+			}
+			if m <= 0 {
+				t.Errorf("%s channel %s: no bandwidth measured", e.Spec.Name, c.ChannelNames[i])
+			}
+		}
+		if len(c.Points) < 8 {
+			t.Errorf("%s: only %d sweep points", e.Spec.Name, len(c.Points))
+		}
+		if len(c.KneePoints) == 0 {
+			t.Errorf("%s: sweep found no knee (expected at least the memory cliff)", e.Spec.Name)
+		}
+	}
+}
+
+// The sweep is deterministic: two runs agree exactly (the CI smoke
+// job asserts the same across processes).
+func TestCharacterizeDeterministic(t *testing.T) {
+	a := characterizeT(t, "Origin2000")
+	b := characterizeT(t, "Origin2000")
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two characterizations of Origin2000 differ")
+	}
+}
+
+// Scale-to-fit reports working sets in full-machine terms: the memory
+// knee of the (scaled) sweep must sit near the full machine's total
+// cache capacity, not the scaled copy's.
+func TestCharacterizeRescalesWorkingSets(t *testing.T) {
+	e, _ := Lookup("Origin2000")
+	c := characterizeT(t, "Origin2000")
+	if c.ScaleFactor <= 1 {
+		t.Fatalf("Origin2000 (4MB L2) should characterize scaled, got factor %d", c.ScaleFactor)
+	}
+	cap := totalCapacity(e.Spec)
+	lastKnee := c.KneePoints[len(c.KneePoints)-1]
+	if lastKnee.WorkingSet < cap/2 || lastKnee.WorkingSet > 4*cap {
+		t.Errorf("memory knee at %d bytes, want near total capacity %d", lastKnee.WorkingSet, cap)
+	}
+	maxWS := c.Points[len(c.Points)-1].WorkingSet
+	if maxWS < 2*cap {
+		t.Errorf("sweep tops out at %d bytes, want beyond total capacity %d", maxWS, cap)
+	}
+}
+
+func TestCharacterizeCacheless(t *testing.T) {
+	s := Spec{Name: "bare", FlopRate: 1e9, ChannelBW: []float64{1e9}}
+	if _, err := Characterize(context.Background(), s, CharacterizeOptions{}); err == nil {
+		t.Error("cache-less spec characterized without error")
+	}
+}
+
+func TestRegistryCharacterizationMemoized(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Entry{Spec: Exemplar(), Description: "d", Era: "e", Source: "s"})
+	if _, ok := r.TryCharacterization("Exemplar"); ok {
+		t.Fatal("characterization present before first compute")
+	}
+	a, err := r.Characterization(context.Background(), "Exemplar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := r.TryCharacterization("Exemplar")
+	if !ok || a != b {
+		t.Error("memoized characterization not returned")
+	}
+}

@@ -94,8 +94,12 @@ func (s Spec) Balance() []float64 {
 func (s Spec) MemoryBandwidth() float64 { return s.ChannelBW[len(s.ChannelBW)-1] }
 
 // ChannelNames labels each channel for reports ("L1-Reg", "L2-L1",
-// "Mem-L2"), processor-side first.
+// "Mem-L2"), processor-side first. A cache-less spec has exactly one
+// channel, registers straight to memory, labelled "Mem-Reg".
 func (s Spec) ChannelNames() []string {
+	if len(s.Caches) == 0 {
+		return []string{"Mem-Reg"}
+	}
 	out := make([]string, len(s.ChannelBW))
 	for i := range out {
 		switch {
@@ -217,8 +221,12 @@ func Scaled(s Spec, factor int) Spec {
 	copy(caches, s.Caches)
 	for i := range caches {
 		caches[i].Size /= factor
-		if caches[i].Size < caches[i].LineSize*caches[i].Assoc {
-			caches[i].Size = caches[i].LineSize * caches[i].Assoc
+		// Keep the scaled capacity a valid geometry: a whole number of
+		// sets (Size divisible by line*assoc), never below one set.
+		la := caches[i].LineSize * caches[i].Assoc
+		caches[i].Size -= caches[i].Size % la
+		if caches[i].Size < la {
+			caches[i].Size = la
 		}
 	}
 	s.Caches = caches

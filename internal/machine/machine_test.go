@@ -65,6 +65,12 @@ func TestChannelNames(t *testing.T) {
 	if got := Exemplar().ChannelNames(); got[0] != "L1-Reg" || got[1] != "Mem-L1" {
 		t.Fatalf("Exemplar names = %v", got)
 	}
+	// A cache-less spec (registry entries may model flat memories) has
+	// the single direct channel, not a panic.
+	flat := Spec{Name: "flat", FlopRate: 1e9, ChannelBW: []float64{1e9}}
+	if got := flat.ChannelNames(); len(got) != 1 || got[0] != "Mem-Reg" {
+		t.Fatalf("cache-less names = %v, want [Mem-Reg]", got)
+	}
 }
 
 func TestPredictBottleneckSelection(t *testing.T) {

@@ -1,0 +1,149 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+// The default registry carries the two paper machines plus the
+// extended model set, all valid, all reachable by name and alias.
+func TestDefaultRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("registry has %d machines, want >= 6: %v", len(names), names)
+	}
+	for _, want := range []string{"Origin2000", "Exemplar", "SkylakeSP", "A64FX", "KPU", "EmbeddedM7"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("Lookup(%q) failed", want)
+		}
+	}
+	for _, e := range Entries() {
+		if err := e.Spec.Validate(); err != nil {
+			t.Errorf("%s: %v", e.Spec.Name, err)
+		}
+		if e.Description == "" || e.Era == "" || e.Source == "" {
+			t.Errorf("%s: missing metadata: %+v", e.Spec.Name, e)
+		}
+	}
+}
+
+func TestLookupAliasesAndCase(t *testing.T) {
+	for alias, want := range map[string]string{
+		"origin":     "Origin2000",
+		"o2k":        "Origin2000",
+		"ORIGIN2000": "Origin2000",
+		"exemplar":   "Exemplar",
+		"skylake":    "SkylakeSP",
+		"modern":     "SkylakeSP",
+		"hbm":        "A64FX",
+		"tile":       "KPU",
+		"embedded":   "EmbeddedM7",
+	} {
+		e, ok := Lookup(alias)
+		if !ok {
+			t.Errorf("Lookup(%q) failed", alias)
+			continue
+		}
+		if e.Spec.Name != want {
+			t.Errorf("Lookup(%q) = %s, want %s", alias, e.Spec.Name, want)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	// Empty name defaults to the reference machine.
+	s, err := Resolve("", 0)
+	if err != nil || s.Name != "Origin2000" {
+		t.Fatalf("Resolve(\"\", 0) = %v, %v; want Origin2000", s.Name, err)
+	}
+	// Scale > 1 shrinks caches.
+	s, err = Resolve("origin", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Caches[0].Size != 2<<10 {
+		t.Errorf("scaled L1 = %d, want 2KB", s.Caches[0].Size)
+	}
+	// Unknown names enumerate the registry (satellite: no doc drift).
+	_, err = Resolve("cray", 0)
+	if err == nil {
+		t.Fatal("Resolve(cray) succeeded")
+	}
+	for _, want := range Names() {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-machine error %q does not mention %s", err, want)
+		}
+	}
+	if _, err := Resolve("origin", -1); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestRegisterRejectsCollisions(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Entry{Spec: Origin2000()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Entry{Spec: Origin2000()}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	ex := Exemplar()
+	if err := r.Register(Entry{Spec: ex, Aliases: []string{"origin2000"}}); err == nil {
+		t.Error("alias colliding with a registered name accepted")
+	}
+	bad := Origin2000()
+	bad.FlopRate = 0
+	bad.Name = "Broken"
+	if err := r.Register(Entry{Spec: bad}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// Satellite: Scaled specs of every registered machine stay valid,
+// preserve channel count, and keep their bandwidths (machine balance
+// is invariant under capacity scaling).
+func TestScaledEveryRegisteredMachine(t *testing.T) {
+	for _, e := range Entries() {
+		for _, factor := range []int{2, 7, 16, 64} {
+			s := Scaled(e.Spec, factor)
+			if err := s.Validate(); err != nil {
+				t.Errorf("Scaled(%s, %d): %v", e.Spec.Name, factor, err)
+			}
+			if len(s.ChannelBW) != len(e.Spec.ChannelBW) {
+				t.Errorf("Scaled(%s, %d): channel count changed", e.Spec.Name, factor)
+			}
+			for i := range s.ChannelBW {
+				if s.ChannelBW[i] != e.Spec.ChannelBW[i] {
+					t.Errorf("Scaled(%s, %d): channel %d bandwidth changed", e.Spec.Name, factor, i)
+				}
+			}
+			if s.FlopRate != e.Spec.FlopRate {
+				t.Errorf("Scaled(%s, %d): flop rate changed", e.Spec.Name, factor)
+			}
+			// The simulator accepts the scaled geometry.
+			h := s.NewHierarchy()
+			h.Load(0, 8)
+		}
+	}
+}
+
+// Balance across the registry tells the paper's Figure 1 story
+// continued: every post-paper general-purpose machine is further from
+// balanced than the Origin2000's 0.8 B/flop.
+func TestBalanceTrend(t *testing.T) {
+	origin, _ := Lookup("origin")
+	ob := origin.Spec.Balance()
+	memBalance := func(s Spec) float64 { b := s.Balance(); return b[len(b)-1] }
+	for _, name := range []string{"SkylakeSP", "A64FX", "KPU", "EmbeddedM7"} {
+		e, _ := Lookup(name)
+		if mb := memBalance(e.Spec); mb >= ob[len(ob)-1] {
+			t.Errorf("%s memory balance %.3f not below Origin2000's %.3f", name, mb, ob[len(ob)-1])
+		}
+	}
+	// The HBM part buys balance back relative to the commodity CPU.
+	skx, _ := Lookup("SkylakeSP")
+	hbm, _ := Lookup("A64FX")
+	if memBalance(hbm.Spec) <= memBalance(skx.Spec) {
+		t.Error("A64FX should have better memory balance than SkylakeSP")
+	}
+}

@@ -97,9 +97,10 @@ func (s *Server) boundsSummary(ctx context.Context, p *ir.Program, spec machine.
 // observeGap feeds one computed optimality gap into telemetry: the
 // overall sum/count pair behind the dashboard's windowed-mean series,
 // and — for kernel-named requests, which have a stable identity to
-// label a metric with — the per-kernel /metrics gauge and the
-// best-known-gap table GET /v1/kernels reports.
-func (s *Server) observeGap(kernel string, b *BoundsSummary) {
+// label a metric with — the per-kernel-per-machine /metrics gauge and
+// the best-known-gap table GET /v1/kernels reports (best across
+// machines).
+func (s *Server) observeGap(kernel, machineName string, b *BoundsSummary) {
 	if b == nil || b.Gap <= 0 {
 		return
 	}
@@ -108,7 +109,7 @@ func (s *Server) observeGap(kernel string, b *BoundsSummary) {
 	if kernel == "" {
 		return
 	}
-	s.optimalityGap.With(kernel).Set(b.Gap)
+	s.optimalityGap.With(kernel, machineName).Set(b.Gap)
 	s.bestMu.Lock()
 	if old, ok := s.bestGaps[kernel]; !ok || b.Gap < old {
 		s.bestGaps[kernel] = b.Gap

@@ -18,14 +18,19 @@ import (
 )
 
 // TestBoundSoundnessProperty is the property the whole optimality-gap
-// feature stands on: for every registered kernel, on every machine, the
-// lower bound is finite, positive, and never exceeds the measured
-// traffic (gap >= 1) — for the original program, for the fully
-// optimized program, and under both the full and the degraded-ladder
-// (pebbling-shed) bound computations. A violation means the "lower
-// bound" is not a bound and every reported gap is meaningless.
+// feature stands on: for every registered kernel, on every registered
+// machine, the lower bound is finite, positive, and never exceeds the
+// measured traffic (gap >= 1) — for the original program, for the
+// fully optimized program, and under both the full and the
+// degraded-ladder (pebbling-shed) bound computations. A violation
+// means the "lower bound" is not a bound and every reported gap is
+// meaningless. Iterating the registry means a newly registered machine
+// is subjected to the contract automatically.
 func TestBoundSoundnessProperty(t *testing.T) {
-	machines := []machine.Spec{machine.Origin2000(), machine.Exemplar()}
+	var machines []machine.Spec
+	for _, e := range machine.Entries() {
+		machines = append(machines, e.Spec)
+	}
 	for name, k := range kernelTable {
 		name, k := name, k
 		t.Run(name, func(t *testing.T) {
@@ -114,16 +119,16 @@ func TestAnalyzeBoundsConsistency(t *testing.T) {
 		t.Fatalf("gap %v inconsistent with measured/bound = %d/%d", got, b.MeasuredBytes, b.BoundBytes)
 	}
 
-	// The per-kernel gauge carries the same number.
-	if got := s.optimalityGap.With("matmul").Value(); got != b.Gap {
-		t.Fatalf("bwserved_optimality_gap{matmul} = %v, response gap %v", got, b.Gap)
+	// The per-kernel-per-machine gauge carries the same number.
+	if got := s.optimalityGap.With("matmul", "Origin2000").Value(); got != b.Gap {
+		t.Fatalf("bwserved_optimality_gap{matmul,Origin2000} = %v, response gap %v", got, b.Gap)
 	}
 	resp, metrics := get(t, ts.URL+"/metrics")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics status %d", resp.StatusCode)
 	}
-	if !strings.Contains(metrics, `bwserved_optimality_gap{kernel="matmul"}`) {
-		t.Fatalf("/metrics missing bwserved_optimality_gap{kernel=\"matmul\"}:\n%s", metrics)
+	if !strings.Contains(metrics, `bwserved_optimality_gap{kernel="matmul",machine="Origin2000"}`) {
+		t.Fatalf("/metrics missing bwserved_optimality_gap{kernel=\"matmul\",machine=\"Origin2000\"}:\n%s", metrics)
 	}
 
 	// GET /v1/kernels reports it as the best-known gap, alongside the

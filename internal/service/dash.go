@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/machine"
 	"repro/internal/telemetry"
 )
 
@@ -47,6 +48,17 @@ type dashCard struct {
 	SVG     template.HTML
 }
 
+// dashMachine is one registry row of the machines table on /debug/dash.
+type dashMachine struct {
+	Name       string
+	Era        string
+	FlopRate   string
+	MemBW      string
+	DeclaredBF string // declared memory-channel balance, bytes/flop
+	MeasuredBF string // measured balance, or a placeholder before the sweep runs
+	Knees      string
+}
+
 // dashPage is the template payload of /debug/dash.
 type dashPage struct {
 	GoVersion string
@@ -54,6 +66,34 @@ type dashPage struct {
 	Samples   int
 	Interval  string
 	Cards     []dashCard
+	Machines  []dashMachine
+}
+
+// dashMachines builds the machines table. Characterizations are read
+// with TryCharacterization so rendering the dashboard never blocks on a
+// sweep; machines show "—" until GET /v1/machines (or any other caller)
+// has characterized them.
+func dashMachines() []dashMachine {
+	var out []dashMachine
+	for _, e := range machine.Entries() {
+		spec := e.Spec
+		bal := spec.Balance()
+		row := dashMachine{
+			Name:       spec.Name,
+			Era:        e.Era,
+			FlopRate:   formatSample(spec.FlopRate, "flop/s"),
+			MemBW:      formatSample(spec.ChannelBW[len(spec.ChannelBW)-1], "B/s"),
+			DeclaredBF: fmt.Sprintf("%.3f", bal[len(bal)-1]),
+			MeasuredBF: "—",
+			Knees:      "—",
+		}
+		if c, ok := machine.Default.TryCharacterization(spec.Name); ok {
+			row.MeasuredBF = fmt.Sprintf("%.3f", c.MeasuredBalance[len(c.MeasuredBalance)-1])
+			row.Knees = fmt.Sprintf("%d", len(c.KneePoints))
+		}
+		out = append(out, row)
+	}
+	return out
 }
 
 func (s *Server) handleDash(w http.ResponseWriter, _ *http.Request) {
@@ -61,6 +101,7 @@ func (s *Server) handleDash(w http.ResponseWriter, _ *http.Request) {
 		GoVersion: runtime.Version(),
 		Uptime:    time.Since(s.start).Truncate(time.Second).String(),
 		Interval:  "manual (SampleNow only)",
+		Machines:  dashMachines(),
 	}
 	if s.cfg.SampleInterval > 0 {
 		page.Interval = s.cfg.SampleInterval.String()
@@ -199,6 +240,11 @@ var dashTemplate = template.Must(template.New("dash").Parse(`<!doctype html>
   body { background: var(--surface); color: var(--ink);
          font: 14px/1.45 system-ui, sans-serif; margin: 24px; }
   h1 { font-size: 18px; margin: 0 0 2px; }
+  h2 { font-size: 14px; margin: 24px 0 8px; color: var(--ink-2); }
+  table { border-collapse: collapse; font-size: 13px; margin-bottom: 8px; }
+  th, td { border: 1px solid var(--border); padding: 4px 10px; text-align: left; }
+  th { color: var(--ink-2); font-weight: 500; font-size: 12px; }
+  td.num { text-align: right; font-variant-numeric: tabular-nums; }
   .meta { color: var(--ink-2); font-size: 12px; margin-bottom: 20px; }
   .grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(300px, 1fr)); gap: 12px; }
   .card { background: var(--card); border: 1px solid var(--border);
@@ -224,5 +270,14 @@ var dashTemplate = template.Must(template.New("dash").Parse(`<!doctype html>
     {{.SVG}}
   </div>
 {{end}}</div>
+<h2>machines</h2>
+<table>
+  <tr><th>machine</th><th>era</th><th>flop rate</th><th>mem BW</th>
+      <th>declared B/F</th><th>measured B/F</th><th>knees</th></tr>
+{{range .Machines}}  <tr><td>{{.Name}}</td><td>{{.Era}}</td><td class="num">{{.FlopRate}}</td>
+      <td class="num">{{.MemBW}}</td><td class="num">{{.DeclaredBF}}</td>
+      <td class="num">{{.MeasuredBF}}</td><td class="num">{{.Knees}}</td></tr>
+{{end}}</table>
+<div class="meta">measured balance fills in once a sweep has run (hit <a href="/v1/machines">/v1/machines</a> to characterize all machines).</div>
 </body></html>
 `))

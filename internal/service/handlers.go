@@ -32,7 +32,8 @@ type ProgramRequest struct {
 	Kernel  string `json:"kernel,omitempty"`
 	// N sizes a built-in kernel; 0 means its default.
 	N int `json:"n,omitempty"`
-	// Machine is "origin" (default) or "exemplar"; Scale ≥ 2 shrinks
+	// Machine names a registered machine model or alias (GET
+	// /v1/machines lists them; default Origin2000); Scale ≥ 2 shrinks
 	// its caches by that factor (the paper's scaled-machine study).
 	Machine string `json:"machine,omitempty"`
 	Scale   int    `json:"scale,omitempty"`
@@ -50,6 +51,12 @@ type ProgramRequest struct {
 // AnalyzeRequest is the body of POST /v1/analyze.
 type AnalyzeRequest struct {
 	ProgramRequest
+	// Machines fans the analysis out across several machine models in
+	// one request — "same kernel, which machine is it balanced for" —
+	// returning one balance+bounds entry per machine in the response's
+	// "machines" array. Mutually exclusive with Machine; Scale applies
+	// to every listed machine. Belady runs only on the first machine.
+	Machines []string `json:"machines,omitempty"`
 	// Belady additionally replays the last-level access trace under
 	// Belady's optimal replacement vs LRU (Section 4.1's comparison).
 	Belady bool `json:"belady,omitempty"`
@@ -152,10 +159,22 @@ type AnalyzeResponse struct {
 	// failed. Under rung-1 degradation the block is present but its
 	// pebbling half is skipped (PebblingSkipped).
 	Bounds *BoundsSummary `json:"bounds,omitempty"`
+	// Machines carries the per-machine results of a fan-out request
+	// (AnalyzeRequest.Machines), in request order, first entry equal to
+	// Balance/Bounds. Absent for single-machine requests.
+	Machines []*MachineAnalysis `json:"machines,omitempty"`
 	// Trace is the request's span tree, present only when the request
 	// set "trace": true. Cached entries never store a trace; a traced
 	// cache hit reports the (short) hit path.
 	Trace []*trace.Node `json:"trace,omitempty"`
+}
+
+// MachineAnalysis is one machine's result in a fan-out analyze
+// response.
+type MachineAnalysis struct {
+	Machine string          `json:"machine"`
+	Balance *BalanceSummary `json:"balance"`
+	Bounds  *BoundsSummary  `json:"bounds,omitempty"`
 }
 
 // Verification reports the verified pipeline's outcome, including
@@ -321,23 +340,57 @@ func (s *Server) resolveProgram(req *ProgramRequest) (*ir.Program, string, error
 	}
 }
 
+// resolveMachine maps (name, scale) onto a spec through the machine
+// registry; unknown names turn into 400s whose message enumerates the
+// registered machines.
 func resolveMachine(name string, scale int) (machine.Spec, error) {
-	var spec machine.Spec
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "", "origin", "origin2000":
-		spec = machine.Origin2000()
-	case "exemplar":
-		spec = machine.Exemplar()
-	default:
-		return spec, badRequest("unknown machine %q (want origin or exemplar)", name)
-	}
-	if scale < 0 {
-		return spec, badRequest("scale must be non-negative, got %d", scale)
-	}
-	if scale > 1 {
-		spec = machine.Scaled(spec, scale)
+	spec, err := machine.Resolve(name, scale)
+	if err != nil {
+		return spec, badRequest("%v", err)
 	}
 	return spec, nil
+}
+
+// maxMachineFanout caps the "machines" list of one analyze request:
+// each entry costs a full measurement, so the cap bounds a single
+// request's work the same way MaxSteps bounds one program run.
+const maxMachineFanout = 16
+
+// resolveMachines resolves an analyze request's machine target(s): the
+// singular Machine field, or the Machines fan-out list. It returns the
+// specs in request order plus the canonical machine key the result is
+// cached under (names joined with commas; aliases and duplicates
+// canonicalize to the same key).
+func resolveMachines(req *AnalyzeRequest) ([]machine.Spec, string, error) {
+	if len(req.Machines) == 0 {
+		spec, err := resolveMachine(req.Machine, req.Scale)
+		if err != nil {
+			return nil, "", err
+		}
+		return []machine.Spec{spec}, spec.Name, nil
+	}
+	if req.Machine != "" {
+		return nil, "", badRequest("set at most one of \"machine\" and \"machines\"")
+	}
+	if len(req.Machines) > maxMachineFanout {
+		return nil, "", badRequest("\"machines\" lists %d machines (max %d)", len(req.Machines), maxMachineFanout)
+	}
+	var specs []machine.Spec
+	var names []string
+	seen := map[string]bool{}
+	for _, name := range req.Machines {
+		spec, err := resolveMachine(name, req.Scale)
+		if err != nil {
+			return nil, "", err
+		}
+		if seen[spec.Name] {
+			continue
+		}
+		seen[spec.Name] = true
+		specs = append(specs, spec)
+		names = append(names, spec.Name)
+	}
+	return specs, strings.Join(names, ","), nil
 }
 
 func summarize(rep *balance.Report) *BalanceSummary {
@@ -424,14 +477,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	spec, err := resolveMachine(req.Machine, req.Scale)
+	specs, machineKey, err := resolveMachines(&req)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	s.stageSeconds.With("parse").Observe(time.Since(begin).Seconds())
 
-	key, err := s.analyzeCacheKey(sourceID, spec.Name, req.Belady, boundsFull)
+	key, err := s.analyzeCacheKey(sourceID, machineKey, req.Belady, boundsFull)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -454,7 +507,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// Coalesce identical concurrent misses onto one pipeline run; the
 	// leader passes admission control and may be degraded or shed.
 	v, shared, err := s.flight.do(ctx, key, func() (any, error) {
-		return s.runAnalyze(ctx, &req, p, sourceID, spec)
+		return s.runAnalyze(ctx, &req, p, sourceID, specs, machineKey)
 	})
 	if err != nil {
 		s.failOverload(w, err)
@@ -484,9 +537,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 }
 
 // runAnalyze is the leader's pipeline body for one analyze miss:
-// admission, degradation, worker acquisition, measurement. The
-// returned response is trace-free (the handler attaches trees).
-func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Program, sourceID string, spec machine.Spec) (*AnalyzeResponse, error) {
+// admission, degradation, worker acquisition, measurement (one per
+// target machine). The returned response is trace-free (the handler
+// attaches trees). machineKey is the canonical machine component of
+// the cache address — specs[0].Name for single-machine requests, the
+// joined name list for fan-outs.
+func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Program, sourceID string, specs []machine.Spec, machineKey string) (*AnalyzeResponse, error) {
 	level, reason, err := s.admit(ctx)
 	if err != nil {
 		return nil, err
@@ -505,7 +561,7 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 		if effBelady != req.Belady {
 			// A Belady-free full-service result is still an acceptable
 			// degraded answer if one is already cached.
-			if ek, err := s.analyzeCacheKey(sourceID, spec.Name, false, boundsFull); err == nil {
+			if ek, err := s.analyzeCacheKey(sourceID, machineKey, false, boundsFull); err == nil {
 				if v, ok := s.cacheGet(ctx, ek); ok {
 					cp := *v.(*AnalyzeResponse)
 					cp.Cached = true
@@ -526,7 +582,7 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 		// address. A degraded rung never has bm == full, so the probes
 		// are distinct.
 		for _, ebm := range []string{boundsFull, bm} {
-			ek, err := s.analyzeCacheKey(sourceID, spec.Name, effBelady, ebm)
+			ek, err := s.analyzeCacheKey(sourceID, machineKey, effBelady, ebm)
 			if err != nil {
 				continue
 			}
@@ -546,8 +602,9 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 	defer release()
 
 	pbegin := time.Now()
+	primary := specs[0]
 	mbegin := time.Now()
-	rep, err := balance.MeasureCtx(ctx, p, spec, s.limits())
+	rep, err := balance.MeasureCtx(ctx, p, primary, s.limits())
 	s.stageSeconds.With("measure").Observe(time.Since(mbegin).Seconds())
 	if err != nil {
 		return nil, err
@@ -555,13 +612,34 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 	resp := &AnalyzeResponse{Balance: summarize(rep)}
 
 	bbegin := time.Now()
-	resp.Bounds = s.boundsSummary(ctx, p, spec, rep.MemoryBytes, bm)
+	resp.Bounds = s.boundsSummary(ctx, p, primary, rep.MemoryBytes, bm)
 	s.stageSeconds.With("bounds").Observe(time.Since(bbegin).Seconds())
-	s.observeGap(req.Kernel, resp.Bounds)
+	s.observeGap(req.Kernel, primary.Name, resp.Bounds)
+
+	if len(req.Machines) > 0 {
+		// Fan-out: one entry per machine, the first sharing the primary
+		// measurement above.
+		resp.Machines = append(resp.Machines, &MachineAnalysis{
+			Machine: primary.Name, Balance: resp.Balance, Bounds: resp.Bounds,
+		})
+		for _, spec := range specs[1:] {
+			mbegin := time.Now()
+			mrep, err := balance.MeasureCtx(ctx, p, spec, s.limits())
+			s.stageSeconds.With("measure").Observe(time.Since(mbegin).Seconds())
+			if err != nil {
+				return nil, err
+			}
+			mb := s.boundsSummary(ctx, p, spec, mrep.MemoryBytes, bm)
+			s.observeGap(req.Kernel, spec.Name, mb)
+			resp.Machines = append(resp.Machines, &MachineAnalysis{
+				Machine: spec.Name, Balance: summarize(mrep), Bounds: mb,
+			})
+		}
+	}
 
 	if effBelady {
 		rbegin := time.Now()
-		cmp, err := s.beladyCompare(ctx, p, spec)
+		cmp, err := s.beladyCompare(ctx, p, primary)
 		s.stageSeconds.With("replay").Observe(time.Since(rbegin).Seconds())
 		if err != nil {
 			return nil, err
@@ -578,7 +656,7 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 	// what was actually computed: a Belady-free or bounds-degraded run
 	// is exactly that variant's full answer, so it must never be stored
 	// under the requested (Belady-bearing, full-bounds) address.
-	if key, err := s.analyzeCacheKey(sourceID, spec.Name, effBelady, bm); err == nil {
+	if key, err := s.analyzeCacheKey(sourceID, machineKey, effBelady, bm); err == nil {
 		s.cachePut(ctx, key, resp)
 	}
 	if info != nil {
@@ -862,7 +940,7 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 		bbegin := time.Now()
 		resp.Bounds = s.boundsSummary(ctx, q, spec, after.MemoryBytes, bm)
 		s.stageSeconds.With("bounds").Observe(time.Since(bbegin).Seconds())
-		s.observeGap(req.Kernel, resp.Bounds)
+		s.observeGap(req.Kernel, spec.Name, resp.Bounds)
 	}
 	if level == degradeNone {
 		// Only full-service runs feed the cost estimate (see runAnalyze).
@@ -892,9 +970,14 @@ func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
 	precomputed := kernelBounds()
 	best := s.bestKnownGaps()
 	for i := range list {
-		if b, ok := precomputed[list[i].Name]; ok {
-			b := b
-			list[i].LowerBound = &b
+		if rows, ok := precomputed[list[i].Name]; ok {
+			list[i].LowerBounds = rows
+			for j := range rows {
+				if rows[j].Machine == machine.Origin2000().Name {
+					list[i].LowerBound = &rows[j]
+					break
+				}
+			}
 		}
 		list[i].BestKnownGap = best[list[i].Name]
 	}

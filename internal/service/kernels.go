@@ -1,13 +1,12 @@
 package service
 
 import (
-	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/bounds"
-	"repro/internal/exec"
 	"repro/internal/ir"
 	"repro/internal/kernels"
 	"repro/internal/machine"
@@ -25,6 +24,11 @@ type KernelInfo struct {
 	// kernel at its default size on the reference machine (see
 	// kernelBounds). Absent if the bound engine cannot analyze it.
 	LowerBound *KernelBound `json:"lower_bound,omitempty"`
+	// LowerBounds holds one precomputed bound row per registered
+	// machine (the bound depends on the machine only through its
+	// fast-memory capacity, so machines sharing a capacity share the
+	// computation). LowerBound is the Origin2000 row of this list.
+	LowerBounds []KernelBound `json:"lower_bounds,omitempty"`
 	// BestKnownGap is the smallest optimality gap (measured traffic /
 	// lower bound) any request to this process has achieved for the
 	// kernel; 1.0 means a provably traffic-minimal schedule has been
@@ -44,29 +48,49 @@ type KernelBound struct {
 	Kind       string `json:"kind"`
 }
 
-// kernelBounds lazily computes the lower bound of every built-in at its
-// default size on the Origin2000 reference machine, once per process.
-// The footprint pass executes each kernel, so this is deliberately not
+// kernelBounds lazily computes the lower bound of every built-in at
+// its default size on every registered machine, once per process. The
+// footprint pass executes each kernel, so this is deliberately not
 // done at init; the first GET /v1/kernels pays for it and later calls
-// reuse the table. Kernels the engine cannot analyze are simply absent.
-var kernelBounds = sync.OnceValue(func() map[string]KernelBound {
-	spec := machine.Origin2000()
-	out := make(map[string]KernelBound, len(kernelTable))
+// reuse the table. One analysis manager per kernel memoizes the
+// expensive parts (footprint run, pebbling structure), so extra
+// machines only cost a cheap per-capacity bound query — machines
+// sharing a fast-memory capacity even share that. Kernels the engine
+// cannot analyze are simply absent.
+var kernelBounds = sync.OnceValue(func() map[string][]KernelBound {
+	entries := machine.Entries()
+	out := make(map[string][]KernelBound, len(kernelTable))
 	for name, k := range kernelTable {
 		p, _, err := buildKernel(name, k.DefaultN)
 		if err != nil {
 			continue
 		}
-		a, err := bounds.Analyze(context.Background(), p, bounds.FastCapacity(spec), exec.Limits{})
-		if err != nil || a.Best.Bytes <= 0 {
-			continue
+		m := analysis.NewManager(p)
+		byCap := map[int64]*bounds.Analysis{}
+		var rows []KernelBound
+		for _, e := range entries {
+			fast := bounds.FastCapacity(e.Spec)
+			a, seen := byCap[fast]
+			if !seen {
+				a, err = bounds.FromManager(m, fast, true)
+				if err != nil {
+					a = nil
+				}
+				byCap[fast] = a
+			}
+			if a == nil || a.Best.Bytes <= 0 {
+				continue
+			}
+			rows = append(rows, KernelBound{
+				N:          k.DefaultN,
+				Machine:    e.Spec.Name,
+				FastBytes:  a.FastBytes,
+				BoundBytes: a.Best.Bytes,
+				Kind:       a.Best.Kind,
+			})
 		}
-		out[name] = KernelBound{
-			N:          k.DefaultN,
-			Machine:    spec.Name,
-			FastBytes:  a.FastBytes,
-			BoundBytes: a.Best.Bytes,
-			Kind:       a.Best.Kind,
+		if len(rows) > 0 {
+			out[name] = rows
 		}
 	}
 	return out

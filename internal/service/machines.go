@@ -1,0 +1,81 @@
+package service
+
+import (
+	"net/http"
+
+	"repro/internal/machine"
+)
+
+// MachineCache is one cache level of a machine description.
+type MachineCache struct {
+	Name      string `json:"name"`
+	SizeBytes int    `json:"size_bytes"`
+	LineBytes int    `json:"line_bytes"`
+	Assoc     int    `json:"assoc"`
+}
+
+// MachineInfo is one machine of GET /v1/machines: the registry entry's
+// spec and metadata, its declared balance, and — once the sweep has
+// run — the measured balance and full characterization.
+type MachineInfo struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Era         string   `json:"era"`
+	Source      string   `json:"source"`
+	Aliases     []string `json:"aliases,omitempty"`
+
+	FlopRate        float64        `json:"flop_rate"`
+	ChannelNames    []string       `json:"channel_names"`
+	ChannelBW       []float64      `json:"channel_bw"`
+	DeclaredBalance []float64      `json:"declared_balance"`
+	Caches          []MachineCache `json:"caches"`
+	MemLatencyNs    float64        `json:"mem_latency_ns,omitempty"`
+
+	// MeasuredBalance is the per-channel balance the working-set sweep
+	// sustained (machine.Characterize); Characterization carries the
+	// whole sweep (points, knees, measured bandwidths).
+	MeasuredBalance  []float64                 `json:"measured_balance,omitempty"`
+	Characterization *machine.Characterization `json:"characterization,omitempty"`
+}
+
+// handleMachines serves GET /v1/machines: every registered machine
+// with declared and measured balance. The first request pays for the
+// characterization sweeps (deterministic, a couple of seconds across
+// the registry); the registry memoizes them for the process lifetime.
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	entries := machine.Entries()
+	list := make([]MachineInfo, 0, len(entries))
+	for _, e := range entries {
+		spec := e.Spec
+		mi := MachineInfo{
+			Name:            spec.Name,
+			Description:     e.Description,
+			Era:             e.Era,
+			Source:          e.Source,
+			Aliases:         e.Aliases,
+			FlopRate:        spec.FlopRate,
+			ChannelNames:    spec.ChannelNames(),
+			ChannelBW:       spec.ChannelBW,
+			DeclaredBalance: spec.Balance(),
+			MemLatencyNs:    spec.MemLatencyNs,
+		}
+		for _, c := range spec.Caches {
+			mi.Caches = append(mi.Caches, MachineCache{
+				Name: c.Name, SizeBytes: c.Size, LineBytes: c.LineSize, Assoc: c.Assoc,
+			})
+		}
+		c, err := machine.Default.Characterization(r.Context(), spec.Name)
+		if err != nil {
+			s.log.Log(map[string]any{
+				"event":   "characterize_failed",
+				"machine": spec.Name,
+				"error":   err.Error(),
+			})
+		} else {
+			mi.MeasuredBalance = c.MeasuredBalance
+			mi.Characterization = c
+		}
+		list = append(list, mi)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"machines": list})
+}

@@ -1,0 +1,243 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp
+}
+
+// TestMachinesEndpoint exercises GET /v1/machines end to end: every
+// registered machine comes back with its declared balance and — because
+// the handler characterizes on demand — a measured balance whose memory
+// channel agrees with the declaration within the 10% protocol budget.
+func TestMachinesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var body struct {
+		Machines []MachineInfo `json:"machines"`
+	}
+	resp := getJSON(t, ts.URL+"/v1/machines", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(body.Machines) < 6 {
+		t.Fatalf("got %d machines, want >= 6", len(body.Machines))
+	}
+	for _, m := range body.Machines {
+		if m.Name == "" || m.Description == "" || m.Era == "" {
+			t.Errorf("machine missing metadata: %+v", m)
+		}
+		if len(m.DeclaredBalance) != len(m.ChannelNames) || len(m.ChannelBW) != len(m.ChannelNames) {
+			t.Errorf("%s: balance/BW/name lengths disagree", m.Name)
+		}
+		if len(m.MeasuredBalance) != len(m.DeclaredBalance) {
+			t.Fatalf("%s: measured balance missing or wrong length (%d vs %d)",
+				m.Name, len(m.MeasuredBalance), len(m.DeclaredBalance))
+		}
+		last := len(m.DeclaredBalance) - 1
+		decl, meas := m.DeclaredBalance[last], m.MeasuredBalance[last]
+		if err := math.Abs(meas-decl) / decl; err > 0.10 {
+			t.Errorf("%s: measured memory balance %.3f vs declared %.3f (err %.1f%%)",
+				m.Name, meas, decl, err*100)
+		}
+		if m.Characterization == nil || len(m.Characterization.Points) < 8 {
+			t.Errorf("%s: characterization sweep missing or too short", m.Name)
+		}
+	}
+}
+
+// TestAnalyzeMachinesFanout sends one program against several machines
+// and checks the per-machine result rows: one per distinct machine, in
+// request order, each with its own balance report and a sound bound.
+func TestAnalyzeMachinesFanout(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"kernel": "sec21", "n": 4096,
+		"machines": []string{"origin", "a64fx", "embedded"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Origin2000", "A64FX", "EmbeddedM7"}
+	if len(ar.Machines) != len(want) {
+		t.Fatalf("got %d machine rows, want %d: %s", len(ar.Machines), len(want), body)
+	}
+	for i, row := range ar.Machines {
+		if row.Machine != want[i] {
+			t.Errorf("row %d machine %q, want %q", i, row.Machine, want[i])
+		}
+		if row.Balance == nil || row.Balance.Flops <= 0 {
+			t.Errorf("%s: balance missing", row.Machine)
+		}
+		if row.Bounds == nil || row.Bounds.Gap < 1.0 {
+			t.Errorf("%s: bounds missing or unsound gap: %+v", row.Machine, row.Bounds)
+		}
+	}
+	// The top-level balance block stays the first machine's, so fan-out
+	// responses remain drop-in compatible with single-machine clients.
+	if ar.Balance == nil || ar.Balance.Machine != "Origin2000" {
+		t.Fatalf("top-level balance should be the first machine's: %+v", ar.Balance)
+	}
+}
+
+// TestAnalyzeMachinesDedupe: aliases and repeats collapse to one row.
+func TestAnalyzeMachinesDedupe(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"kernel": "conv", "n": 1024,
+		"machines": []string{"origin", "o2k", "Origin2000"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Machines) != 1 || ar.Machines[0].Machine != "Origin2000" {
+		t.Fatalf("aliases should dedupe to one row: %s", body)
+	}
+}
+
+func TestAnalyzeMachinesRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []map[string]any{
+		{"kernel": "conv", "machine": "origin", "machines": []string{"exemplar"}},
+		{"kernel": "conv", "machines": make17("origin")},
+		{"kernel": "conv", "machines": []string{"cray"}},
+	}
+	for i, req := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/analyze", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400: %s", i, resp.StatusCode, body)
+		}
+	}
+}
+
+func make17(name string) []string {
+	out := make([]string, 17)
+	for i := range out {
+		out[i] = name
+	}
+	return out
+}
+
+// TestScaledMachineCacheKey checks the result-cache address survives
+// the registry round trip: an alias at the same scale is a cache hit
+// (Scaled stamps the factor into the spec name, so the key is exact),
+// while a different scale is a miss.
+func TestScaledMachineCacheKey(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := func(name string, scale int) AnalyzeResponse {
+		resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+			"kernel": "conv", "n": 1024, "machine": name, "scale": scale,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var ar AnalyzeResponse
+		if err := json.Unmarshal(body, &ar); err != nil {
+			t.Fatal(err)
+		}
+		return ar
+	}
+	if ar := req("origin", 4); ar.Cached {
+		t.Fatal("first request claims cached")
+	}
+	if ar := req("o2k", 4); !ar.Cached {
+		t.Fatal("alias at same scale should hit the cache")
+	}
+	if ar := req("origin", 8); ar.Cached {
+		t.Fatal("different scale must not hit the cache")
+	}
+}
+
+// TestKernelsPerMachineBounds: GET /v1/kernels reports one lower-bound
+// row per registered machine, and the legacy single bound stays the
+// Origin2000 row.
+func TestKernelsPerMachineBounds(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var body struct {
+		Kernels []KernelInfo `json:"kernels"`
+	}
+	resp := getJSON(t, ts.URL+"/v1/kernels", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	names := machine.Names()
+	var checked bool
+	for _, k := range body.Kernels {
+		if k.Name != "conv" {
+			continue
+		}
+		checked = true
+		if len(k.LowerBounds) != len(names) {
+			t.Fatalf("conv: %d bound rows, want one per machine (%d): %+v",
+				len(k.LowerBounds), len(names), k.LowerBounds)
+		}
+		var machines []string
+		for _, b := range k.LowerBounds {
+			if b.BoundBytes <= 0 || b.FastBytes <= 0 {
+				t.Errorf("conv on %s: degenerate bound %+v", b.Machine, b)
+			}
+			machines = append(machines, b.Machine)
+		}
+		joined := strings.Join(machines, ",")
+		for _, n := range names {
+			if !strings.Contains(joined, n) {
+				t.Errorf("conv: no bound row for %s (have %s)", n, joined)
+			}
+		}
+		if k.LowerBound == nil || k.LowerBound.Machine != "Origin2000" {
+			t.Errorf("conv: legacy lower_bound should be the Origin2000 row: %+v", k.LowerBound)
+		}
+	}
+	if !checked {
+		t.Fatal("kernel conv not listed")
+	}
+}
+
+// TestDashMachinesTable: the live dashboard carries the machines table,
+// and once a characterization exists the measured column fills in.
+func TestDashMachinesTable(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/debug/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(raw)
+	for _, name := range machine.Names() {
+		if !strings.Contains(html, name) {
+			t.Errorf("dashboard missing machine row %q", name)
+		}
+	}
+	if !strings.Contains(html, "measured B/F") {
+		t.Error("dashboard missing measured-balance column")
+	}
+}

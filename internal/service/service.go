@@ -26,8 +26,8 @@
 //     their contexts.
 //
 // Endpoints: POST /v1/analyze, POST /v1/optimize, GET /v1/kernels,
-// GET /v1/passes, GET /v1/history, GET /healthz, GET /metrics,
-// GET /debug/dash.
+// GET /v1/machines, GET /v1/passes, GET /v1/history, GET /healthz,
+// GET /metrics, GET /debug/dash.
 package service
 
 import (
@@ -183,12 +183,13 @@ type Server struct {
 	cacheEntries   *telemetry.Gauge
 	cacheEvictions *telemetry.Gauge
 
-	// Optimality-gap telemetry (see bounds.go): the per-kernel gauge
-	// exported on /metrics, the unregistered sum/count pair behind the
-	// dashboard's windowed-mean gap sparkline, and the best (smallest)
-	// gap observed per kernel since process start, served by
-	// GET /v1/kernels as the current best-known gap.
-	optimalityGap *telemetry.GaugeVec // {kernel}
+	// Optimality-gap telemetry (see bounds.go): the per-kernel,
+	// per-machine gauge exported on /metrics, the unregistered
+	// sum/count pair behind the dashboard's windowed-mean gap
+	// sparkline, and the best (smallest) gap observed per kernel since
+	// process start, served by GET /v1/kernels as the current
+	// best-known gap.
+	optimalityGap *telemetry.GaugeVec // {kernel, machine}
 	gapSum        telemetry.Counter
 	gapCount      telemetry.Counter
 	bestMu        sync.Mutex
@@ -275,8 +276,8 @@ func New(cfg Config) *Server {
 			"Chaos faults fired by the server-wide injection set, by point (always zero outside chaos runs).",
 			"point"),
 		optimalityGap: reg.NewGaugeVec("bwserved_optimality_gap",
-			"Latest measured-traffic / lower-bound ratio per built-in kernel (1.0 = provably minimal traffic).",
-			"kernel"),
+			"Latest measured-traffic / lower-bound ratio per built-in kernel and machine (1.0 = provably minimal traffic).",
+			"kernel", "machine"),
 		bestGaps: map[string]float64{},
 	}
 	s.passTotals.init()
@@ -423,6 +424,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/optimize", s.instrument("/v1/optimize", s.handleOptimize))
 	mux.HandleFunc("GET /v1/kernels", s.instrument("/v1/kernels", s.handleKernels))
+	mux.HandleFunc("GET /v1/machines", s.instrument("/v1/machines", s.handleMachines))
 	mux.HandleFunc("GET /v1/passes", s.instrument("/v1/passes", s.handlePasses))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /v1/history", s.instrument("/v1/history", s.handleHistory))
