@@ -11,10 +11,12 @@
 package repro_test
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/balance"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/hypergraph"
@@ -278,6 +280,54 @@ func BenchmarkSimulatorAccess(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Load(int64(i%1_000_000)*8, 8)
+	}
+}
+
+// BenchmarkSimulatorAccessProfiled is the attribution-on sibling of
+// BenchmarkSimulatorAccess: the same access stream, site-tagged, with
+// per-site bucketing live. benchstat against the plain benchmark gives
+// the marginal cost of attribution in the simulator's hot loop; the
+// profiling-off path is BenchmarkSimulatorAccess itself, whose
+// regression over time is what perfwatch's measure_ns gate watches.
+func BenchmarkSimulatorAccessProfiled(b *testing.B) {
+	h := sim.MustHierarchy(
+		sim.CacheConfig{Name: "L1", Size: 32 << 10, LineSize: 32, Assoc: 2},
+		sim.CacheConfig{Name: "L2", Size: 4 << 20, LineSize: 128, Assoc: 2},
+	)
+	h.EnableProfiling()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.LoadSite(int64(i%1_000_000)*8, 8, uint32(i%8))
+	}
+}
+
+// BenchmarkMeasure is the profiling-off measurement path every
+// analysis request takes (balance.MeasureCtx).
+func BenchmarkMeasure(b *testing.B) {
+	p := kernels.Dmxpy(64)
+	spec := machine.Origin2000()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := balance.MeasureCtx(context.Background(), p, spec, exec.Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureAttributed measures the profiled path
+// (balance.MeasureProfiled): site assignment on a clone, per-site
+// bucketing during simulation, bounds analysis and attribution
+// assembly. Its ratio to BenchmarkMeasure is the recorded
+// profiling-on cost (perfwatch stores the same ratio per kernel as
+// profile_overhead_ratio).
+func BenchmarkMeasureAttributed(b *testing.B) {
+	p := kernels.Dmxpy(64)
+	spec := machine.Origin2000()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := balance.MeasureProfiled(context.Background(), p, spec, exec.Limits{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -6,7 +6,17 @@
 //
 //	bwopt [-fusion-only] [-machine origin|exemplar] [-scale N] \
 //	      [-verify off|structural|differential] [-tol T] \
-//	      [-passes spec[,spec...]] [-trace out.json] program.bw
+//	      [-passes spec[,spec...]] [-profile] [-json] \
+//	      [-trace out.json] program.bw
+//
+// With -profile, both measurements run with traffic attribution: the
+// bandwidth report is followed by a per-array, per-level traffic table
+// (with each array's compulsory floor and optimality gap), the
+// optimized program annotated with the memory bytes each reference
+// moved, and a per-pass delta table attributing the savings of every
+// committed pass to the arrays it touched. Under -json the same data
+// appears as "profile" blocks on both measurements and a "pass_deltas"
+// array.
 //
 // With -trace, the whole run is traced — one span per pass attempt,
 // per analysis-cache request, per verification phase and per simulated
@@ -68,6 +78,9 @@ type jsonMeasurement struct {
 	EffectiveBW   float64          `json:"effective_bw"`
 	Bound         *bounds.Analysis `json:"bounds,omitempty"`
 	OptimalityGap float64          `json:"optimality_gap,omitempty"`
+	// Profile is the per-array traffic attribution (-profile only). The
+	// arrays' memory_bytes sum exactly to MemoryBytes.
+	Profile *balance.ProfileSummary `json:"profile,omitempty"`
 }
 
 // jsonReport is the -json document: the optimized program, actions and
@@ -79,6 +92,9 @@ type jsonReport struct {
 	Before  jsonMeasurement `json:"before"`
 	After   jsonMeasurement `json:"after"`
 	Speedup float64         `json:"speedup"`
+	// PassDeltas attributes the traffic change to the committed passes,
+	// array by array (-profile only).
+	PassDeltas []balance.PassDelta `json:"pass_deltas,omitempty"`
 }
 
 func main() {
@@ -91,6 +107,7 @@ func main() {
 	tol := flag.Float64("tol", verify.DefaultTol, "relative tolerance for differential verification")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the whole run to this path")
 	jsonOut := flag.Bool("json", false, "emit the bandwidth report (with lower bounds and optimality gaps) as JSON")
+	profile := flag.Bool("profile", false, "attribute traffic per array and per pass: annotated listing, per-array table, pass deltas")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bwopt [flags] program.bw\n")
 		flag.PrintDefaults()
@@ -138,6 +155,7 @@ func main() {
 	}
 	q, outcome, err := transform.OptimizeVerifiedCtx(ctx, p, transform.Config{
 		Options: opt, Pipeline: *passes, Verify: mode, Tol: *tol,
+		SnapshotPasses: *profile,
 	})
 	if err == nil && *passes != "" && len(outcome.Skipped) > 0 {
 		// Strict mode for explicit pipelines: the user asked for these
@@ -170,13 +188,27 @@ func main() {
 		fatal(err)
 	}
 
-	before, err := balance.MeasureWithBounds(ctx, p, spec, exec.Limits{})
+	measureFn := balance.MeasureWithBounds
+	if *profile {
+		measureFn = balance.MeasureProfiled
+	}
+	before, err := measureFn(ctx, p, spec, exec.Limits{})
 	if err != nil {
 		fatal(err)
 	}
-	after, err := balance.MeasureWithBounds(ctx, q, spec, exec.Limits{})
+	after, err := measureFn(ctx, q, spec, exec.Limits{})
 	if err != nil {
 		fatal(err)
+	}
+	var deltas []balance.PassDelta
+	if *profile && len(outcome.Snapshots) > 0 {
+		snaps := make([]balance.ProgramSnapshot, len(outcome.Snapshots))
+		for i, s := range outcome.Snapshots {
+			snaps[i] = balance.ProgramSnapshot{Pass: s.Pass, Program: s.Program}
+		}
+		if deltas, err = balance.PassDeltas(ctx, p, snaps, spec, exec.Limits{}); err != nil {
+			fatal(err)
+		}
 	}
 	if tr != nil {
 		root.End()
@@ -193,6 +225,8 @@ func main() {
 			Before:  measurement(before),
 			After:   measurement(after),
 			Speedup: balance.Speedup(before, after),
+
+			PassDeltas: deltas,
 		}
 		for _, a := range actions {
 			doc.Actions = append(doc.Actions, fmt.Sprint(a))
@@ -214,6 +248,14 @@ func main() {
 			t.AddNote("lower bound: %s; gap 1.00x would be provably minimal traffic", after.Bound.Best.Kind)
 		}
 		fmt.Print(t)
+		if *profile && after.Attribution != nil {
+			fmt.Println("--- traffic attribution (after) ---")
+			fmt.Print(report.ArrayTraffic(after.Attribution.LevelNames, after.Attribution.TrafficRows()))
+			fmt.Println("--- annotated program (after) ---")
+			fmt.Print(after.Attribution.AnnotatedListing())
+			fmt.Println("--- pass deltas ---")
+			fmt.Print(report.PassDeltas(balance.DeltaRows(deltas)))
+		}
 	}
 
 	// Sanity: outputs must match.
@@ -238,6 +280,7 @@ func measurement(r *balance.Report) jsonMeasurement {
 		EffectiveBW:   r.EffectiveBW,
 		Bound:         r.Bound,
 		OptimalityGap: r.OptimalityGap,
+		Profile:       r.Attribution.Summary(),
 	}
 }
 

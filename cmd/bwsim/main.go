@@ -5,7 +5,12 @@
 //
 //	bwsim [-machine origin|exemplar] [-scale N] [-print-ir] \
 //	      [-verify off|structural] [-passes spec[,spec...]] \
-//	      [-trace out.json] program.bw
+//	      [-profile] [-trace out.json] program.bw
+//
+// With -profile, the measurement runs with traffic attribution: the
+// balance report is followed by a per-array, per-level traffic table
+// (with compulsory floors and per-array optimality gaps) and the
+// program annotated with the memory bytes each reference moved.
 //
 // With -trace, the run (optional pass pipeline + measurement) is
 // traced and written as Chrome trace-event JSON loadable in
@@ -43,6 +48,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/transform"
 	"repro/internal/verify"
@@ -55,6 +61,7 @@ func main() {
 	printIR := flag.Bool("print-ir", false, "echo the parsed program before the report")
 	verifyMode := flag.String("verify", "off", "pre-run verification: off or structural (differential allowed with -passes)")
 	passes := flag.String("passes", "", "comma-separated pass specs to apply before measuring (same registry as bwopt)")
+	profile := flag.Bool("profile", false, "attribute traffic per array: per-array table and annotated listing")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run to this path")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bwsim [flags] program.bw\n")
@@ -128,8 +135,13 @@ func main() {
 		fmt.Println(p)
 	}
 	// MeasureWithBounds attaches the data-movement lower bound and
-	// optimality gap, which Report.String prints as its last line.
-	rep, err := balance.MeasureWithBounds(ctx, p, spec, exec.Limits{})
+	// optimality gap, which Report.String prints as its last line;
+	// MeasureProfiled additionally attributes the traffic per site.
+	measureFn := balance.MeasureWithBounds
+	if *profile {
+		measureFn = balance.MeasureProfiled
+	}
+	rep, err := measureFn(ctx, p, spec, exec.Limits{})
 	if err != nil {
 		fatal(err)
 	}
@@ -149,6 +161,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bwsim: wrote %d spans to %s\n", tr.Len(), *traceOut)
 	}
 	fmt.Print(rep)
+	if rep.Attribution != nil {
+		fmt.Println("--- traffic attribution ---")
+		fmt.Print(report.ArrayTraffic(rep.Attribution.LevelNames, rep.Attribution.TrafficRows()))
+		fmt.Println("--- annotated program ---")
+		fmt.Print(rep.Attribution.AnnotatedListing())
+	}
 	for i, v := range rep.Result.Prints {
 		fmt.Printf("print[%d] = %g\n", i, v)
 	}

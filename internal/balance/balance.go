@@ -67,6 +67,11 @@ type Report struct {
 	Bound         *bounds.Analysis
 	OptimalityGap float64
 
+	// Attribution, when non-nil, breaks the traffic down by reference
+	// site, loop nest and array. Populated by MeasureProfiled; plain
+	// Measure leaves it nil and pays nothing for it.
+	Attribution *Attribution
+
 	// Result carries the program's computed values for equivalence
 	// checking.
 	Result *exec.Result
@@ -87,12 +92,31 @@ func Measure(p *ir.Program, spec machine.Spec) (*Report, error) {
 // program exceeds lim.MaxSteps loop iterations. Services use it to keep
 // a hostile or huge program from wedging a worker.
 func MeasureCtx(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.Limits) (*Report, error) {
+	return measure(ctx, p, spec, lim, false)
+}
+
+// measure is the shared measurement core. With profile set it runs on a
+// clone with attribution sites assigned and a profiling hierarchy, and
+// attaches the per-site/per-array Attribution to the report; without it
+// the run is byte-for-byte the pre-profiler path (no clone, no site
+// table, profiling off), so timed measurement loops pay nothing.
+func measure(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.Limits, profile bool) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	ctx, span := trace.StartSpan(ctx, "balance.measure",
 		trace.String("program", p.Name), trace.String("machine", spec.Name))
+	var table *ir.SiteTable
+	if profile {
+		// Sites are assigned on a clone so concurrent measurements of a
+		// shared program never observe mutation.
+		p = p.Clone()
+		table = ir.AssignSites(p)
+	}
 	h := spec.NewHierarchy()
+	if profile {
+		h.EnableProfiling()
+	}
 	// The closure-compiled engine is several times faster than the tree
 	// walker and differentially tested against it (internal/exec).
 	cp, err := exec.Compile(p)
@@ -158,6 +182,9 @@ func MeasureCtx(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.
 	r.CPUUtilizationBound = 1
 	if r.MaxRatio > 1 {
 		r.CPUUtilizationBound = 1 / r.MaxRatio
+	}
+	if profile {
+		r.Attribution = buildAttribution(p, table, h)
 	}
 	span.End(trace.String("bottleneck", r.Bottleneck), trace.Int("memory_bytes", r.MemoryBytes))
 	return r, nil

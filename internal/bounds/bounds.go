@@ -93,6 +93,9 @@ type Analysis struct {
 	// PebblingSkipped records that the pebbling pass was deliberately
 	// not run (degraded service mode), as opposed to not matching.
 	PebblingSkipped bool `json:"pebbling_skipped,omitempty"`
+	// Footprint is the census behind the compulsory bound, including its
+	// per-array decomposition (used for per-array optimality gaps).
+	Footprint *Footprint `json:"footprint,omitempty"`
 }
 
 // Gap returns measured/bound — how far measured traffic sits above the
@@ -186,6 +189,7 @@ func assemble(prog string, fastBytes int64, fp *Footprint, pb *Pebble, skipped b
 		FastBytes:       fastBytes,
 		Compulsory:      fp.Bound(),
 		PebblingSkipped: skipped,
+		Footprint:       fp,
 	}
 	a.Best = a.Compulsory
 	if pb != nil {

@@ -34,6 +34,16 @@ type ArrayFootprint struct {
 	LiveOut int64  `json:"live_out"`
 }
 
+// BoundBytes returns the array's own compulsory floor: 8 bytes per
+// live-in and live-out element, the per-array decomposition of
+// Footprint.Bound. Summed over Arrays it reproduces the whole-program
+// compulsory bound, so per-array optimality gaps (measured per-array
+// traffic over this floor) decompose the program gap the same way the
+// attribution profiler decomposes traffic.
+func (a ArrayFootprint) BoundBytes() int64 {
+	return (a.LiveIn + a.LiveOut) * ElemSize
+}
+
 // Bound returns the compulsory-traffic lower bound: 8 bytes per live-in
 // element in, 8 per live-out element out. Element granularity
 // undercounts line-granularity measured traffic (a line transfer moves

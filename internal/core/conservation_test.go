@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TestAttributionConservation pins the profiler's core invariant: for
+// every kernel, on every registered machine, for both the original and
+// the optimized program, the per-site counters at every cache level sum
+// to that level's totals field by field. The accounting is owner-pays
+// (fills charged to the accessing site, writebacks to the line's last
+// dirtier), so conservation holds by construction — this test is the
+// tripwire for any future counter added to one side of the ledger but
+// not the other. Subtests run in parallel so `go test -race` also
+// exercises concurrent profiled hierarchies.
+func TestAttributionConservation(t *testing.T) {
+	progs := []*ir.Program{
+		kernels.MatmulJKI(16),
+		kernels.Convolution(2048),
+		kernels.Fig7Original(2048),
+		kernels.Dmxpy(24),
+	}
+	var cases []*ir.Program
+	for _, p := range progs {
+		opt, _, err := Optimize(p)
+		if err != nil {
+			t.Fatalf("%s: optimize: %v", p.Name, err)
+		}
+		opt.Name = p.Name + "/optimized"
+		cases = append(cases, p, opt)
+	}
+	for _, p := range cases {
+		for _, e := range machine.Entries() {
+			p, spec := p, e.Spec
+			t.Run(p.Name+"/"+spec.Name, func(t *testing.T) {
+				t.Parallel()
+				q := p.Clone()
+				ir.AssignSites(q)
+				h := spec.NewHierarchy()
+				h.EnableProfiling()
+				cp, err := exec.Compile(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := cp.Run(h); err != nil {
+					t.Fatal(err)
+				}
+				h.Flush()
+				prof := h.Profile()
+				for lvl := 0; lvl < h.Levels(); lvl++ {
+					var sum sim.Stats
+					for _, s := range prof.SiteStats(lvl) {
+						sum.Reads += s.Reads
+						sum.Writes += s.Writes
+						sum.ReadMisses += s.ReadMisses
+						sum.WriteMisses += s.WriteMisses
+						sum.Writebacks += s.Writebacks
+						sum.BytesIn += s.BytesIn
+						sum.BytesOut += s.BytesOut
+					}
+					if total := h.LevelStats(lvl); sum != total {
+						t.Fatalf("level %d: per-site sum %+v != level totals %+v", lvl, sum, total)
+					}
+				}
+			})
+		}
+	}
+}

@@ -15,19 +15,27 @@ import (
 // engine (see BeladyStudy), which is only sound if both engines emit
 // the identical line-access stream. Any divergence — an extra access, a
 // reordered access, a read/write flip — fails element-wise here.
-func TestTraceOracleInterpreterVsCompiled(t *testing.T) {
-	l2 := sim.CacheConfig{Name: "L2", Size: 6144, LineSize: 128, Assoc: 2}
+// oraclePrograms builds the differential-oracle program set: one
+// representative per access-pattern family, small enough that both
+// engines finish in milliseconds.
+func oraclePrograms(t *testing.T) []*ir.Program {
+	t.Helper()
 	blocked, err := kernels.MatmulBlocked(24, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	progs := []*ir.Program{
+	return []*ir.Program{
 		kernels.MatmulJKI(24),
 		blocked,
 		kernels.Convolution(4096),
 		kernels.Fig7Original(4096),
+		kernels.Dmxpy(32),
 	}
-	for _, p := range progs {
+}
+
+func TestTraceOracleInterpreterVsCompiled(t *testing.T) {
+	l2 := sim.CacheConfig{Name: "L2", Size: 6144, LineSize: 128, Assoc: 2}
+	for _, p := range oraclePrograms(t) {
 		interp, err := sim.NewRecorder(l2)
 		if err != nil {
 			t.Fatal(err)
@@ -71,6 +79,81 @@ func TestTraceOracleInterpreterVsCompiled(t *testing.T) {
 		for i := range ri.Prints {
 			if ri.Prints[i] != rc.Prints[i] {
 				t.Fatalf("%s: print %d diverges: %g vs %g", p.Name, i, ri.Prints[i], rc.Prints[i])
+			}
+		}
+	}
+}
+
+// TestAttributionOracleInterpreterVsCompiled holds the two engines to
+// identical per-site traffic attribution: after AssignSites, running a
+// program under the interpreter and under the compiled closures on
+// equal profiled hierarchies must produce the same per-site counters at
+// every cache level and the same per-site register bytes. The compiled
+// engine captures each reference's site at compile time while the
+// interpreter reads it per access, so any drift between the two paths
+// (a ref compiled before site assignment, a clone dropping sites)
+// surfaces here as a site-level diff rather than a subtly wrong
+// profiler table.
+func TestAttributionOracleInterpreterVsCompiled(t *testing.T) {
+	cfgs := []sim.CacheConfig{
+		{Name: "L1", Size: 4096, LineSize: 64, Assoc: 2},
+		{Name: "M", Size: 1 << 22, LineSize: 64, Assoc: 8},
+	}
+	for _, p := range oraclePrograms(t) {
+		p = p.Clone()
+		table := ir.AssignSites(p)
+		if table.Len() == 0 {
+			t.Fatalf("%s: no attribution sites assigned", p.Name)
+		}
+
+		hi := sim.MustHierarchy(cfgs...)
+		hi.EnableProfiling()
+		if _, err := exec.Run(p, hi); err != nil {
+			t.Fatalf("%s: interpreter: %v", p.Name, err)
+		}
+		hi.Flush()
+
+		hc := sim.MustHierarchy(cfgs...)
+		hc.EnableProfiling()
+		cp, err := exec.Compile(p)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", p.Name, err)
+		}
+		if _, err := cp.Run(hc); err != nil {
+			t.Fatalf("%s: compiled: %v", p.Name, err)
+		}
+		hc.Flush()
+
+		pi, pc := hi.Profile(), hc.Profile()
+		for lvl := 0; lvl < hi.Levels(); lvl++ {
+			si, sc := pi.SiteStats(lvl), pc.SiteStats(lvl)
+			for id := 0; id < len(si) || id < len(sc); id++ {
+				var a, b sim.Stats
+				if id < len(si) {
+					a = si[id]
+				}
+				if id < len(sc) {
+					b = sc[id]
+				}
+				if a != b {
+					site, _ := table.Lookup(ir.SiteID(id))
+					t.Fatalf("%s: level %d site %d (%s): interpreter %+v, compiled %+v",
+						p.Name, lvl, id, site.Ref, a, b)
+				}
+			}
+		}
+		ri, rc := pi.RegBytes(), pc.RegBytes()
+		for id := 0; id < len(ri) || id < len(rc); id++ {
+			var a, b int64
+			if id < len(ri) {
+				a = ri[id]
+			}
+			if id < len(rc) {
+				b = rc[id]
+			}
+			if a != b {
+				t.Fatalf("%s: register bytes diverge at site %d: interpreter %d, compiled %d",
+					p.Name, id, a, b)
 			}
 		}
 	}

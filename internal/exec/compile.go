@@ -31,6 +31,7 @@ type Compiled struct {
 // cenv is the mutable state of one compiled execution.
 type cenv struct {
 	mach     Machine
+	smach    SiteMachine // non-nil when mach accepts attribution sites
 	ctx      context.Context
 	lim      Limits
 	steps    int64
@@ -125,10 +126,11 @@ func (cp *Compiled) RunCtx(ctx context.Context, h Machine, lim Limits) (*Result,
 	ctx, span := trace.StartSpan(ctx, "exec.run", trace.String("program", cp.prog.Name),
 		trace.String("engine", "compiled"))
 	env := &cenv{
-		mach: h,
-		ctx:  ctx,
-		lim:  lim,
-		res:  &Result{Scalars: map[string]float64{}, arrays: map[string][]float64{}},
+		mach:  h,
+		smach: siteMachine(h),
+		ctx:   ctx,
+		lim:   lim,
+		res:   &Result{Scalars: map[string]float64{}, arrays: map[string][]float64{}},
 	}
 	var next int64
 	for _, a := range cp.arrayOrder {
@@ -394,13 +396,16 @@ func (c *compiler) store(r *ir.Ref) (func(env *cenv, v float64) error, error) {
 	if err != nil {
 		return nil, err
 	}
+	site := uint32(r.Site) // per-ref constant, captured at compile time
 	return func(env *cenv, v float64) error {
 		o, err := off(env)
 		if err != nil {
 			return err
 		}
 		a := &env.arrays[ai]
-		if env.mach != nil {
+		if env.smach != nil {
+			env.smach.StoreSite(a.base+o*ir.ElemSize, ir.ElemSize, site)
+		} else if env.mach != nil {
 			env.mach.Store(a.base+o*ir.ElemSize, ir.ElemSize)
 		}
 		a.data[o] = v
@@ -558,13 +563,16 @@ func (c *compiler) expr(x ir.Expr) (fExpr, error) {
 		if err != nil {
 			return nil, err
 		}
+		site := uint32(x.Site) // per-ref constant, captured at compile time
 		return func(env *cenv) (float64, error) {
 			o, err := off(env)
 			if err != nil {
 				return 0, err
 			}
 			a := &env.arrays[ai]
-			if env.mach != nil {
+			if env.smach != nil {
+				env.smach.LoadSite(a.base+o*ir.ElemSize, ir.ElemSize, site)
+			} else if env.mach != nil {
 				env.mach.Load(a.base+o*ir.ElemSize, ir.ElemSize)
 			}
 			return a.data[o], nil

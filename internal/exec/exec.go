@@ -85,6 +85,32 @@ type Machine interface {
 
 var _ Machine = (*sim.Hierarchy)(nil)
 
+// SiteMachine is the optional extension a Machine implements to receive
+// per-reference attribution sites (ir.SiteID as a raw uint32) alongside
+// each access. Both engines resolve the interface once per run; plain
+// Machine implementations keep working unchanged and sited machines see
+// every access tagged with the site of the IR reference that issued it
+// (0 for references AssignSites has not visited).
+type SiteMachine interface {
+	Machine
+	LoadSite(addr int64, size int, site uint32)
+	StoreSite(addr int64, size int, site uint32)
+}
+
+var (
+	_ SiteMachine = (*sim.Hierarchy)(nil)
+	_ SiteMachine = (*sim.Recorder)(nil)
+)
+
+// siteMachine resolves the extension once, so the per-access check is a
+// nil test rather than a type assertion.
+func siteMachine(h Machine) SiteMachine {
+	if sm, ok := h.(SiteMachine); ok {
+		return sm
+	}
+	return nil
+}
+
 // Run executes the program. The hierarchy may be nil for a functional
 // run. Dirty cache lines are flushed at program end so writeback counts
 // cover the whole execution, matching the paper's accounting.
@@ -109,7 +135,7 @@ func RunCtx(ctx context.Context, p *ir.Program, h Machine, lim Limits) (*Result,
 	}
 	ctx, span := trace.StartSpan(ctx, "exec.run", trace.String("program", p.Name),
 		trace.String("engine", "interp"))
-	e := &interp{prog: p, mach: h, ctx: ctx, lim: lim,
+	e := &interp{prog: p, mach: h, smach: siteMachine(h), ctx: ctx, lim: lim,
 		res: &Result{Scalars: map[string]float64{}, arrays: map[string][]float64{}}}
 	e.layout()
 	for _, n := range p.Nests {
@@ -144,6 +170,7 @@ type arrayState struct {
 type interp struct {
 	prog     *ir.Program
 	mach     Machine
+	smach    SiteMachine // non-nil when mach accepts attribution sites
 	ctx      context.Context
 	lim      Limits
 	steps    int64 // loop-body iterations executed
@@ -226,7 +253,9 @@ func (e *interp) loadRef(r *ir.Ref) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if e.mach != nil {
+	if e.smach != nil {
+		e.smach.LoadSite(a, ir.ElemSize, uint32(r.Site))
+	} else if e.mach != nil {
 		e.mach.Load(a, ir.ElemSize)
 	}
 	return st.data[off], nil
@@ -244,7 +273,9 @@ func (e *interp) storeRef(r *ir.Ref, v float64) error {
 	if err != nil {
 		return err
 	}
-	if e.mach != nil {
+	if e.smach != nil {
+		e.smach.StoreSite(a, ir.ElemSize, uint32(r.Site))
+	} else if e.mach != nil {
 		e.mach.Store(a, ir.ElemSize)
 	}
 	st.data[off] = v

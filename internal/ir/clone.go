@@ -57,12 +57,13 @@ func CloneStmt(s Stmt) Stmt {
 	}
 }
 
-// CloneRef deep-copies a reference.
+// CloneRef deep-copies a reference, preserving its attribution Site so
+// provenance survives Clone/subst through the transform pipeline.
 func CloneRef(r *Ref) *Ref {
 	if r == nil {
 		return nil
 	}
-	out := &Ref{Name: r.Name}
+	out := &Ref{Name: r.Name, Site: r.Site}
 	for _, ix := range r.Index {
 		out.Index = append(out.Index, CloneExpr(ix))
 	}

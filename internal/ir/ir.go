@@ -142,11 +142,20 @@ type Num struct{ Val float64 }
 // Var references a scalar, a named constant, or a loop variable.
 type Var struct{ Name string }
 
+// SiteID identifies one memory-reference site for traffic attribution.
+// Zero means "unassigned"; AssignSites hands out IDs starting at 1.
+type SiteID uint32
+
 // Ref references an array element (Index per dimension) or, with a nil
 // Index, a scalar; as an Expr it is a load, as Assign.LHS a store.
 type Ref struct {
 	Name  string
 	Index []Expr
+	// Site is the reference's attribution site. Clone preserves it, so
+	// refs duplicated by a transform share their source site and their
+	// traffic aggregates; refs synthesized with a zero Site receive a
+	// fresh ID at the next AssignSites.
+	Site SiteID
 }
 
 // IsScalar reports whether the reference has no subscripts.

@@ -42,6 +42,24 @@ func (p *Program) String() string {
 	return b.String()
 }
 
+// StringAnnotated renders the program like String, but consults ann for
+// every statement; a non-empty result is appended to the statement's
+// line as a "# ..." comment (on the opening line for block statements).
+// The profiler uses it to print per-reference traffic next to the code
+// that caused it. The lang parser has no comment syntax, so annotated
+// listings are for reading, not round-tripping.
+func (p *Program) StringAnnotated(ann func(Stmt) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, n := range p.Nests {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "loop %s {\n", n.Label)
+		writeStmtsAnn(&b, n.Body, 1, ann)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
 // String renders one nest.
 func (n *Nest) String() string {
 	var b strings.Builder
@@ -58,39 +76,61 @@ func indent(b *strings.Builder, depth int) {
 }
 
 func writeStmts(b *strings.Builder, ss []Stmt, depth int) {
+	writeStmtsAnn(b, ss, depth, nil)
+}
+
+func writeStmtsAnn(b *strings.Builder, ss []Stmt, depth int, ann func(Stmt) string) {
 	for _, s := range ss {
-		writeStmt(b, s, depth)
+		writeStmt(b, s, depth, ann)
 	}
 }
 
-func writeStmt(b *strings.Builder, s Stmt, depth int) {
+// comment appends the annotation of s (if any) before the line break.
+func comment(b *strings.Builder, s Stmt, ann func(Stmt) string) {
+	if ann == nil {
+		b.WriteString("\n")
+		return
+	}
+	if txt := ann(s); txt != "" {
+		b.WriteString("  # ")
+		b.WriteString(txt)
+	}
+	b.WriteString("\n")
+}
+
+func writeStmt(b *strings.Builder, s Stmt, depth int, ann func(Stmt) string) {
 	indent(b, depth)
 	switch s := s.(type) {
 	case *For:
 		if s.StepOr1() == 1 {
-			fmt.Fprintf(b, "for %s = %s, %s {\n", s.Var, ExprString(s.Lo), ExprString(s.Hi))
+			fmt.Fprintf(b, "for %s = %s, %s {", s.Var, ExprString(s.Lo), ExprString(s.Hi))
 		} else {
-			fmt.Fprintf(b, "for %s = %s, %s step %d {\n", s.Var, ExprString(s.Lo), ExprString(s.Hi), s.StepOr1())
+			fmt.Fprintf(b, "for %s = %s, %s step %d {", s.Var, ExprString(s.Lo), ExprString(s.Hi), s.StepOr1())
 		}
-		writeStmts(b, s.Body, depth+1)
+		comment(b, s, ann)
+		writeStmtsAnn(b, s.Body, depth+1, ann)
 		indent(b, depth)
 		b.WriteString("}\n")
 	case *Assign:
-		fmt.Fprintf(b, "%s = %s\n", refString(s.LHS), ExprString(s.RHS))
+		fmt.Fprintf(b, "%s = %s", refString(s.LHS), ExprString(s.RHS))
+		comment(b, s, ann)
 	case *If:
-		fmt.Fprintf(b, "if %s {\n", ExprString(s.Cond))
-		writeStmts(b, s.Then, depth+1)
+		fmt.Fprintf(b, "if %s {", ExprString(s.Cond))
+		comment(b, s, ann)
+		writeStmtsAnn(b, s.Then, depth+1, ann)
 		indent(b, depth)
 		if len(s.Else) > 0 {
 			b.WriteString("} else {\n")
-			writeStmts(b, s.Else, depth+1)
+			writeStmtsAnn(b, s.Else, depth+1, ann)
 			indent(b, depth)
 		}
 		b.WriteString("}\n")
 	case *ReadInput:
-		fmt.Fprintf(b, "read %s\n", refString(s.Target))
+		fmt.Fprintf(b, "read %s", refString(s.Target))
+		comment(b, s, ann)
 	case *Print:
-		fmt.Fprintf(b, "print %s\n", ExprString(s.Arg))
+		fmt.Fprintf(b, "print %s", ExprString(s.Arg))
+		comment(b, s, ann)
 	}
 }
 

@@ -140,6 +140,15 @@ type KernelResult struct {
 	MemoryBytes   int64   `json:"memory_bytes,omitempty"`
 	BoundBytes    int64   `json:"bound_bytes,omitempty"`
 	OptimalityGap float64 `json:"optimality_gap,omitempty"`
+	// ProfileMeasureNS is the wall time of one attributed measurement
+	// (balance.MeasureProfiled, which also runs the bounds analysis) of
+	// the optimized program, and ProfileOverheadRatio its ratio to the
+	// median plain measurement — the recorded price of turning the
+	// profiler on. Computed outside the timed loops, so the compared
+	// wall-time families are unaffected; additive to the schema (absent
+	// in older baselines).
+	ProfileMeasureNS     int64   `json:"profile_measure_ns,omitempty"`
+	ProfileOverheadRatio float64 `json:"profile_overhead_ratio,omitempty"`
 }
 
 // Record is one point of the benchmark trajectory.
@@ -240,6 +249,15 @@ func Collect(ctx context.Context, cfgName string, cfg core.Config, repeats int) 
 		if a, err := bounds.Analyze(ctx, runs[mi].prog, bounds.FastCapacity(spec), exec.Limits{}); err == nil {
 			kr.BoundBytes = a.Best.Bytes
 			kr.OptimalityGap = bounds.Gap(rep.MemoryBytes, a.Best)
+		}
+		// Profiled-measurement cost, also outside the timed loops: one
+		// attributed run, recorded next to the plain median it multiplies.
+		pbegin := time.Now()
+		if _, err := balance.MeasureProfiled(ctx, runs[mi].prog, spec, exec.Limits{}); err == nil {
+			kr.ProfileMeasureNS = time.Since(pbegin).Nanoseconds()
+			if kr.MeasureNS > 0 {
+				kr.ProfileOverheadRatio = float64(kr.ProfileMeasureNS) / float64(kr.MeasureNS)
+			}
 		}
 		for i, ch := range rep.ChannelNames {
 			kr.Levels = append(kr.Levels, LevelBalance{

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribution tables. The profiler (internal/balance) decomposes
+// traffic per array and per pass; these builders render the
+// decomposition as plain-text tables. They take pre-aggregated rows,
+// not balance types, so report stays a leaf package (transform imports
+// report; balance imports both).
+
+// ArrayTrafficRow is one array's slice of the traffic decomposition.
+type ArrayTrafficRow struct {
+	Array      string
+	RegBytes   int64   // register-channel bytes
+	LevelBytes []int64 // channel bytes per cache level, processor-side first
+	BoundBytes int64   // compulsory floor; 0 = no bound information
+	Gap        float64 // memory bytes / floor; 0 = n/a
+}
+
+// ArrayTraffic renders the per-array, per-level traffic table: one row
+// per array, one column per channel, plus the array's compulsory floor
+// and optimality gap. levelNames are the cache level names,
+// processor-side first; the last level's column is the memory channel.
+func ArrayTraffic(levelNames []string, rows []ArrayTrafficRow) *Table {
+	t := &Table{Title: "traffic by array", Headers: []string{"array", "reg"}}
+	for i, name := range levelNames {
+		col := name
+		if i == len(levelNames)-1 {
+			col = name + "->mem"
+		}
+		t.Headers = append(t.Headers, col)
+	}
+	t.Headers = append(t.Headers, "floor", "gap")
+	var total int64
+	for _, r := range rows {
+		cells := []any{r.Array, Bytes(r.RegBytes)}
+		for _, b := range r.LevelBytes {
+			cells = append(cells, Bytes(b))
+		}
+		floor := "n/a"
+		if r.BoundBytes > 0 {
+			floor = Bytes(r.BoundBytes)
+		}
+		cells = append(cells, floor, Gap(r.Gap))
+		t.Rows = append(t.Rows, formatCells(cells))
+		if n := len(r.LevelBytes); n > 0 {
+			total += r.LevelBytes[n-1]
+		}
+	}
+	t.AddNote("memory-channel total %s; per-array bytes sum exactly to the level totals", Bytes(total))
+	return t
+}
+
+// ArrayDeltaCell is one array's traffic change across one pass.
+type ArrayDeltaCell struct {
+	Array  string
+	Before int64
+	After  int64
+}
+
+// PassDeltaRow is one committed pass's attribution diff.
+type PassDeltaRow struct {
+	Pass         string
+	MemoryBefore int64
+	MemoryAfter  int64
+	Arrays       []ArrayDeltaCell // changed arrays, largest saving first
+}
+
+// PassDeltas renders the per-pass attribution view: what each committed
+// pass bought on the memory channel, and which arrays it bought it on
+// ("fuse saved 1.9 MiB on b").
+func PassDeltas(rows []PassDeltaRow) *Table {
+	t := &Table{
+		Title:   "traffic by pass",
+		Headers: []string{"pass", "mem before", "mem after", "delta", "arrays"},
+	}
+	if len(rows) == 0 {
+		t.AddRow("(no committed passes)", "-", "-", "-", "-")
+	}
+	for _, r := range rows {
+		t.AddRow(r.Pass, Bytes(r.MemoryBefore), Bytes(r.MemoryAfter),
+			SignedBytes(r.MemoryAfter-r.MemoryBefore), arrayDeltas(r.Arrays))
+	}
+	return t
+}
+
+// arrayDeltas summarizes the changed arrays of one pass, largest
+// saving first, truncating past three.
+func arrayDeltas(cells []ArrayDeltaCell) string {
+	if len(cells) == 0 {
+		return "-"
+	}
+	var parts []string
+	for i, c := range cells {
+		if i == 3 {
+			parts = append(parts, fmt.Sprintf("(+%d more)", len(cells)-i))
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%s %s", c.Array, SignedBytes(c.After-c.Before)))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// SignedBytes formats a byte delta with an explicit sign; negative
+// means the traffic shrank (bytes saved), positive that it grew.
+func SignedBytes(n int64) string {
+	switch {
+	case n > 0:
+		return "+" + Bytes(n)
+	case n < 0:
+		return "-" + Bytes(-n)
+	default:
+		return "0 B"
+	}
+}
+
+func formatCells(cells []any) []string {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = F(v, 2)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	return row
+}

@@ -83,6 +83,17 @@ func (s *Server) boundsSummary(ctx context.Context, p *ir.Program, spec machine.
 		})
 		return nil
 	}
+	return boundsFromAnalysis(a, measured)
+}
+
+// boundsFromAnalysis projects a computed lower-bound analysis onto the
+// response block. Profiled requests use it directly: MeasureProfiled
+// already ran the analysis (it needs the per-array floors), so running
+// boundsSummary again would compute everything twice.
+func boundsFromAnalysis(a *bounds.Analysis, measured int64) *BoundsSummary {
+	if a == nil {
+		return nil
+	}
 	return &BoundsSummary{
 		FastBytes:       a.FastBytes,
 		BoundBytes:      a.Best.Bytes,

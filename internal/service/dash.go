@@ -67,6 +67,42 @@ type dashPage struct {
 	Interval  string
 	Cards     []dashCard
 	Machines  []dashMachine
+	Heat      []dashHeatRow
+}
+
+// dashHeatCell is one array's share of a kernel's traffic in the
+// heatmap: intensity (accent percentage) proportional to its share of
+// the kernel's memory-channel bytes.
+type dashHeatCell struct {
+	Array string
+	Bytes string
+	Pct   int // accent intensity, 0–70
+}
+
+// dashHeatRow is one profiled kernel's row of the traffic heatmap.
+type dashHeatRow struct {
+	Kernel string
+	Total  string
+	Cells  []dashHeatCell
+}
+
+// dashHeat builds the per-array traffic heatmap from the latest
+// profiled run of each kernel (see profile.go). Kernels appear once a
+// "profile": true request has measured them.
+func (s *Server) dashHeat() []dashHeatRow {
+	var rows []dashHeatRow
+	for _, kp := range s.lastProfileSnapshots() {
+		row := dashHeatRow{Kernel: kp.Kernel, Total: formatSample(float64(kp.Summary.MemoryBytes), "B")}
+		for _, at := range kp.Summary.Arrays {
+			cell := dashHeatCell{Array: at.Array, Bytes: formatSample(float64(at.MemoryBytes), "B")}
+			if kp.Summary.MemoryBytes > 0 {
+				cell.Pct = int(70 * float64(at.MemoryBytes) / float64(kp.Summary.MemoryBytes))
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // dashMachines builds the machines table. Characterizations are read
@@ -102,6 +138,7 @@ func (s *Server) handleDash(w http.ResponseWriter, _ *http.Request) {
 		Uptime:    time.Since(s.start).Truncate(time.Second).String(),
 		Interval:  "manual (SampleNow only)",
 		Machines:  dashMachines(),
+		Heat:      s.dashHeat(),
 	}
 	if s.cfg.SampleInterval > 0 {
 		page.Interval = s.cfg.SampleInterval.String()
@@ -257,6 +294,8 @@ var dashTemplate = template.Must(template.New("dash").Parse(`<!doctype html>
   svg .base { stroke: var(--grid); stroke-width: 1; }
   svg .hit  { fill: transparent; }
   svg .hit:hover { fill: color-mix(in srgb, var(--accent) 12%, transparent); }
+  .heat { display: inline-block; padding: 2px 8px; margin: 2px 2px 2px 0;
+          border-radius: 4px; font-variant-numeric: tabular-nums; }
 </style>
 </head><body>
 <h1>bwserved live dashboard</h1>
@@ -279,5 +318,12 @@ var dashTemplate = template.Must(template.New("dash").Parse(`<!doctype html>
       <td class="num">{{.MeasuredBF}}</td><td class="num">{{.Knees}}</td></tr>
 {{end}}</table>
 <div class="meta">measured balance fills in once a sweep has run (hit <a href="/v1/machines">/v1/machines</a> to characterize all machines).</div>
-</body></html>
+{{if .Heat}}<h2>traffic by array (latest profiled run per kernel)</h2>
+<table>
+  <tr><th>kernel</th><th>memory traffic</th><th>per-array share (cell intensity = share of memory bytes)</th></tr>
+{{range .Heat}}  <tr><td>{{.Kernel}}</td><td class="num">{{.Total}}</td>
+      <td>{{range .Cells}}<span class="heat" style="background: color-mix(in srgb, var(--accent) {{.Pct}}%, transparent)">{{.Array}} {{.Bytes}}</span>{{end}}</td></tr>
+{{end}}</table>
+<div class="meta">rows appear after a <code>"profile": true</code> analyze or optimize request; also exported as bwserved_array_traffic_bytes on <a href="/metrics">/metrics</a>.</div>
+{{end}}</body></html>
 `))

@@ -46,6 +46,12 @@ type ProgramRequest struct {
 	// microsecond timings. Tracing is per-request and adds no cost to
 	// untraced requests.
 	Trace bool `json:"trace,omitempty"`
+	// Profile, when true, attributes the measured traffic per array and
+	// cache level (the "profile" response block; optimize additionally
+	// returns "pass_deltas"). Profiling roughly doubles the measurement
+	// cost, so the overload ladder sheds it first — a degraded response
+	// reports the shed in "degraded" and omits the block.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // AnalyzeRequest is the body of POST /v1/analyze.
@@ -159,6 +165,12 @@ type AnalyzeResponse struct {
 	// failed. Under rung-1 degradation the block is present but its
 	// pebbling half is skipped (PebblingSkipped).
 	Bounds *BoundsSummary `json:"bounds,omitempty"`
+	// Profile is the per-array traffic attribution of the primary
+	// machine's measurement, present only for "profile": true requests
+	// at full service. Its arrays' memory_bytes sum exactly to the
+	// measured memory traffic; each carries its own compulsory floor
+	// and optimality gap.
+	Profile *balance.ProfileSummary `json:"profile,omitempty"`
 	// Machines carries the per-machine results of a fan-out request
 	// (AnalyzeRequest.Machines), in request order, first entry equal to
 	// Balance/Bounds. Absent for single-machine requests.
@@ -207,6 +219,12 @@ type OptimizeResponse struct {
 	// measurement was skipped (structural-only degradation) or the
 	// footprint run failed.
 	Bounds *BoundsSummary `json:"bounds,omitempty"`
+	// Profile is the per-array traffic attribution of the AFTER
+	// measurement and PassDeltas the per-pass, per-array traffic diff
+	// ("fuse saved 1.9 MiB on res"); both present only for "profile":
+	// true requests at full service with measurement intact.
+	Profile    *balance.ProfileSummary `json:"profile,omitempty"`
+	PassDeltas []balance.PassDelta     `json:"pass_deltas,omitempty"`
 	// Passes and Analysis report the run's per-pass wall time and the
 	// analysis manager's cache counters (cached responses keep the
 	// stats of the run that produced them).
@@ -444,16 +462,19 @@ type analyzeKey struct {
 	// Bounds is the bounds mode actually computed (see bounds.go):
 	// degraded-bounds responses live at their own address, so they are
 	// never served to full-service requests.
-	Bounds   string
+	Bounds string
+	// Profile is the profile flag actually honored: a profile-shed
+	// response lives at the unprofiled address.
+	Profile  bool
 	MaxSteps int64
 }
 
 // analyzeCacheKey is the content address of an analyze result for the
 // given effective options.
-func (s *Server) analyzeCacheKey(sourceID, machineName string, belady bool, boundsMode string) (string, error) {
+func (s *Server) analyzeCacheKey(sourceID, machineName string, belady bool, boundsMode string, profile bool) (string, error) {
 	return cache.Key(analyzeKey{
 		Endpoint: "analyze", Source: sourceID, Machine: machineName,
-		Belady: belady, Bounds: boundsMode, MaxSteps: s.cfg.MaxSteps,
+		Belady: belady, Bounds: boundsMode, Profile: profile, MaxSteps: s.cfg.MaxSteps,
 	})
 }
 
@@ -484,7 +505,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stageSeconds.With("parse").Observe(time.Since(begin).Seconds())
 
-	key, err := s.analyzeCacheKey(sourceID, machineKey, req.Belady, boundsFull)
+	key, err := s.analyzeCacheKey(sourceID, machineKey, req.Belady, boundsFull, req.Profile)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -548,20 +569,22 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 		return nil, err
 	}
 	// Analyze's product is a measurement, so the ladder bites later
-	// than on optimize: rung 1 sheds only the pebbling half of the
-	// lower bound, rung 2 additionally sheds the Belady double-replay
-	// and the footprint run; rung 3 serves cached results alone.
+	// than on optimize: rung 1 sheds traffic attribution and the
+	// pebbling half of the lower bound, rung 2 additionally sheds the
+	// Belady double-replay and the footprint run; rung 3 serves cached
+	// results alone.
 	effBelady := req.Belady && level.measureAllowed()
+	effProfile := req.Profile && level.profileAllowed()
 	bm := boundsModeFor(level)
 	var info *DegradeInfo
-	if effBelady != req.Belady || bm != boundsFull {
+	if effBelady != req.Belady || effProfile != req.Profile || bm != boundsFull {
 		info = level.info(reason)
 	}
 	if level >= degradeCacheOnly {
-		if effBelady != req.Belady {
-			// A Belady-free full-service result is still an acceptable
-			// degraded answer if one is already cached.
-			if ek, err := s.analyzeCacheKey(sourceID, machineKey, false, boundsFull); err == nil {
+		if effBelady != req.Belady || effProfile != req.Profile {
+			// A Belady- and profile-free full-service result is still an
+			// acceptable degraded answer if one is already cached.
+			if ek, err := s.analyzeCacheKey(sourceID, machineKey, false, boundsFull, false); err == nil {
 				if v, ok := s.cacheGet(ctx, ek); ok {
 					cp := *v.(*AnalyzeResponse)
 					cp.Cached = true
@@ -582,7 +605,7 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 		// address. A degraded rung never has bm == full, so the probes
 		// are distinct.
 		for _, ebm := range []string{boundsFull, bm} {
-			ek, err := s.analyzeCacheKey(sourceID, machineKey, effBelady, ebm)
+			ek, err := s.analyzeCacheKey(sourceID, machineKey, effBelady, ebm, effProfile)
 			if err != nil {
 				continue
 			}
@@ -604,16 +627,30 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 	pbegin := time.Now()
 	primary := specs[0]
 	mbegin := time.Now()
-	rep, err := balance.MeasureCtx(ctx, p, primary, s.limits())
+	var rep *balance.Report
+	if effProfile {
+		// MeasureProfiled runs the lower-bound analysis itself (the
+		// per-array floors need the footprint), so the bounds block is
+		// projected from its result rather than recomputed.
+		rep, err = balance.MeasureProfiled(ctx, p, primary, s.limits())
+	} else {
+		rep, err = balance.MeasureCtx(ctx, p, primary, s.limits())
+	}
 	s.stageSeconds.With("measure").Observe(time.Since(mbegin).Seconds())
 	if err != nil {
 		return nil, err
 	}
 	resp := &AnalyzeResponse{Balance: summarize(rep)}
 
-	bbegin := time.Now()
-	resp.Bounds = s.boundsSummary(ctx, p, primary, rep.MemoryBytes, bm)
-	s.stageSeconds.With("bounds").Observe(time.Since(bbegin).Seconds())
+	if effProfile {
+		resp.Bounds = boundsFromAnalysis(rep.Bound, rep.MemoryBytes)
+		resp.Profile = rep.Attribution.Summary()
+		s.observeProfile(req.Kernel, resp.Profile)
+	} else {
+		bbegin := time.Now()
+		resp.Bounds = s.boundsSummary(ctx, p, primary, rep.MemoryBytes, bm)
+		s.stageSeconds.With("bounds").Observe(time.Since(bbegin).Seconds())
+	}
 	s.observeGap(req.Kernel, primary.Name, resp.Bounds)
 
 	if len(req.Machines) > 0 {
@@ -653,10 +690,10 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 	}
 
 	// Cache the trace-free, degradation-free response under the key of
-	// what was actually computed: a Belady-free or bounds-degraded run
-	// is exactly that variant's full answer, so it must never be stored
-	// under the requested (Belady-bearing, full-bounds) address.
-	if key, err := s.analyzeCacheKey(sourceID, machineKey, effBelady, bm); err == nil {
+	// what was actually computed: a Belady-free, profile-free or
+	// bounds-degraded run is exactly that variant's full answer, so it
+	// must never be stored under the requested address.
+	if key, err := s.analyzeCacheKey(sourceID, machineKey, effBelady, bm, effProfile); err == nil {
 		s.cachePut(ctx, key, resp)
 	}
 	if info != nil {
@@ -722,18 +759,20 @@ type optimizeKey struct {
 	Pipeline string
 	Verify   string
 	// Bounds is the bounds mode actually computed (see analyzeKey).
-	Bounds   string
+	Bounds string
+	// Profile is the profile flag actually honored (see analyzeKey).
+	Profile  bool
 	Tol      float64
 	MaxSteps int64
 }
 
 // optimizeCacheKey is the content address of an optimize result for
 // the given effective options.
-func (s *Server) optimizeCacheKey(sourceID, machineName string, opts transform.Options, pipeline string, mode verify.Mode, tol float64, boundsMode string) (string, error) {
+func (s *Server) optimizeCacheKey(sourceID, machineName string, opts transform.Options, pipeline string, mode verify.Mode, tol float64, boundsMode string, profile bool) (string, error) {
 	return cache.Key(optimizeKey{
 		Endpoint: "optimize", Source: sourceID, Machine: machineName,
 		Passes: opts, Pipeline: pipeline, Verify: mode.String(), Bounds: boundsMode,
-		Tol: tol, MaxSteps: s.cfg.MaxSteps,
+		Profile: profile, Tol: tol, MaxSteps: s.cfg.MaxSteps,
 	})
 }
 
@@ -788,7 +827,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stageSeconds.With("parse").Observe(time.Since(begin).Seconds())
 
-	key, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, mode, req.Tol, boundsFull)
+	key, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, mode, req.Tol, boundsFull, req.Profile)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -852,9 +891,10 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 	}
 	effMode := level.clampVerify(mode)
 	measure := level.measureAllowed()
+	effProfile := req.Profile && level.profileAllowed()
 	bm := boundsModeFor(level)
 	var info *DegradeInfo
-	if effMode != mode || !measure || bm != boundsFull {
+	if effMode != mode || !measure || effProfile != req.Profile || bm != boundsFull {
 		info = level.info(reason)
 	}
 	if info != nil {
@@ -869,7 +909,7 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 			if ebm == boundsNone {
 				continue
 			}
-			ek, kerr := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol, ebm)
+			ek, kerr := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol, ebm, effProfile)
 			if kerr != nil {
 				continue
 			}
@@ -898,6 +938,7 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 	obegin := time.Now()
 	q, outcome, err := transform.OptimizeVerifiedCtx(ctx, p, transform.Config{
 		Options: opts, Pipeline: req.Pipeline, Verify: effMode, Tol: req.Tol, ExecLimits: s.limits(),
+		SnapshotPasses: effProfile && measure,
 	})
 	s.stageSeconds.With("optimize").Observe(time.Since(obegin).Seconds())
 	s.recordOutcome(outcome)
@@ -925,11 +966,20 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 
 	if measure {
 		mbegin := time.Now()
-		before, err := balance.MeasureCtx(ctx, p, spec, s.limits())
+		var before, after *balance.Report
+		if effProfile {
+			before, err = balance.MeasureProfiled(ctx, p, spec, s.limits())
+		} else {
+			before, err = balance.MeasureCtx(ctx, p, spec, s.limits())
+		}
 		if err != nil {
 			return nil, err
 		}
-		after, err := balance.MeasureCtx(ctx, q, spec, s.limits())
+		if effProfile {
+			after, err = balance.MeasureProfiled(ctx, q, spec, s.limits())
+		} else {
+			after, err = balance.MeasureCtx(ctx, q, spec, s.limits())
+		}
 		s.stageSeconds.With("measure").Observe(time.Since(mbegin).Seconds())
 		if err != nil {
 			return nil, err
@@ -937,9 +987,29 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 		resp.Before = summarize(before)
 		resp.After = summarize(after)
 		resp.Speedup = balance.Speedup(before, after)
-		bbegin := time.Now()
-		resp.Bounds = s.boundsSummary(ctx, q, spec, after.MemoryBytes, bm)
-		s.stageSeconds.With("bounds").Observe(time.Since(bbegin).Seconds())
+		if effProfile {
+			// The profiled measurement already carries the lower bound
+			// (see runAnalyze); attribute the pipeline's savings pass by
+			// pass from the committed snapshots.
+			resp.Bounds = boundsFromAnalysis(after.Bound, after.MemoryBytes)
+			resp.Profile = after.Attribution.Summary()
+			s.observeProfile(req.Kernel, resp.Profile)
+			if len(outcome.Snapshots) > 0 {
+				snaps := make([]balance.ProgramSnapshot, len(outcome.Snapshots))
+				for i, sn := range outcome.Snapshots {
+					snaps[i] = balance.ProgramSnapshot{Pass: sn.Pass, Program: sn.Program}
+				}
+				deltas, derr := balance.PassDeltas(ctx, p, snaps, spec, s.limits())
+				if derr != nil {
+					return nil, derr
+				}
+				resp.PassDeltas = deltas
+			}
+		} else {
+			bbegin := time.Now()
+			resp.Bounds = s.boundsSummary(ctx, q, spec, after.MemoryBytes, bm)
+			s.stageSeconds.With("bounds").Observe(time.Since(bbegin).Seconds())
+		}
 		s.observeGap(req.Kernel, spec.Name, resp.Bounds)
 	}
 	if level == degradeNone {
@@ -953,7 +1023,7 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 	// answer. A structural-only run skipped measurement, so it is
 	// incomplete for any key and is not cached.
 	if measure {
-		if ek, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol, bm); err == nil {
+		if ek, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol, bm, effProfile); err == nil {
 			s.cachePut(ctx, ek, resp)
 		}
 	}

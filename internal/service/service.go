@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/balance"
 	"repro/internal/cache"
 	"repro/internal/faults"
 	"repro/internal/telemetry"
@@ -195,6 +196,13 @@ type Server struct {
 	bestMu        sync.Mutex
 	bestGaps      map[string]float64
 
+	// Traffic-attribution telemetry (see profile.go): the per-kernel,
+	// per-array, per-level gauge exported on /metrics, and the most
+	// recent attribution per kernel behind the /debug/dash heatmap.
+	arrayTraffic *telemetry.GaugeVec // {kernel, array, level}
+	profMu       sync.Mutex
+	lastProfiles map[string]*balance.ProfileSummary
+
 	// Overload-protection state (see overload.go): the singleflight
 	// group coalescing identical in-flight requests, shed/coalesce/
 	// degradation counters, and the EWMA of full-pipeline wall time
@@ -278,7 +286,11 @@ func New(cfg Config) *Server {
 		optimalityGap: reg.NewGaugeVec("bwserved_optimality_gap",
 			"Latest measured-traffic / lower-bound ratio per built-in kernel and machine (1.0 = provably minimal traffic).",
 			"kernel", "machine"),
-		bestGaps: map[string]float64{},
+		arrayTraffic: reg.NewGaugeVec("bwserved_array_traffic_bytes",
+			"Latest attributed channel bytes per built-in kernel, array and cache level (profiled requests only).",
+			"kernel", "array", "level"),
+		bestGaps:     map[string]float64{},
+		lastProfiles: map[string]*balance.ProfileSummary{},
 	}
 	s.passTotals.init()
 	s.flight = newFlightGroup()

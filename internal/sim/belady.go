@@ -29,8 +29,9 @@ const replayPollMask = 0x3FFF
 // configuration.
 type Trace struct {
 	cfg    CacheConfig
-	lines  []int64 // line-aligned addresses
+	lines  []int64  // line-aligned addresses
 	writes []bool
+	sites  []uint32 // attribution site per access (0 = unattributed)
 }
 
 // Len returns the number of recorded line accesses.
@@ -40,6 +41,9 @@ func (t *Trace) Len() int { return len(t.lines) }
 // whether it was a write. Differential tests use it to compare the
 // access streams of the two execution engines element-wise.
 func (t *Trace) At(i int) (line int64, write bool) { return t.lines[i], t.writes[i] }
+
+// SiteAt returns the attribution site of the i'th recorded access.
+func (t *Trace) SiteAt(i int) uint32 { return t.sites[i] }
 
 // Recorder captures a processor-level access stream. It implements the
 // executor's Machine interface, so a program can be run "onto" a
@@ -59,24 +63,41 @@ func NewRecorder(cfg CacheConfig) (*Recorder, error) {
 }
 
 // Load records a read access.
-func (r *Recorder) Load(addr int64, size int) { r.record(addr, size, false) }
+func (r *Recorder) Load(addr int64, size int) { r.record(addr, size, false, 0) }
 
 // Store records a write access.
-func (r *Recorder) Store(addr int64, size int) { r.record(addr, size, true) }
+func (r *Recorder) Store(addr int64, size int) { r.record(addr, size, true, 0) }
+
+// LoadSite records a read access tagged with its attribution site.
+func (r *Recorder) LoadSite(addr int64, size int, site uint32) { r.record(addr, size, false, site) }
+
+// StoreSite records a write access tagged with its attribution site.
+func (r *Recorder) StoreSite(addr int64, size int, site uint32) { r.record(addr, size, true, site) }
 
 // AddFlops counts flops (for symmetry with the hierarchy).
 func (r *Recorder) AddFlops(n int64) { r.Flops += n }
 
-// Flush is a no-op: the replay decides final writebacks.
+// Flush is intentionally a no-op. The recorder captures the processor's
+// access stream, not a cache's state, so there are no dirty lines to
+// write back at program end; final writebacks are synthesized by the
+// replay itself (the flush loop in replayTrace), which charges them to
+// the last writer of each line exactly as Hierarchy.Flush does. The
+// contract for callers: a trace replay always accounts for end-of-run
+// writebacks, so replayed counters are comparable to a hierarchy that
+// has been flushed — never to a hierarchy still holding dirty lines
+// ("warm"). Replaying a trace recorded from only part of a computation
+// therefore overstates BytesOut relative to a warm hierarchy that kept
+// those lines dirty and resident.
 func (r *Recorder) Flush() {}
 
-func (r *Recorder) record(addr int64, size int, write bool) {
+func (r *Recorder) record(addr int64, size int, write bool, site uint32) {
 	ls := int64(r.trace.cfg.LineSize)
 	first := addr &^ (ls - 1)
 	last := (addr + int64(size) - 1) &^ (ls - 1)
 	for a := first; a <= last; a += ls {
 		r.trace.lines = append(r.trace.lines, a)
 		r.trace.writes = append(r.trace.writes, write)
+		r.trace.sites = append(r.trace.sites, site)
 	}
 }
 
@@ -109,9 +130,29 @@ func ReplayLRUCtx(ctx context.Context, t *Trace) (Stats, error) {
 	return replay(ctx, t, false)
 }
 
+// ReplayBeladyAttributed is ReplayBelady returning, alongside the
+// totals, per-site counters indexed by the attribution site IDs the
+// trace was recorded with. The accounting matches the hierarchy's
+// owner-pays policy: fills are charged to the accessing site and
+// writebacks (eviction and final flush) to the last writer of the line,
+// so the per-site stats sum to the totals field-by-field.
+func ReplayBeladyAttributed(ctx context.Context, t *Trace) (Stats, []Stats, error) {
+	return replayAttributed(ctx, t, true)
+}
+
+// ReplayLRUAttributed is ReplayLRU with per-site attribution.
+func ReplayLRUAttributed(ctx context.Context, t *Trace) (Stats, []Stats, error) {
+	return replayAttributed(ctx, t, false)
+}
+
 const never = int(^uint(0) >> 1) // sentinel next-use for "no future use"
 
 func replay(ctx context.Context, t *Trace, belady bool) (Stats, error) {
+	st, _, err := replayAttributed(ctx, t, belady)
+	return st, err
+}
+
+func replayAttributed(ctx context.Context, t *Trace, belady bool) (Stats, []Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -121,22 +162,22 @@ func replay(ctx context.Context, t *Trace, belady bool) (Stats, error) {
 	}
 	ctx, span := trace.StartSpan(ctx, "sim.replay",
 		trace.String("policy", policy), trace.Int("accesses", int64(t.Len())))
-	st, err := replayTrace(ctx, t, belady)
+	st, sites, err := replayTrace(ctx, t, belady)
 	if err != nil {
 		span.End(trace.String("error", err.Error()))
-		return st, err
+		return st, nil, err
 	}
 	span.End(trace.Int("misses", st.Misses()), trace.Int("writebacks", st.Writebacks))
-	return st, nil
+	return st, sites, nil
 }
 
-func replayTrace(ctx context.Context, t *Trace, belady bool) (Stats, error) {
+func replayTrace(ctx context.Context, t *Trace, belady bool) (Stats, []Stats, error) {
 	cfg := t.cfg
 	if err := cfg.Validate(); err != nil {
-		return Stats{}, err
+		return Stats{}, nil, err
 	}
 	if cfg.Policy != WriteBack || cfg.NoWriteAllocate {
-		return Stats{}, fmt.Errorf("sim: replay supports write-back write-allocate caches")
+		return Stats{}, nil, fmt.Errorf("sim: replay supports write-back write-allocate caches")
 	}
 	nsets := int64(cfg.Size / cfg.LineSize / cfg.Assoc)
 	ls := int64(cfg.LineSize)
@@ -157,23 +198,39 @@ func replayTrace(ctx context.Context, t *Trace, belady bool) (Stats, error) {
 	type line struct {
 		addr  int64
 		dirty bool
-		next  int // next use index (Belady) — refreshed on access
-		used  int // last access index (LRU)
+		next  int    // next use index (Belady) — refreshed on access
+		used  int    // last access index (LRU)
+		site  uint32 // last dirtier; owns the eventual writeback
 	}
 	sets := make([][]line, nsets)
 	var st Stats
+	// Per-site buckets, grown on demand; same owner-pays accounting as
+	// Hierarchy.access, so per-site sums equal st field-by-field.
+	var bySite []Stats
+	bucket := func(site uint32) *Stats {
+		if int(site) >= len(bySite) {
+			grown := make([]Stats, site+1)
+			copy(grown, bySite)
+			bySite = grown
+		}
+		return &bySite[site]
+	}
 
 	for i, addr := range t.lines {
 		if i&replayPollMask == 0 {
 			if err := ctx.Err(); err != nil {
-				return Stats{}, fmt.Errorf("%w after %d of %d accesses: %v", ErrCanceled, i, len(t.lines), err)
+				return Stats{}, nil, fmt.Errorf("%w after %d of %d accesses: %v", ErrCanceled, i, len(t.lines), err)
 			}
 		}
 		write := t.writes[i]
+		site := t.sites[i]
+		ps := bucket(site)
 		if write {
 			st.Writes++
+			ps.Writes++
 		} else {
 			st.Reads++
+			ps.Reads++
 		}
 		set := addr / ls % nsets
 		hit := false
@@ -184,6 +241,7 @@ func replayTrace(ctx context.Context, t *Trace, belady bool) (Stats, error) {
 				sets[set][k].used = i
 				if write {
 					sets[set][k].dirty = true
+					sets[set][k].site = site
 				}
 				break
 			}
@@ -193,11 +251,14 @@ func replayTrace(ctx context.Context, t *Trace, belady bool) (Stats, error) {
 		}
 		if write {
 			st.WriteMisses++
+			ps.WriteMisses++
 		} else {
 			st.ReadMisses++
+			ps.ReadMisses++
 		}
 		st.BytesIn += ls
-		nl := line{addr: addr, dirty: write, next: nextUse[i], used: i}
+		ps.BytesIn += ls
+		nl := line{addr: addr, dirty: write, next: nextUse[i], used: i, site: site}
 		if len(sets[set]) < cfg.Assoc {
 			sets[set] = append(sets[set], nl)
 			continue
@@ -219,17 +280,24 @@ func replayTrace(ctx context.Context, t *Trace, belady bool) (Stats, error) {
 		if sets[set][victim].dirty {
 			st.Writebacks++
 			st.BytesOut += ls
+			vs := bucket(sets[set][victim].site)
+			vs.Writebacks++
+			vs.BytesOut += ls
 		}
 		sets[set][victim] = nl
 	}
-	// Final flush of dirty lines.
+	// Final flush of dirty lines, charged to their last writers
+	// (Recorder.Flush records nothing; see its contract).
 	for _, set := range sets {
 		for _, l := range set {
 			if l.dirty {
 				st.Writebacks++
 				st.BytesOut += ls
+				os := bucket(l.site)
+				os.Writebacks++
+				os.BytesOut += ls
 			}
 		}
 	}
-	return st, nil
+	return st, bySite, nil
 }

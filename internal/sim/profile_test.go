@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: on a line-granularity trace through a single write-back
+// level, the LRU replay's per-site attribution must match the online
+// Hierarchy's profile exactly — same buckets, same counters, including
+// the final-flush writebacks charged to each line's last dirtier. This
+// is the contract that lets Belady studies report per-site attribution
+// from the recorded trace while the hierarchy reports it online (the
+// Recorder's Flush is a no-op precisely because the replay does its own
+// end-of-trace flush accounting).
+func TestReplayAttributionMatchesHierarchy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := CacheConfig{Name: "C", Size: 256, LineSize: 32, Assoc: 2}
+		rec, err := NewRecorder(cfg)
+		if err != nil {
+			return false
+		}
+		online := MustHierarchy(cfg, CacheConfig{Name: "M", Size: 1 << 20, LineSize: 32, Assoc: 4})
+		online.EnableProfiling()
+		n := 50 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			addr := int64(rng.Intn(64)) * 32
+			site := uint32(rng.Intn(5)) // includes site 0 (unattributed)
+			if rng.Intn(3) == 0 {
+				rec.StoreSite(addr, 8, site)
+				online.StoreSite(addr, 8, site)
+			} else {
+				rec.LoadSite(addr, 8, site)
+				online.LoadSite(addr, 8, site)
+			}
+		}
+		online.Flush()
+		total, bySite, err := ReplayLRUAttributed(context.Background(), rec.Trace())
+		if err != nil {
+			return false
+		}
+		os := online.LevelStats(0)
+		if total != os {
+			return false
+		}
+		hs := online.Profile().SiteStats(0)
+		// Bucket slices grow on demand, so lengths may differ by
+		// trailing zero-value sites; compare the common prefix and
+		// require the rest to be empty.
+		for i := 0; i < len(bySite) || i < len(hs); i++ {
+			var r, h Stats
+			if i < len(bySite) {
+				r = bySite[i]
+			}
+			if i < len(hs) {
+				h = hs[i]
+			}
+			if r != h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Per-site replay buckets must sum to the replay totals field by field
+// (owner-pays conservation), for both policies.
+func TestReplayAttributionConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := CacheConfig{Name: "C", Size: 128, LineSize: 32, Assoc: 2}
+	rec, err := NewRecorder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		addr := int64(rng.Intn(40)) * 32
+		site := uint32(1 + rng.Intn(6))
+		if rng.Intn(2) == 0 {
+			rec.StoreSite(addr, 8, site)
+		} else {
+			rec.LoadSite(addr, 8, site)
+		}
+	}
+	replays := []struct {
+		name string
+		fn   func(context.Context, *Trace) (Stats, []Stats, error)
+	}{
+		{"belady", ReplayBeladyAttributed},
+		{"lru", ReplayLRUAttributed},
+	}
+	for _, rp := range replays {
+		total, bySite, err := rp.fn(context.Background(), rec.Trace())
+		if err != nil {
+			t.Fatalf("%s: %v", rp.name, err)
+		}
+		var sum Stats
+		for _, s := range bySite {
+			sum.Reads += s.Reads
+			sum.Writes += s.Writes
+			sum.ReadMisses += s.ReadMisses
+			sum.WriteMisses += s.WriteMisses
+			sum.Writebacks += s.Writebacks
+			sum.BytesIn += s.BytesIn
+			sum.BytesOut += s.BytesOut
+		}
+		if sum != total {
+			t.Fatalf("%s: per-site sum %+v != totals %+v", rp.name, sum, total)
+		}
+	}
+}
+
+// Profiling must never change what the hierarchy simulates: the level
+// totals with profiling enabled are identical to an unprofiled run of
+// the same access sequence.
+func TestProfilingDoesNotPerturbSimulation(t *testing.T) {
+	mk := func() *Hierarchy {
+		return MustHierarchy(
+			CacheConfig{Name: "L1", Size: 512, LineSize: 32, Assoc: 2},
+			CacheConfig{Name: "M", Size: 1 << 20, LineSize: 32, Assoc: 4},
+		)
+	}
+	plain, prof := mk(), mk()
+	prof.EnableProfiling()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		addr := int64(rng.Intn(100)) * 8
+		site := uint32(1 + rng.Intn(4))
+		if rng.Intn(3) == 0 {
+			plain.Store(addr, 8)
+			prof.StoreSite(addr, 8, site)
+		} else {
+			plain.Load(addr, 8)
+			prof.LoadSite(addr, 8, site)
+		}
+	}
+	plain.Flush()
+	prof.Flush()
+	for lvl := 0; lvl < plain.Levels(); lvl++ {
+		if plain.LevelStats(lvl) != prof.LevelStats(lvl) {
+			t.Fatalf("level %d: profiled run diverged: %+v vs %+v",
+				lvl, prof.LevelStats(lvl), plain.LevelStats(lvl))
+		}
+	}
+	if plain.Profile() != nil {
+		t.Fatal("profile appeared without EnableProfiling")
+	}
+}

@@ -91,10 +91,14 @@ func (s Stats) Misses() int64 { return s.ReadMisses + s.WriteMisses }
 func (s Stats) Traffic() int64 { return s.BytesIn + s.BytesOut }
 
 type line struct {
-	tag   int64
+	tag  int64
+	used int64 // LRU timestamp
+	// site is the attribution site that last dirtied the line; its
+	// eventual writeback is charged to that site (owner-pays), which is
+	// what makes per-site byte counts sum exactly to the level totals.
+	site  uint32
 	valid bool
 	dirty bool
-	used  int64 // LRU timestamp
 }
 
 type level struct {
@@ -127,6 +131,9 @@ type Hierarchy struct {
 	Flops int64
 	// MemReads/MemWrites count line transfers at the memory interface.
 	MemReads, MemWrites int64
+	// prof holds per-site attribution counters; nil (the default) keeps
+	// profiling off the hot path except for one pointer test per access.
+	prof *Profile
 }
 
 // NewHierarchy builds a hierarchy from processor-side to memory-side
@@ -166,20 +173,41 @@ func (h *Hierarchy) LevelConfig(i int) CacheConfig { return h.levels[i].cfg }
 
 // Load simulates a processor load of size bytes at addr.
 func (h *Hierarchy) Load(addr int64, size int) {
-	h.RegLoadBytes += int64(size)
-	h.forEachLine(0, addr, size, false)
+	h.LoadSite(addr, size, 0)
 }
 
 // Store simulates a processor store of size bytes at addr.
 func (h *Hierarchy) Store(addr int64, size int) {
+	h.StoreSite(addr, size, 0)
+}
+
+// LoadSite is Load tagged with the attribution site causing the access.
+func (h *Hierarchy) LoadSite(addr int64, size int, site uint32) {
+	h.RegLoadBytes += int64(size)
+	if h.prof != nil {
+		h.prof.addReg(site, int64(size))
+	}
+	h.forEachLine(0, addr, size, false, site)
+}
+
+// StoreSite is Store tagged with the attribution site causing the access.
+func (h *Hierarchy) StoreSite(addr int64, size int, site uint32) {
 	h.RegStoreBytes += int64(size)
-	h.forEachLine(0, addr, size, true)
+	if h.prof != nil {
+		h.prof.addReg(site, int64(size))
+	}
+	h.forEachLine(0, addr, size, true, site)
 }
 
 // Touch simulates a cache access without register traffic (used by
-// calibration probes).
+// calibration probes). Touches are unattributed (site 0).
 func (h *Hierarchy) Touch(addr int64, size int, write bool) {
-	h.forEachLine(0, addr, size, write)
+	h.TouchSite(addr, size, write, 0)
+}
+
+// TouchSite is Touch tagged with the attribution site causing the access.
+func (h *Hierarchy) TouchSite(addr int64, size int, write bool, site uint32) {
+	h.forEachLine(0, addr, size, write, site)
 }
 
 // AddFlops adds floating-point operations to the counter.
@@ -188,22 +216,28 @@ func (h *Hierarchy) AddFlops(n int64) { h.Flops += n }
 // forEachLine splits an access into line-granular accesses at the given
 // level. Requests that reach past the last cache level go to memory,
 // which accepts any granularity in one transfer.
-func (h *Hierarchy) forEachLine(lvl int, addr int64, size int, write bool) {
+func (h *Hierarchy) forEachLine(lvl int, addr int64, size int, write bool, site uint32) {
 	if lvl == len(h.levels) {
-		h.access(lvl, addr, write)
+		h.access(lvl, addr, write, site)
 		return
 	}
 	ls := int64(h.levels[lvl].cfg.LineSize)
 	first := addr &^ (ls - 1)
 	last := (addr + int64(size) - 1) &^ (ls - 1)
 	for a := first; a <= last; a += ls {
-		h.access(lvl, a, write)
+		h.access(lvl, a, write, site)
 	}
 }
 
 // access performs one line-granular access at the given level,
 // recursing to lower levels on misses, write-throughs and writebacks.
-func (h *Hierarchy) access(lvl int, addr int64, write bool) {
+//
+// Attribution policy (owner-pays): fills, write-through propagation and
+// no-write-allocate forwards are charged to the accessing site;
+// writebacks — eviction and Flush alike — are charged to the site that
+// last dirtied the line. Every byte the level counters see is charged
+// to exactly one site, so per-site sums equal the totals at each level.
+func (h *Hierarchy) access(lvl int, addr int64, write bool, site uint32) {
 	if lvl == len(h.levels) {
 		// Memory: infinite, always hits.
 		if write {
@@ -224,6 +258,15 @@ func (h *Hierarchy) access(lvl int, addr int64, write bool) {
 	} else {
 		l.stats.Reads++
 	}
+	var ps *Stats // per-site bucket; nil when profiling is off
+	if h.prof != nil {
+		ps = h.prof.siteStats(lvl, site)
+		if write {
+			ps.Writes++
+		} else {
+			ps.Reads++
+		}
+	}
 
 	// Hit?
 	for i := range set {
@@ -233,9 +276,13 @@ func (h *Hierarchy) access(lvl int, addr int64, write bool) {
 				if l.cfg.Policy == WriteThrough {
 					// Propagate the store downward at this level's line size.
 					l.stats.BytesOut += ls
-					h.forEachLine(lvl+1, lineAddr, int(ls), true)
+					if ps != nil {
+						ps.BytesOut += ls
+					}
+					h.forEachLine(lvl+1, lineAddr, int(ls), true, site)
 				} else {
 					set[i].dirty = true
+					set[i].site = site // last dirtier owns the writeback
 				}
 			}
 			return
@@ -245,14 +292,23 @@ func (h *Hierarchy) access(lvl int, addr int64, write bool) {
 	// Miss.
 	if write {
 		l.stats.WriteMisses++
+		if ps != nil {
+			ps.WriteMisses++
+		}
 		if l.cfg.NoWriteAllocate {
 			// Forward the store without installing the line.
 			l.stats.BytesOut += ls
-			h.forEachLine(lvl+1, lineAddr, int(ls), true)
+			if ps != nil {
+				ps.BytesOut += ls
+			}
+			h.forEachLine(lvl+1, lineAddr, int(ls), true, site)
 			return
 		}
 	} else {
 		l.stats.ReadMisses++
+		if ps != nil {
+			ps.ReadMisses++
+		}
 	}
 
 	// Choose a victim (invalid first, else LRU).
@@ -267,23 +323,38 @@ func (h *Hierarchy) access(lvl int, addr int64, write bool) {
 		}
 	}
 	if set[victim].valid && set[victim].dirty {
-		// Writeback the victim line to the next level.
+		// Writeback the victim line to the next level, charged to the
+		// site that dirtied it.
 		l.stats.Writebacks++
 		l.stats.BytesOut += ls
-		h.forEachLine(lvl+1, set[victim].tag*ls, int(ls), true)
+		if h.prof != nil {
+			vs := h.prof.siteStats(lvl, set[victim].site)
+			vs.Writebacks++
+			vs.BytesOut += ls
+			// siteStats may have grown the level's bucket slice;
+			// re-resolve the accessor's bucket before touching it again.
+			ps = h.prof.siteStats(lvl, site)
+		}
+		h.forEachLine(lvl+1, set[victim].tag*ls, int(ls), true, set[victim].site)
 	}
 
 	// Fetch the line from the next level (write-allocate fetches too:
 	// the processor writes only part of the line, so the rest must be
 	// read from below).
 	l.stats.BytesIn += ls
-	h.forEachLine(lvl+1, lineAddr, int(ls), false)
+	if ps != nil {
+		ps.BytesIn += ls
+	}
+	h.forEachLine(lvl+1, lineAddr, int(ls), false, site)
 
-	set[victim] = line{tag: tag, valid: true, dirty: false, used: l.clock}
+	set[victim] = line{tag: tag, valid: true, dirty: false, used: l.clock, site: site}
 	if write {
 		if l.cfg.Policy == WriteThrough {
 			l.stats.BytesOut += ls
-			h.forEachLine(lvl+1, lineAddr, int(ls), true)
+			if ps != nil {
+				ps.BytesOut += ls
+			}
+			h.forEachLine(lvl+1, lineAddr, int(ls), true, site)
 		} else {
 			set[victim].dirty = true
 		}
@@ -292,6 +363,7 @@ func (h *Hierarchy) access(lvl int, addr int64, write bool) {
 
 // Flush writes back every dirty line in every level, as at program end.
 // The paper's writeback accounting includes these final writebacks.
+// Each writeback is charged to the site that last dirtied the line.
 func (h *Hierarchy) Flush() {
 	for lvl, l := range h.levels {
 		ls := int64(l.cfg.LineSize)
@@ -301,7 +373,12 @@ func (h *Hierarchy) Flush() {
 				if ln.valid && ln.dirty {
 					l.stats.Writebacks++
 					l.stats.BytesOut += ls
-					h.forEachLine(lvl+1, ln.tag*ls, int(ls), true)
+					if h.prof != nil {
+						os := h.prof.siteStats(lvl, ln.site)
+						os.Writebacks++
+						os.BytesOut += ls
+					}
+					h.forEachLine(lvl+1, ln.tag*ls, int(ls), true, ln.site)
 					ln.dirty = false
 				}
 			}
@@ -310,7 +387,8 @@ func (h *Hierarchy) Flush() {
 }
 
 // ResetCounters zeroes all counters without disturbing cache contents
-// (for excluding warm-up phases from measurements).
+// (for excluding warm-up phases from measurements). Per-site profiling
+// counters, when enabled, are cleared too.
 func (h *Hierarchy) ResetCounters() {
 	for _, l := range h.levels {
 		l.stats = Stats{}
@@ -318,6 +396,9 @@ func (h *Hierarchy) ResetCounters() {
 	h.RegLoadBytes, h.RegStoreBytes = 0, 0
 	h.Flops = 0
 	h.MemReads, h.MemWrites = 0, 0
+	if h.prof != nil {
+		h.prof.reset()
+	}
 }
 
 // ChannelBytes returns the bytes moved on each channel of the

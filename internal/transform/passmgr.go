@@ -68,6 +68,12 @@ type Config struct {
 	// cache-correctness tests and as a debugging escape hatch; the
 	// optimizer's results must be identical either way.
 	NoAnalysisCache bool
+	// SnapshotPasses records a clone of the program after every pass
+	// that committed at least one checkpoint (Outcome.Snapshots). The
+	// attribution profiler replays the snapshots to say what each pass
+	// bought, array by array; off by default because the clones cost
+	// memory proportional to pipeline length.
+	SnapshotPasses bool
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +161,20 @@ type Outcome struct {
 	// (requests, hits, misses, invalidations, compute seconds per
 	// analysis) for the run.
 	Analysis analysis.Stats
+	// Snapshots holds the program after every pass that committed a
+	// checkpoint, in pipeline order. Populated only when
+	// Config.SnapshotPasses is set; balance.PassDeltas consumes it for
+	// per-pass traffic attribution.
+	Snapshots []PassSnapshot
+}
+
+// PassSnapshot is the program as it stood after one committed pass.
+// Program is a private clone: callers may run or mutate it freely.
+type PassSnapshot struct {
+	// Pass is the pipeline spec element when it differs from the pass
+	// name (e.g. "interchange:n1:i"), otherwise the registry name.
+	Pass    string
+	Program *ir.Program
 }
 
 // SkippedReport converts the structured skip list into the report
@@ -341,6 +361,9 @@ func (m *manager) runPass(st pipelineStep) {
 	}
 	span.End(trace.Int("checkpoints", int64(ps.Checkpoints)), trace.Int("skipped", int64(ps.Skipped)))
 	m.out.Passes = append(m.out.Passes, ps)
+	if m.cfg.SnapshotPasses && ps.Checkpoints > 0 {
+		m.out.Snapshots = append(m.out.Snapshots, PassSnapshot{Pass: st.spec, Program: m.cur.Clone()})
+	}
 }
 
 func (m *manager) note(format string, args ...any) {
