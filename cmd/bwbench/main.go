@@ -81,7 +81,7 @@ import (
 
 var experiments = []string{
 	"sec2.1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-	"sp-util", "ablation", "conflicts", "regroup", "belady", "future", "interchange", "regbalance", "gaps", "stream", "cachebench", "characterize",
+	"sp-util", "ablation", "conflicts", "regroup", "belady", "future", "interchange", "regbalance", "gaps", "mrc", "stream", "cachebench", "characterize",
 }
 
 // jsonTable is one result table in -json output, mirroring
@@ -229,6 +229,8 @@ func main() {
 			return tables(core.RegisterBalanceStudy(cfg))
 		case "gaps":
 			return tables(core.OptimalityGap(cfg))
+		case "mrc":
+			return tables(core.MRCStudy(cfg))
 		case "stream":
 			specs, err := benchMachines(*machineName)
 			if err != nil {

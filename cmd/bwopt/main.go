@@ -6,8 +6,16 @@
 //
 //	bwopt [-fusion-only] [-machine origin|exemplar] [-scale N] \
 //	      [-verify off|structural|differential] [-tol T] \
-//	      [-passes spec[,spec...]] [-profile] [-json] \
+//	      [-passes spec[,spec...]] [-profile] [-mrc] [-json] \
 //	      [-trace out.json] program.bw
+//
+// With -mrc, both measurements additionally run a one-pass
+// reuse-distance (Mattson stack-distance) analysis: an ASCII
+// before/after overlay of the memory-channel demand curve, the
+// capacity-knee table against every registered machine (showing how
+// far the optimizer shifted the knee left), and the phase timeline.
+// Under -json the same data appears as "mrc" blocks on both
+// measurements.
 //
 // With -profile, both measurements run with traffic attribution: the
 // bandwidth report is followed by a per-array, per-level traffic table
@@ -63,6 +71,7 @@ import (
 	"repro/internal/balance"
 	"repro/internal/bounds"
 	"repro/internal/exec"
+	"repro/internal/ir"
 	"repro/internal/lang"
 	"repro/internal/machine"
 	"repro/internal/report"
@@ -81,6 +90,10 @@ type jsonMeasurement struct {
 	// Profile is the per-array traffic attribution (-profile only). The
 	// arrays' memory_bytes sum exactly to MemoryBytes.
 	Profile *balance.ProfileSummary `json:"profile,omitempty"`
+	// MRC is the one-pass reuse-distance analysis (-mrc only): exact
+	// miss-ratio curves per level, phase timeline, and capacity knees
+	// against every registered machine.
+	MRC *balance.MRCResult `json:"mrc,omitempty"`
 }
 
 // jsonReport is the -json document: the optimized program, actions and
@@ -108,6 +121,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the whole run to this path")
 	jsonOut := flag.Bool("json", false, "emit the bandwidth report (with lower bounds and optimality gaps) as JSON")
 	profile := flag.Bool("profile", false, "attribute traffic per array and per pass: annotated listing, per-array table, pass deltas")
+	mrcFlag := flag.Bool("mrc", false, "one-pass reuse-distance analysis: miss-ratio curves (before/after overlay), capacity knees, phase timeline")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bwopt [flags] program.bw\n")
 		flag.PrintDefaults()
@@ -192,6 +206,24 @@ func main() {
 	if *profile {
 		measureFn = balance.MeasureProfiled
 	}
+	if *mrcFlag {
+		// The reuse-distance pass is a separate simulation so -profile
+		// and -bounds reporting stay orthogonal to it; its result is
+		// grafted onto the main measurement's report.
+		base := measureFn
+		measureFn = func(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.Limits) (*balance.Report, error) {
+			rep, err := base(ctx, p, spec, lim)
+			if err != nil {
+				return nil, err
+			}
+			m, err := balance.MeasureMRC(ctx, p, spec, lim)
+			if err != nil {
+				return nil, err
+			}
+			rep.MRC = m.MRC
+			return rep, nil
+		}
+	}
 	before, err := measureFn(ctx, p, spec, exec.Limits{})
 	if err != nil {
 		fatal(err)
@@ -256,6 +288,10 @@ func main() {
 			fmt.Println("--- pass deltas ---")
 			fmt.Print(report.PassDeltas(balance.DeltaRows(deltas)))
 		}
+		if *mrcFlag && before.MRC != nil {
+			fmt.Println("--- miss-ratio curves ---")
+			fmt.Print(balance.MRCText(before.MRC, after.MRC))
+		}
 	}
 
 	// Sanity: outputs must match.
@@ -281,6 +317,7 @@ func measurement(r *balance.Report) jsonMeasurement {
 		Bound:         r.Bound,
 		OptimalityGap: r.OptimalityGap,
 		Profile:       r.Attribution.Summary(),
+		MRC:           r.MRC,
 	}
 }
 

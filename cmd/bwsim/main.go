@@ -5,12 +5,18 @@
 //
 //	bwsim [-machine origin|exemplar] [-scale N] [-print-ir] \
 //	      [-verify off|structural] [-passes spec[,spec...]] \
-//	      [-profile] [-trace out.json] program.bw
+//	      [-profile] [-mrc] [-trace out.json] program.bw
 //
 // With -profile, the measurement runs with traffic attribution: the
 // balance report is followed by a per-array, per-level traffic table
 // (with compulsory floors and per-array optimality gaps) and the
 // program annotated with the memory bytes each reference moved.
+//
+// With -mrc, the measurement additionally runs a one-pass
+// reuse-distance (Mattson stack-distance) analysis and prints the
+// ASCII miss-ratio curve of the memory-facing cache level, the
+// capacity-knee table against every registered machine, and the phase
+// timeline of the access stream.
 //
 // With -trace, the run (optional pass pipeline + measurement) is
 // traced and written as Chrome trace-event JSON loadable in
@@ -62,6 +68,7 @@ func main() {
 	verifyMode := flag.String("verify", "off", "pre-run verification: off or structural (differential allowed with -passes)")
 	passes := flag.String("passes", "", "comma-separated pass specs to apply before measuring (same registry as bwopt)")
 	profile := flag.Bool("profile", false, "attribute traffic per array: per-array table and annotated listing")
+	mrcFlag := flag.Bool("mrc", false, "one-pass reuse-distance analysis: miss-ratio curve, capacity knees, phase timeline")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run to this path")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bwsim [flags] program.bw\n")
@@ -145,6 +152,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *mrcFlag {
+		m, err := balance.MeasureMRC(ctx, p, spec, exec.Limits{})
+		if err != nil {
+			fatal(err)
+		}
+		rep.MRC = m.MRC
+	}
 	if tr != nil {
 		root.End()
 		f, err := os.Create(*traceOut)
@@ -166,6 +180,10 @@ func main() {
 		fmt.Print(report.ArrayTraffic(rep.Attribution.LevelNames, rep.Attribution.TrafficRows()))
 		fmt.Println("--- annotated program ---")
 		fmt.Print(rep.Attribution.AnnotatedListing())
+	}
+	if rep.MRC != nil {
+		fmt.Println("--- miss-ratio curve ---")
+		fmt.Print(balance.MRCText(rep.MRC, nil))
 	}
 	for i, v := range rep.Result.Prints {
 		fmt.Printf("print[%d] = %g\n", i, v)

@@ -72,6 +72,12 @@ type Report struct {
 	// Measure leaves it nil and pays nothing for it.
 	Attribution *Attribution
 
+	// MRC, when non-nil, carries the one-pass reuse-distance analysis:
+	// exact miss-ratio curves per level, per-array curves, the phase
+	// timeline, and capacity knees against every registered machine.
+	// Populated by MeasureMRC; plain Measure leaves it nil.
+	MRC *MRCResult
+
 	// Result carries the program's computed values for equivalence
 	// checking.
 	Result *exec.Result
@@ -92,22 +98,24 @@ func Measure(p *ir.Program, spec machine.Spec) (*Report, error) {
 // program exceeds lim.MaxSteps loop iterations. Services use it to keep
 // a hostile or huge program from wedging a worker.
 func MeasureCtx(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.Limits) (*Report, error) {
-	return measure(ctx, p, spec, lim, false)
+	return measure(ctx, p, spec, lim, false, false)
 }
 
 // measure is the shared measurement core. With profile set it runs on a
 // clone with attribution sites assigned and a profiling hierarchy, and
-// attaches the per-site/per-array Attribution to the report; without it
-// the run is byte-for-byte the pre-profiler path (no clone, no site
-// table, profiling off), so timed measurement loops pay nothing.
-func measure(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.Limits, profile bool) (*Report, error) {
+// attaches the per-site/per-array Attribution to the report; with mrc
+// set it attaches a one-pass reuse-distance recorder and builds the
+// miss-ratio curves and phase timeline. Without either, the run is
+// byte-for-byte the pre-profiler path (no clone, no site table,
+// recording off), so timed measurement loops pay nothing.
+func measure(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.Limits, profile, mrc bool) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	ctx, span := trace.StartSpan(ctx, "balance.measure",
 		trace.String("program", p.Name), trace.String("machine", spec.Name))
 	var table *ir.SiteTable
-	if profile {
+	if profile || mrc {
 		// Sites are assigned on a clone so concurrent measurements of a
 		// shared program never observe mutation.
 		p = p.Clone()
@@ -116,6 +124,12 @@ func measure(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.Lim
 	h := spec.NewHierarchy()
 	if profile {
 		h.EnableProfiling()
+	}
+	if mrc {
+		if err := h.EnableMRC(); err != nil {
+			span.End(trace.String("error", err.Error()))
+			return nil, err
+		}
 	}
 	// The closure-compiled engine is several times faster than the tree
 	// walker and differentially tested against it (internal/exec).
@@ -185,6 +199,9 @@ func measure(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.Lim
 	}
 	if profile {
 		r.Attribution = buildAttribution(p, table, h)
+	}
+	if mrc {
+		r.MRC = buildMRC(spec, table, h)
 	}
 	span.End(trace.String("bottleneck", r.Bottleneck), trace.Int("memory_bytes", r.MemoryBytes))
 	return r, nil

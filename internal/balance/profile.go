@@ -80,7 +80,7 @@ type Attribution struct {
 // entry point — not a MeasureCtx flag — for the same reason as
 // MeasureWithBounds: the timed benchmark paths must not pay for it.
 func MeasureProfiled(ctx context.Context, p *ir.Program, spec machine.Spec, lim exec.Limits) (*Report, error) {
-	rep, err := measure(ctx, p, spec, lim, true)
+	rep, err := measure(ctx, p, spec, lim, true, false)
 	if err != nil {
 		return nil, err
 	}
@@ -345,13 +345,13 @@ func DeltaRows(ds []PassDelta) []report.PassDeltaRow {
 // reads as "fusion saved 1.9 MB on array b" — the pass-delta view of
 // attribution.
 func PassDeltas(ctx context.Context, base *ir.Program, snaps []ProgramSnapshot, spec machine.Spec, lim exec.Limits) ([]PassDelta, error) {
-	prev, err := measure(ctx, base, spec, lim, true)
+	prev, err := measure(ctx, base, spec, lim, true, false)
 	if err != nil {
 		return nil, fmt.Errorf("balance: pass-delta base: %w", err)
 	}
 	var out []PassDelta
 	for _, snap := range snaps {
-		cur, err := measure(ctx, snap.Program, spec, lim, true)
+		cur, err := measure(ctx, snap.Program, spec, lim, true, false)
 		if err != nil {
 			return nil, fmt.Errorf("balance: pass-delta after %s: %w", snap.Pass, err)
 		}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/report"
+)
+
+// MRCStudy sweeps the paper kernels through the one-pass reuse-distance
+// recorder on every registered machine model, before and after the
+// default pipeline: where does each kernel's capacity knee sit — the
+// smallest fast memory at which its memory-channel demand meets the
+// machine's balance — and how far left does the optimizer move it?
+// The raw byte columns are unformatted so machine consumers (CI,
+// EXPERIMENTS.md tooling) can parse them; a knee of -1 means the
+// compulsory floor exceeds the machine's balance at any capacity.
+func MRCStudy(cfg Config) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Capacity knees: smallest fast memory meeting machine balance (reuse-distance sweep)",
+		Headers: []string{"machine", "kernel", "balance B/F", "floor orig", "floor opt", "knee orig B", "knee opt B", "shift"},
+	}
+	rows := []struct {
+		name string
+		p    *ir.Program
+	}{
+		{"convolution", kernels.Convolution(cfg.ConvN)},
+		{"dmxpy", kernels.Dmxpy(cfg.DmxpyN)},
+		{"mm-jki", kernels.MatmulJKI(cfg.MMN)},
+		{"fig6", kernels.Fig6Original(cfg.Fig6N)},
+		{"fig7", kernels.Fig7Original(cfg.Fig8N)},
+	}
+	for _, spec := range cfg.machines() {
+		for _, k := range rows {
+			before, err := balance.MeasureMRC(context.Background(), k.p, spec, exec.Limits{})
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", k.name, spec.Name, err)
+			}
+			opt, _, err := Optimize(k.p)
+			if err != nil {
+				return nil, fmt.Errorf("optimize %s: %w", k.name, err)
+			}
+			after, err := balance.MeasureMRC(context.Background(), opt, spec, exec.Limits{})
+			if err != nil {
+				return nil, fmt.Errorf("%s (optimized) on %s: %w", k.name, spec.Name, err)
+			}
+			kb := before.MRC.Knee(spec.Name)
+			ka := after.MRC.Knee(spec.Name)
+			if kb == nil || ka == nil {
+				return nil, fmt.Errorf("%s on %s: no knee against own machine", k.name, spec.Name)
+			}
+			t.AddRow(spec.Name, k.name,
+				report.F(kb.MachineBalance, 3),
+				report.F(kb.FloorBF, 3), report.F(ka.FloorBF, 3),
+				fmt.Sprint(rawKnee(kb)), fmt.Sprint(rawKnee(ka)),
+				kneeShift(kb, ka))
+		}
+	}
+	t.AddNote("knee = smallest fast-memory capacity (machine's own sets x line, ways swept) with demand <= balance; -1 = never")
+	t.AddNote("floor = compulsory bytes per flop once the working set fits; shift is optimized vs original knee")
+	return t, nil
+}
+
+func rawKnee(k *balance.MRCKnee) int64 {
+	if !k.Met {
+		return -1
+	}
+	return k.KneeBytes
+}
+
+// kneeShift summarizes the optimizer's effect on one machine's knee.
+func kneeShift(before, after *balance.MRCKnee) string {
+	switch {
+	case !before.Met && after.Met:
+		return "now met"
+	case before.Met && !after.Met:
+		return "regressed"
+	case !before.Met && !after.Met:
+		return "-"
+	case after.KneeBytes < before.KneeBytes:
+		return "left " + report.Bytes(before.KneeBytes-after.KneeBytes)
+	case after.KneeBytes > before.KneeBytes:
+		return "right " + report.Bytes(after.KneeBytes-before.KneeBytes)
+	default:
+		return "="
+	}
+}

@@ -149,6 +149,17 @@ type KernelResult struct {
 	// in older baselines).
 	ProfileMeasureNS     int64   `json:"profile_measure_ns,omitempty"`
 	ProfileOverheadRatio float64 `json:"profile_overhead_ratio,omitempty"`
+	// MRCMeasureNS is the wall time of one reuse-distance sweep
+	// (balance.MeasureMRC) of the optimized program, MRCOverheadRatio
+	// its ratio to the median plain measurement, and WSKneeBytes the
+	// capacity knee against the record's machine balance (-1 = the
+	// kernel's demand never meets it). The knee is a deterministic
+	// model output like the optimality gap; all three are computed
+	// outside the timed loops and are additive to the schema (absent in
+	// older baselines).
+	MRCMeasureNS     int64   `json:"mrc_measure_ns,omitempty"`
+	MRCOverheadRatio float64 `json:"mrc_overhead_ratio,omitempty"`
+	WSKneeBytes      int64   `json:"ws_knee_bytes,omitempty"`
 }
 
 // Record is one point of the benchmark trajectory.
@@ -257,6 +268,18 @@ func Collect(ctx context.Context, cfgName string, cfg core.Config, repeats int) 
 			kr.ProfileMeasureNS = time.Since(pbegin).Nanoseconds()
 			if kr.MeasureNS > 0 {
 				kr.ProfileOverheadRatio = float64(kr.ProfileMeasureNS) / float64(kr.MeasureNS)
+			}
+		}
+		// Reuse-distance sweep cost and the capacity knee, likewise
+		// outside the timed loops. MeasureMRC stamps its own wall time.
+		if m, err := balance.MeasureMRC(ctx, runs[mi].prog, spec, exec.Limits{}); err == nil && m.MRC != nil {
+			kr.MRCMeasureNS = m.MRC.MeasureNS
+			if kr.MeasureNS > 0 {
+				kr.MRCOverheadRatio = float64(kr.MRCMeasureNS) / float64(kr.MeasureNS)
+			}
+			kr.WSKneeBytes = -1
+			if k := m.MRC.Knee(spec.Name); k != nil && k.Met {
+				kr.WSKneeBytes = k.KneeBytes
 			}
 		}
 		for i, ch := range rep.ChannelNames {

@@ -1,0 +1,150 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// CurveXY is one sample of an ASCII-rendered curve.
+type CurveXY struct {
+	X int64 // positive; plotted on a log axis
+	Y float64
+}
+
+// CurveSeries is one labeled series of a Curve plot.
+type CurveSeries struct {
+	Label  string
+	Marker rune
+	Points []CurveXY
+}
+
+// Curve renders one or more series on a log-x character grid —
+// capacity sweeps span orders of magnitude, so the x axis is
+// logarithmic. Cells where series overlap show '#'. The renderer is
+// terminal-only output: no external assets, no color.
+func Curve(title, yUnit string, series []CurveSeries, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	xmin, xmax := int64(math.MaxInt64), int64(0)
+	ymax := 0.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.X <= 0 {
+				continue
+			}
+			if p.X < xmin {
+				xmin = p.X
+			}
+			if p.X > xmax {
+				xmax = p.X
+			}
+			if p.Y > ymax {
+				ymax = p.Y
+			}
+		}
+	}
+	if xmax <= 0 || xmin == math.MaxInt64 {
+		return title + ": (no data)\n"
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+	lx, span := math.Log(float64(xmin)), math.Log(float64(xmax))-math.Log(float64(xmin))
+	col := func(x int64) int {
+		if span <= 0 {
+			return 0
+		}
+		c := int(math.Round((math.Log(float64(x)) - lx) / span * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round(y / ymax * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top line
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.X <= 0 {
+				continue
+			}
+			r, c := row(p.Y), col(p.X)
+			switch grid[r][c] {
+			case ' ', s.Marker:
+				grid[r][c] = s.Marker
+			default:
+				grid[r][c] = '#'
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	ylab := func(v float64) string { return fmt.Sprintf("%8.3g", v) }
+	for i, line := range grid {
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "%s |%s\n", ylab(ymax), string(line))
+		case height - 1:
+			fmt.Fprintf(&b, "%s |%s\n", ylab(0), string(line))
+		default:
+			fmt.Fprintf(&b, "%8s |%s\n", "", string(line))
+		}
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	lo, hi := Bytes(xmin), Bytes(xmax)
+	pad := width - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%8s  %s%s%s\n", "", lo, strings.Repeat(" ", pad), hi)
+	var legend []string
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.Marker, s.Label))
+	}
+	if yUnit != "" {
+		legend = append(legend, "y: "+yUnit)
+	}
+	fmt.Fprintf(&b, "%8s  %s\n", "", strings.Join(legend, "   "))
+	return b.String()
+}
+
+// Bar renders v relative to max as a fixed-width '#' bar, for inline
+// sparkline columns in tables.
+func Bar(v, max int64, width int) string {
+	if max <= 0 || v <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(float64(v) / float64(max) * float64(width))
+	if n == 0 {
+		n = 1
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

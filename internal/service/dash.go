@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/balance"
 	"repro/internal/machine"
 	"repro/internal/telemetry"
 )
@@ -68,6 +69,7 @@ type dashPage struct {
 	Cards     []dashCard
 	Machines  []dashMachine
 	Heat      []dashHeatRow
+	MRC       []dashMRCRow
 }
 
 // dashHeatCell is one array's share of a kernel's traffic in the
@@ -84,6 +86,121 @@ type dashHeatRow struct {
 	Kernel string
 	Total  string
 	Cells  []dashHeatCell
+}
+
+// dashMRCRow is one kernel's row of the miss-ratio-curve panel: the
+// latest reuse-distance sweep's curve and phase timeline as inline
+// SVGs, plus the knee against the machine the measurement ran on.
+type dashMRCRow struct {
+	Kernel   string
+	Machine  string
+	Level    string // memory-facing cache level the curve sweeps
+	Knee     string
+	Curve    template.HTML
+	Timeline template.HTML
+}
+
+// dashMRC builds the miss-ratio panel from the latest reuse-distance
+// run of each kernel (see mrc.go). Kernels appear once an "mrc": true
+// request has measured them.
+func (s *Server) dashMRC() []dashMRCRow {
+	var rows []dashMRCRow
+	for _, km := range s.lastMRCSnapshots() {
+		m := km.Result
+		lv := m.MemLevel()
+		if lv == nil {
+			continue
+		}
+		row := dashMRCRow{
+			Kernel:   km.Kernel,
+			Machine:  m.Machine,
+			Level:    lv.Name,
+			Knee:     "never",
+			Curve:    mrcCurveSVG(lv.Points),
+			Timeline: mrcTimelineSVG(m.Timeline),
+		}
+		if k := m.Knee(m.Machine); k != nil && k.Met {
+			row.Knee = formatSample(float64(k.KneeBytes), "B")
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// mrcCurveSVG renders one miss-ratio curve as an inline SVG: miss
+// ratio against fast-memory capacity on a log x axis, with per-point
+// hover targets, in the sparkline idiom (no external assets).
+func mrcCurveSVG(pts []balance.MRCPoint) template.HTML {
+	if len(pts) == 0 {
+		return ""
+	}
+	lxMin := math.Log(float64(pts[0].CapacityBytes))
+	lxSpan := math.Log(float64(pts[len(pts)-1].CapacityBytes)) - lxMin
+	var yMax float64
+	for _, p := range pts {
+		yMax = math.Max(yMax, p.MissRatio)
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	plotW, plotH := float64(sparkW-2*sparkPad), float64(sparkH-2*sparkPad)
+	x := func(c int64) float64 {
+		if lxSpan <= 0 {
+			return sparkPad + plotW/2
+		}
+		return sparkPad + plotW*(math.Log(float64(c))-lxMin)/lxSpan
+	}
+	y := func(v float64) float64 { return sparkPad + plotH*(1-v/yMax) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg role="img" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		sparkW, sparkH, sparkW, sparkH)
+	fmt.Fprintf(&b, `<line class="base" x1="%d" y1="%.1f" x2="%d" y2="%.1f"/>`,
+		sparkPad, y(0), sparkW-sparkPad, y(0))
+	b.WriteString(`<polyline class="line" fill="none" points="`)
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.1f,%.1f", x(p.CapacityBytes), y(p.MissRatio))
+	}
+	b.WriteString(`"/>`)
+	for _, p := range pts {
+		fmt.Fprintf(&b, `<circle class="dot" cx="%.1f" cy="%.1f" r="2"><title>%s: miss ratio %.4f, %s traffic</title></circle>`,
+			x(p.CapacityBytes), y(p.MissRatio),
+			formatSample(float64(p.CapacityBytes), "B"), p.MissRatio,
+			formatSample(float64(p.TrafficBytes), "B"))
+	}
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
+// mrcTimelineSVG renders the phase timeline as an inline SVG bar
+// chart: one bar per epoch, height proportional to the epoch's
+// memory-channel bytes, hover reporting traffic and live working set.
+func mrcTimelineSVG(eps []balance.MRCEpoch) template.HTML {
+	if len(eps) == 0 {
+		return ""
+	}
+	var maxMem int64 = 1
+	for _, e := range eps {
+		if e.MemBytes > maxMem {
+			maxMem = e.MemBytes
+		}
+	}
+	plotW, plotH := float64(sparkW-2*sparkPad), float64(sparkH-2*sparkPad)
+	bw := plotW / float64(len(eps))
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg role="img" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		sparkW, sparkH, sparkW, sparkH)
+	for i, e := range eps {
+		h := plotH * float64(e.MemBytes) / float64(maxMem)
+		fmt.Fprintf(&b, `<rect class="bar" x="%.1f" y="%.1f" width="%.1f" height="%.1f"><title>epoch %d: %s memory, ws %s</title></rect>`,
+			float64(sparkPad)+bw*float64(i)+0.5, sparkPad+plotH-h, math.Max(bw-1, 1), h,
+			e.Index, formatSample(float64(e.MemBytes), "B"), formatSample(float64(e.WSBytes), "B"))
+	}
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
 }
 
 // dashHeat builds the per-array traffic heatmap from the latest
@@ -139,6 +256,7 @@ func (s *Server) handleDash(w http.ResponseWriter, _ *http.Request) {
 		Interval:  "manual (SampleNow only)",
 		Machines:  dashMachines(),
 		Heat:      s.dashHeat(),
+		MRC:       s.dashMRC(),
 	}
 	if s.cfg.SampleInterval > 0 {
 		page.Interval = s.cfg.SampleInterval.String()
@@ -292,6 +410,8 @@ var dashTemplate = template.Must(template.New("dash").Parse(`<!doctype html>
   svg .line { stroke: var(--accent); stroke-width: 2; stroke-linejoin: round; stroke-linecap: round; }
   svg .dot  { fill: var(--accent); }
   svg .base { stroke: var(--grid); stroke-width: 1; }
+  svg .bar  { fill: color-mix(in srgb, var(--accent) 55%, transparent); }
+  svg .bar:hover { fill: var(--accent); }
   svg .hit  { fill: transparent; }
   svg .hit:hover { fill: color-mix(in srgb, var(--accent) 12%, transparent); }
   .heat { display: inline-block; padding: 2px 8px; margin: 2px 2px 2px 0;
@@ -325,5 +445,13 @@ var dashTemplate = template.Must(template.New("dash").Parse(`<!doctype html>
       <td>{{range .Cells}}<span class="heat" style="background: color-mix(in srgb, var(--accent) {{.Pct}}%, transparent)">{{.Array}} {{.Bytes}}</span>{{end}}</td></tr>
 {{end}}</table>
 <div class="meta">rows appear after a <code>"profile": true</code> analyze or optimize request; also exported as bwserved_array_traffic_bytes on <a href="/metrics">/metrics</a>.</div>
+{{end}}{{if .MRC}}<h2>miss-ratio curves and phase timelines (latest mrc run per kernel)</h2>
+<table>
+  <tr><th>kernel</th><th>machine</th><th>level</th><th>knee</th>
+      <th>miss ratio vs capacity (log x)</th><th>memory traffic by epoch</th></tr>
+{{range .MRC}}  <tr><td>{{.Kernel}}</td><td>{{.Machine}}</td><td>{{.Level}}</td>
+      <td class="num">{{.Knee}}</td><td>{{.Curve}}</td><td>{{.Timeline}}</td></tr>
+{{end}}</table>
+<div class="meta">rows appear after an <code>"mrc": true</code> analyze or optimize request; knees also exported as bwserved_ws_knee_bytes on <a href="/metrics">/metrics</a>.</div>
 {{end}}</body></html>
 `))

@@ -52,6 +52,14 @@ type ProgramRequest struct {
 	// cost, so the overload ladder sheds it first — a degraded response
 	// reports the shed in "degraded" and omits the block.
 	Profile bool `json:"profile,omitempty"`
+	// MRC, when true, additionally runs the one-pass reuse-distance
+	// sweep: exact LRU miss-ratio curves for every cache level, the
+	// capacity knee against every registered machine's balance, and the
+	// phase timeline of the access stream (the "mrc" response block;
+	// optimize returns "mrc_before"/"mrc_after"). Like profiling it
+	// costs roughly one extra measurement, so the overload ladder sheds
+	// it at the same rung.
+	MRC bool `json:"mrc,omitempty"`
 }
 
 // AnalyzeRequest is the body of POST /v1/analyze.
@@ -171,6 +179,11 @@ type AnalyzeResponse struct {
 	// measured memory traffic; each carries its own compulsory floor
 	// and optimality gap.
 	Profile *balance.ProfileSummary `json:"profile,omitempty"`
+	// MRC is the reuse-distance result of the primary machine's
+	// measurement — per-level miss-ratio curves, per-machine capacity
+	// knees, phase timeline — present only for "mrc": true requests at
+	// full service.
+	MRC *balance.MRCResult `json:"mrc,omitempty"`
 	// Machines carries the per-machine results of a fan-out request
 	// (AnalyzeRequest.Machines), in request order, first entry equal to
 	// Balance/Bounds. Absent for single-machine requests.
@@ -225,6 +238,12 @@ type OptimizeResponse struct {
 	// true requests at full service with measurement intact.
 	Profile    *balance.ProfileSummary `json:"profile,omitempty"`
 	PassDeltas []balance.PassDelta     `json:"pass_deltas,omitempty"`
+	// MRCBefore/MRCAfter are the reuse-distance results of the original
+	// and optimized measurements — the before/after overlay showing
+	// where the optimizer moved the capacity knee — present only for
+	// "mrc": true requests at full service with measurement intact.
+	MRCBefore *balance.MRCResult `json:"mrc_before,omitempty"`
+	MRCAfter  *balance.MRCResult `json:"mrc_after,omitempty"`
 	// Passes and Analysis report the run's per-pass wall time and the
 	// analysis manager's cache counters (cached responses keep the
 	// stats of the run that produced them).
@@ -465,16 +484,18 @@ type analyzeKey struct {
 	Bounds string
 	// Profile is the profile flag actually honored: a profile-shed
 	// response lives at the unprofiled address.
-	Profile  bool
+	Profile bool
+	// MRC is the reuse-distance flag actually honored (see Profile).
+	MRC      bool
 	MaxSteps int64
 }
 
 // analyzeCacheKey is the content address of an analyze result for the
 // given effective options.
-func (s *Server) analyzeCacheKey(sourceID, machineName string, belady bool, boundsMode string, profile bool) (string, error) {
+func (s *Server) analyzeCacheKey(sourceID, machineName string, belady bool, boundsMode string, profile, mrc bool) (string, error) {
 	return cache.Key(analyzeKey{
 		Endpoint: "analyze", Source: sourceID, Machine: machineName,
-		Belady: belady, Bounds: boundsMode, Profile: profile, MaxSteps: s.cfg.MaxSteps,
+		Belady: belady, Bounds: boundsMode, Profile: profile, MRC: mrc, MaxSteps: s.cfg.MaxSteps,
 	})
 }
 
@@ -505,7 +526,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stageSeconds.With("parse").Observe(time.Since(begin).Seconds())
 
-	key, err := s.analyzeCacheKey(sourceID, machineKey, req.Belady, boundsFull, req.Profile)
+	key, err := s.analyzeCacheKey(sourceID, machineKey, req.Belady, boundsFull, req.Profile, req.MRC)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -575,16 +596,17 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 	// results alone.
 	effBelady := req.Belady && level.measureAllowed()
 	effProfile := req.Profile && level.profileAllowed()
+	effMRC := req.MRC && level.mrcAllowed()
 	bm := boundsModeFor(level)
 	var info *DegradeInfo
-	if effBelady != req.Belady || effProfile != req.Profile || bm != boundsFull {
+	if effBelady != req.Belady || effProfile != req.Profile || effMRC != req.MRC || bm != boundsFull {
 		info = level.info(reason)
 	}
 	if level >= degradeCacheOnly {
-		if effBelady != req.Belady || effProfile != req.Profile {
-			// A Belady- and profile-free full-service result is still an
-			// acceptable degraded answer if one is already cached.
-			if ek, err := s.analyzeCacheKey(sourceID, machineKey, false, boundsFull, false); err == nil {
+		if effBelady != req.Belady || effProfile != req.Profile || effMRC != req.MRC {
+			// A Belady-, profile- and mrc-free full-service result is
+			// still an acceptable degraded answer if one is already cached.
+			if ek, err := s.analyzeCacheKey(sourceID, machineKey, false, boundsFull, false, false); err == nil {
 				if v, ok := s.cacheGet(ctx, ek); ok {
 					cp := *v.(*AnalyzeResponse)
 					cp.Cached = true
@@ -605,7 +627,7 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 		// address. A degraded rung never has bm == full, so the probes
 		// are distinct.
 		for _, ebm := range []string{boundsFull, bm} {
-			ek, err := s.analyzeCacheKey(sourceID, machineKey, effBelady, ebm, effProfile)
+			ek, err := s.analyzeCacheKey(sourceID, machineKey, effBelady, ebm, effProfile, effMRC)
 			if err != nil {
 				continue
 			}
@@ -653,6 +675,17 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 	}
 	s.observeGap(req.Kernel, primary.Name, resp.Bounds)
 
+	if effMRC {
+		mrcBegin := time.Now()
+		m, err := balance.MeasureMRC(ctx, p, primary, s.limits())
+		s.stageSeconds.With("mrc").Observe(time.Since(mrcBegin).Seconds())
+		if err != nil {
+			return nil, err
+		}
+		resp.MRC = m.MRC
+		s.observeMRC(req.Kernel, resp.MRC)
+	}
+
 	if len(req.Machines) > 0 {
 		// Fan-out: one entry per machine, the first sharing the primary
 		// measurement above.
@@ -690,10 +723,10 @@ func (s *Server) runAnalyze(ctx context.Context, req *AnalyzeRequest, p *ir.Prog
 	}
 
 	// Cache the trace-free, degradation-free response under the key of
-	// what was actually computed: a Belady-free, profile-free or
-	// bounds-degraded run is exactly that variant's full answer, so it
-	// must never be stored under the requested address.
-	if key, err := s.analyzeCacheKey(sourceID, machineKey, effBelady, bm, effProfile); err == nil {
+	// what was actually computed: a Belady-free, profile-free, mrc-free
+	// or bounds-degraded run is exactly that variant's full answer, so
+	// it must never be stored under the requested address.
+	if key, err := s.analyzeCacheKey(sourceID, machineKey, effBelady, bm, effProfile, effMRC); err == nil {
 		s.cachePut(ctx, key, resp)
 	}
 	if info != nil {
@@ -761,18 +794,20 @@ type optimizeKey struct {
 	// Bounds is the bounds mode actually computed (see analyzeKey).
 	Bounds string
 	// Profile is the profile flag actually honored (see analyzeKey).
-	Profile  bool
+	Profile bool
+	// MRC is the reuse-distance flag actually honored (see analyzeKey).
+	MRC      bool
 	Tol      float64
 	MaxSteps int64
 }
 
 // optimizeCacheKey is the content address of an optimize result for
 // the given effective options.
-func (s *Server) optimizeCacheKey(sourceID, machineName string, opts transform.Options, pipeline string, mode verify.Mode, tol float64, boundsMode string, profile bool) (string, error) {
+func (s *Server) optimizeCacheKey(sourceID, machineName string, opts transform.Options, pipeline string, mode verify.Mode, tol float64, boundsMode string, profile, mrc bool) (string, error) {
 	return cache.Key(optimizeKey{
 		Endpoint: "optimize", Source: sourceID, Machine: machineName,
 		Passes: opts, Pipeline: pipeline, Verify: mode.String(), Bounds: boundsMode,
-		Profile: profile, Tol: tol, MaxSteps: s.cfg.MaxSteps,
+		Profile: profile, MRC: mrc, Tol: tol, MaxSteps: s.cfg.MaxSteps,
 	})
 }
 
@@ -827,7 +862,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stageSeconds.With("parse").Observe(time.Since(begin).Seconds())
 
-	key, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, mode, req.Tol, boundsFull, req.Profile)
+	key, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, mode, req.Tol, boundsFull, req.Profile, req.MRC)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -892,9 +927,10 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 	effMode := level.clampVerify(mode)
 	measure := level.measureAllowed()
 	effProfile := req.Profile && level.profileAllowed()
+	effMRC := req.MRC && level.mrcAllowed()
 	bm := boundsModeFor(level)
 	var info *DegradeInfo
-	if effMode != mode || !measure || effProfile != req.Profile || bm != boundsFull {
+	if effMode != mode || !measure || effProfile != req.Profile || effMRC != req.MRC || bm != boundsFull {
 		info = level.info(reason)
 	}
 	if info != nil {
@@ -909,7 +945,7 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 			if ebm == boundsNone {
 				continue
 			}
-			ek, kerr := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol, ebm, effProfile)
+			ek, kerr := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol, ebm, effProfile, effMRC)
 			if kerr != nil {
 				continue
 			}
@@ -1011,6 +1047,22 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 			s.stageSeconds.With("bounds").Observe(time.Since(bbegin).Seconds())
 		}
 		s.observeGap(req.Kernel, spec.Name, resp.Bounds)
+
+		if effMRC {
+			mrcBegin := time.Now()
+			mb, err := balance.MeasureMRC(ctx, p, spec, s.limits())
+			if err != nil {
+				return nil, err
+			}
+			ma, err := balance.MeasureMRC(ctx, q, spec, s.limits())
+			s.stageSeconds.With("mrc").Observe(time.Since(mrcBegin).Seconds())
+			if err != nil {
+				return nil, err
+			}
+			resp.MRCBefore = mb.MRC
+			resp.MRCAfter = ma.MRC
+			s.observeMRC(req.Kernel, resp.MRCAfter)
+		}
 	}
 	if level == degradeNone {
 		// Only full-service runs feed the cost estimate (see runAnalyze).
@@ -1023,7 +1075,7 @@ func (s *Server) runOptimize(ctx context.Context, req *OptimizeRequest, p *ir.Pr
 	// answer. A structural-only run skipped measurement, so it is
 	// incomplete for any key and is not cached.
 	if measure {
-		if ek, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol, bm, effProfile); err == nil {
+		if ek, err := s.optimizeCacheKey(sourceID, spec.Name, opts, req.Pipeline, effMode, req.Tol, bm, effProfile, effMRC); err == nil {
 			s.cachePut(ctx, ek, resp)
 		}
 	}

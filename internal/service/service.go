@@ -203,6 +203,13 @@ type Server struct {
 	profMu       sync.Mutex
 	lastProfiles map[string]*balance.ProfileSummary
 
+	// Reuse-distance telemetry (see mrc.go): the per-kernel,
+	// per-machine working-set-knee gauge exported on /metrics, and the
+	// most recent curve per kernel behind the /debug/dash MRC panel.
+	wsKnee   *telemetry.GaugeVec // {kernel, machine}
+	mrcMu    sync.Mutex
+	lastMRCs map[string]*balance.MRCResult
+
 	// Overload-protection state (see overload.go): the singleflight
 	// group coalescing identical in-flight requests, shed/coalesce/
 	// degradation counters, and the EWMA of full-pipeline wall time
@@ -289,8 +296,12 @@ func New(cfg Config) *Server {
 		arrayTraffic: reg.NewGaugeVec("bwserved_array_traffic_bytes",
 			"Latest attributed channel bytes per built-in kernel, array and cache level (profiled requests only).",
 			"kernel", "array", "level"),
+		wsKnee: reg.NewGaugeVec("bwserved_ws_knee_bytes",
+			"Latest working-set capacity knee per built-in kernel and machine balance target, in bytes (-1 = the kernel's demand never meets that machine's balance; mrc requests only).",
+			"kernel", "machine"),
 		bestGaps:     map[string]float64{},
 		lastProfiles: map[string]*balance.ProfileSummary{},
+		lastMRCs:     map[string]*balance.MRCResult{},
 	}
 	s.passTotals.init()
 	s.flight = newFlightGroup()

@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// replayFixed runs a synthetic trace against a fresh fixed-geometry
+// hierarchy and returns it after Flush.
+func replayFixed(t *testing.T, cfgs []CacheConfig, trace []traceOp) *Hierarchy {
+	t.Helper()
+	h := MustHierarchy(cfgs...)
+	for _, op := range trace {
+		if op.write {
+			h.Store(op.addr, op.size)
+		} else {
+			h.Load(op.addr, op.size)
+		}
+	}
+	h.Flush()
+	return h
+}
+
+type traceOp struct {
+	addr  int64
+	size  int
+	write bool
+}
+
+func randomTrace(r *rand.Rand, n int, span int64) []traceOp {
+	ops := make([]traceOp, n)
+	for i := range ops {
+		ops[i] = traceOp{
+			addr:  r.Int63n(span),
+			size:  8,
+			write: r.Intn(3) == 0,
+		}
+	}
+	return ops
+}
+
+// TestMRCMatchesFixedSimAcrossAssociativities is the core differential
+// test: one recorded pass evaluated at associativity A must equal a
+// separate fixed simulation with A ways (same sets, same line size),
+// for every A, including miss and writeback counts after Flush.
+func TestMRCMatchesFixedSimAcrossAssociativities(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	trace := randomTrace(r, 4000, 1<<13) // 8 KB span, 256 distinct 32 B lines
+	const nsets, ls = 8, 32
+
+	// One pass at an arbitrary reference associativity with MRC on.
+	ref := MustHierarchy(CacheConfig{Name: "L1", Size: nsets * ls * 2, LineSize: ls, Assoc: 2})
+	if err := ref.EnableMRC(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range trace {
+		if op.write {
+			ref.Store(op.addr, op.size)
+		} else {
+			ref.Load(op.addr, op.size)
+		}
+	}
+	ref.Flush()
+
+	for assoc := 1; assoc <= 40; assoc++ {
+		fixed := replayFixed(t, []CacheConfig{{Name: "L1", Size: nsets * ls * assoc, LineSize: ls, Assoc: assoc}}, trace)
+		want := fixed.LevelStats(0)
+		got := ref.MRC().Eval(0, int64(assoc))
+		if got != want {
+			t.Fatalf("assoc %d: mrc %+v != fixed sim %+v", assoc, got, want)
+		}
+	}
+}
+
+// TestMRCWriteThrough checks the write-through policy sweep: no
+// writebacks at any capacity, BytesOut constant.
+func TestMRCWriteThrough(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	trace := randomTrace(r, 2000, 1<<12)
+	const nsets, ls = 4, 32
+	cfg := func(assoc int) []CacheConfig {
+		return []CacheConfig{
+			{Name: "L1", Size: nsets * ls * assoc, LineSize: ls, Assoc: assoc, Policy: WriteThrough},
+			{Name: "L2", Size: 1 << 14, LineSize: 64, Assoc: 2},
+		}
+	}
+	ref := MustHierarchy(cfg(2)...)
+	if err := ref.EnableMRC(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range trace {
+		if op.write {
+			ref.Store(op.addr, op.size)
+		} else {
+			ref.Load(op.addr, op.size)
+		}
+	}
+	ref.Flush()
+	for assoc := 1; assoc <= 12; assoc++ {
+		fixed := replayFixed(t, cfg(assoc), trace)
+		want := fixed.LevelStats(0)
+		got := ref.MRC().Eval(0, int64(assoc))
+		if got != want {
+			t.Fatalf("write-through assoc %d: mrc %+v != fixed %+v", assoc, got, want)
+		}
+	}
+}
+
+// TestMRCPerSiteSumsToTotal: per-site stats must sum exactly to the
+// level totals at every associativity (owner-pays attribution).
+func TestMRCPerSiteSumsToTotal(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const nsets, ls = 4, 32
+	h := MustHierarchy(CacheConfig{Name: "L1", Size: nsets * ls * 2, LineSize: ls, Assoc: 2})
+	if err := h.EnableMRC(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		site := uint32(r.Intn(5))
+		addr := r.Int63n(1 << 12)
+		if r.Intn(3) == 0 {
+			h.StoreSite(addr, 8, site)
+		} else {
+			h.LoadSite(addr, 8, site)
+		}
+	}
+	h.Flush()
+	mrc := h.MRC()
+	for assoc := int64(1); assoc <= 20; assoc++ {
+		var sum Stats
+		for _, site := range mrc.Sites(0) {
+			s := mrc.EvalSite(0, site, assoc)
+			sum.Reads += s.Reads
+			sum.Writes += s.Writes
+			sum.ReadMisses += s.ReadMisses
+			sum.WriteMisses += s.WriteMisses
+			sum.Writebacks += s.Writebacks
+			sum.BytesIn += s.BytesIn
+			sum.BytesOut += s.BytesOut
+		}
+		if total := mrc.Eval(0, assoc); sum != total {
+			t.Fatalf("assoc %d: per-site sum %+v != total %+v", assoc, sum, total)
+		}
+	}
+}
+
+// TestMRCMonotone: misses, writebacks and traffic are non-increasing
+// in capacity (the inclusion property and dirty-interval merging).
+func TestMRCMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	const nsets, ls = 8, 32
+	h := MustHierarchy(CacheConfig{Name: "L1", Size: nsets * ls * 2, LineSize: ls, Assoc: 2})
+	if err := h.EnableMRC(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range randomTrace(r, 5000, 1<<14) {
+		if op.write {
+			h.Store(op.addr, op.size)
+		} else {
+			h.Load(op.addr, op.size)
+		}
+	}
+	h.Flush()
+	mrc := h.MRC()
+	prev := mrc.Eval(0, 1)
+	for a := int64(2); a <= mrc.MaxAssoc(0)+2; a++ {
+		cur := mrc.Eval(0, a)
+		if cur.Misses() > prev.Misses() || cur.Writebacks > prev.Writebacks || cur.Traffic() > prev.Traffic() {
+			t.Fatalf("assoc %d not monotone: %+v after %+v", a, cur, prev)
+		}
+		prev = cur
+	}
+	// Beyond MaxAssoc only compulsory misses remain.
+	plateau := mrc.Eval(0, mrc.MaxAssoc(0))
+	if far := mrc.Eval(0, mrc.MaxAssoc(0)+1000); far != plateau {
+		t.Fatalf("curve not flat past MaxAssoc: %+v vs %+v", far, plateau)
+	}
+}
+
+// TestMRCMultiLevelComposition: with a two-level hierarchy, the L2
+// curve is recorded on L1's actual miss/writeback stream, so its
+// evaluation at the configured L2 associativity must match the fixed
+// simulation's L2 counters exactly.
+func TestMRCMultiLevelComposition(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	trace := randomTrace(r, 6000, 1<<14)
+	cfgs := []CacheConfig{
+		{Name: "L1", Size: 1 << 10, LineSize: 32, Assoc: 2},
+		{Name: "L2", Size: 1 << 13, LineSize: 128, Assoc: 2},
+	}
+	h := MustHierarchy(cfgs...)
+	if err := h.EnableMRC(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range trace {
+		if op.write {
+			h.Store(op.addr, op.size)
+		} else {
+			h.Load(op.addr, op.size)
+		}
+	}
+	h.Flush()
+	fixed := replayFixed(t, cfgs, trace)
+	for lvl := 0; lvl < 2; lvl++ {
+		want := fixed.LevelStats(lvl)
+		got := h.MRC().Eval(lvl, int64(cfgs[lvl].Assoc))
+		if got != want {
+			t.Fatalf("level %d: mrc %+v != fixed %+v", lvl, got, want)
+		}
+	}
+}
+
+// TestMRCEvalCapacity checks the byte-capacity entry point and its
+// geometry validation.
+func TestMRCEvalCapacity(t *testing.T) {
+	h := MustHierarchy(CacheConfig{Name: "L1", Size: 1 << 10, LineSize: 32, Assoc: 2})
+	if err := h.EnableMRC(); err != nil {
+		t.Fatal(err)
+	}
+	h.Load(0, 8)
+	h.Flush()
+	st, err := h.MRC().EvalCapacity(0, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != h.LevelStats(0) {
+		t.Fatalf("capacity eval %+v != fixed %+v", st, h.LevelStats(0))
+	}
+	if _, err := h.MRC().EvalCapacity(0, 100); err == nil {
+		t.Fatal("expected error for capacity not a multiple of sets*line")
+	}
+}
+
+// TestMRCRejectsNoWriteAllocate: the stack property does not hold for
+// no-write-allocate levels, so EnableMRC must refuse.
+func TestMRCRejectsNoWriteAllocate(t *testing.T) {
+	h := MustHierarchy(CacheConfig{Name: "L1", Size: 1 << 10, LineSize: 32, Assoc: 2, Policy: WriteThrough, NoWriteAllocate: true})
+	if err := h.EnableMRC(); err == nil {
+		t.Fatal("expected EnableMRC to reject no-write-allocate level")
+	}
+}
+
+// TestMRCEpochTimeline checks the phase timeline against a direct
+// recomputation: per-epoch distinct-line working sets, first-touch
+// counts and byte totals must be exact at every aggregation width.
+func TestMRCEpochTimeline(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	trace := randomTrace(r, 3000, 1<<13)
+	h := MustHierarchy(CacheConfig{Name: "L1", Size: 1 << 10, LineSize: 64, Assoc: 2})
+	if err := h.EnableMRC(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range trace {
+		if op.write {
+			h.Store(op.addr, op.size)
+		} else {
+			h.Load(op.addr, op.size)
+		}
+	}
+	h.Flush()
+	mrc := h.MRC()
+	ls := mrc.MemLineSize()
+	for _, n := range []int{1, 3, 8, 32} {
+		eps := mrc.Epochs(n)
+		if len(eps) == 0 {
+			t.Fatalf("no epochs at n=%d", n)
+		}
+		var covered int64
+		seenEver := map[int64]bool{}
+		pos := 0
+		for _, ep := range eps {
+			covered += ep.Steps
+			// Recompute distinct lines and first-touches directly from
+			// the trace slice this epoch covers.
+			distinct := map[int64]bool{}
+			var wantNew, wantProc int64
+			for i := int64(0); i < ep.Steps; i++ {
+				op := trace[pos]
+				pos++
+				wantProc += int64(op.size)
+				first := op.addr &^ (ls - 1)
+				last := (op.addr + int64(op.size) - 1) &^ (ls - 1)
+				for a := first; a <= last; a += ls {
+					tag := a / ls
+					distinct[tag] = true
+					if !seenEver[tag] {
+						seenEver[tag] = true
+						wantNew++
+					}
+				}
+			}
+			if ep.WSLines != int64(len(distinct)) {
+				t.Fatalf("n=%d epoch %d: WSLines %d != %d", n, ep.Index, ep.WSLines, len(distinct))
+			}
+			if ep.NewLines != wantNew {
+				t.Fatalf("n=%d epoch %d: NewLines %d != %d", n, ep.Index, ep.NewLines, wantNew)
+			}
+			if ep.ProcBytes != wantProc {
+				t.Fatalf("n=%d epoch %d: ProcBytes %d != %d", n, ep.Index, ep.ProcBytes, wantProc)
+			}
+		}
+		if covered != int64(len(trace)) {
+			t.Fatalf("n=%d: epochs cover %d accesses, trace has %d", n, covered, len(trace))
+		}
+		// Per-epoch memory bytes must sum to the memory channel total.
+		var mem int64
+		for _, ep := range eps {
+			mem += ep.MemBytes
+		}
+		if mem != h.MemoryBytes() {
+			t.Fatalf("n=%d: epoch mem bytes %d != MemoryBytes %d", n, mem, h.MemoryBytes())
+		}
+	}
+}

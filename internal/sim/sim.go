@@ -134,6 +134,10 @@ type Hierarchy struct {
 	// prof holds per-site attribution counters; nil (the default) keeps
 	// profiling off the hot path except for one pointer test per access.
 	prof *Profile
+	// mrc holds the one-pass reuse-distance recorder; nil (the
+	// default) keeps miss-ratio-curve recording off the hot path
+	// except for one pointer test per access.
+	mrc *MRCRecorder
 }
 
 // NewHierarchy builds a hierarchy from processor-side to memory-side
@@ -187,6 +191,9 @@ func (h *Hierarchy) LoadSite(addr int64, size int, site uint32) {
 	if h.prof != nil {
 		h.prof.addReg(site, int64(size))
 	}
+	if h.mrc != nil {
+		h.mrc.epochs.tick(addr, size)
+	}
 	h.forEachLine(0, addr, size, false, site)
 }
 
@@ -195,6 +202,9 @@ func (h *Hierarchy) StoreSite(addr int64, size int, site uint32) {
 	h.RegStoreBytes += int64(size)
 	if h.prof != nil {
 		h.prof.addReg(site, int64(size))
+	}
+	if h.mrc != nil {
+		h.mrc.epochs.tick(addr, size)
 	}
 	h.forEachLine(0, addr, size, true, site)
 }
@@ -211,7 +221,12 @@ func (h *Hierarchy) TouchSite(addr int64, size int, write bool, site uint32) {
 }
 
 // AddFlops adds floating-point operations to the counter.
-func (h *Hierarchy) AddFlops(n int64) { h.Flops += n }
+func (h *Hierarchy) AddFlops(n int64) {
+	h.Flops += n
+	if h.mrc != nil {
+		h.mrc.epochs.addFlops(n)
+	}
+}
 
 // forEachLine splits an access into line-granular accesses at the given
 // level. Requests that reach past the last cache level go to memory,
@@ -245,6 +260,9 @@ func (h *Hierarchy) access(lvl int, addr int64, write bool, site uint32) {
 		} else {
 			h.MemReads++
 		}
+		if h.mrc != nil {
+			h.mrc.epochs.mem(site)
+		}
 		return
 	}
 	l := h.levels[lvl]
@@ -253,6 +271,9 @@ func (h *Hierarchy) access(lvl int, addr int64, write bool, site uint32) {
 	tag := lineAddr / ls
 	set := l.sets[tag%l.nsets]
 	l.clock++
+	if h.mrc != nil {
+		h.mrc.record(lvl, tag, write, site)
+	}
 	if write {
 		l.stats.Writes++
 	} else {
@@ -384,6 +405,9 @@ func (h *Hierarchy) Flush() {
 			}
 		}
 	}
+	if h.mrc != nil {
+		h.mrc.finalize()
+	}
 }
 
 // ResetCounters zeroes all counters without disturbing cache contents
@@ -398,6 +422,12 @@ func (h *Hierarchy) ResetCounters() {
 	h.MemReads, h.MemWrites = 0, 0
 	if h.prof != nil {
 		h.prof.reset()
+	}
+	if h.mrc != nil {
+		// Reuse-distance state is stream-positional and cannot be
+		// rewound; start a fresh recorder over the same geometry.
+		h.mrc = nil
+		_ = h.EnableMRC()
 	}
 }
 
